@@ -1,0 +1,202 @@
+(* Bechamel micro/meso-benchmarks: one group per paper artefact (Figures
+   1-3, the Section 5 scale discussion) plus the substrate hot paths.
+
+   These run each piece at a reduced scale so the whole suite finishes in
+   a couple of minutes; `bin/experiments.exe` regenerates the figures at
+   full case-study scale. *)
+
+open Bechamel
+open Toolkit
+
+module CS = Replica_select.Case_study
+
+(* Shared fixtures, built once (fixture construction is excluded from the
+   measured spans; each Test.make closure only runs the measured piece). *)
+
+let web = lazy (CS.make ~nodes:10 ~scale:0.02 ~intervals:12 CS.Web)
+let group = lazy (CS.make ~nodes:10 ~scale:0.01 ~intervals:12 CS.Group)
+
+let bound_once cs cls =
+  let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+  ignore (Bounds.Pipeline.compute spec cls)
+
+(* --- Figure 1: one class bound per benchmark --------------------------- *)
+
+let fig1_tests =
+  let t name cls =
+    Test.make ~name (Staged.stage (fun () -> bound_once (Lazy.force web) cls))
+  in
+  Test.make_grouped ~name:"fig1"
+    [
+      t "web-general" Mcperf.Classes.general;
+      t "web-storage-constrained" Mcperf.Classes.storage_constrained;
+      t "web-replica-constrained" Mcperf.Classes.replica_constrained_uniform;
+      Test.make ~name:"group-general"
+        (Staged.stage (fun () ->
+             bound_once (Lazy.force group) Mcperf.Classes.general));
+    ]
+
+(* --- Figure 2: deployed heuristics ------------------------------------- *)
+
+let fig2_tests =
+  Test.make_grouped ~name:"fig2"
+    [
+      Test.make ~name:"web-greedy-global-place"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force web in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:false () in
+             ignore (Heuristics.Greedy_global.evaluate ~spec ~capacity:10. ())));
+      Test.make ~name:"group-greedy-replica-place"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force group in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:false () in
+             ignore (Heuristics.Greedy_replica.evaluate ~spec ~replicas:2 ())));
+      Test.make ~name:"web-lru-simulation"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force web in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:false () in
+             ignore
+               (Sim.Runner.cache_outcome_at ~spec ~trace:cs.CS.trace
+                  ~capacity:20 ~mode:Heuristics.Event_cache.Local ())));
+      Test.make ~name:"group-coop-cache-simulation"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force group in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:false () in
+             ignore
+               (Sim.Runner.cache_outcome_at ~spec ~trace:cs.CS.trace
+                  ~capacity:20 ~mode:Heuristics.Event_cache.Cooperative ())));
+    ]
+
+(* --- Figure 3: deployment planning -------------------------------------- *)
+
+let fig3_tests =
+  Test.make_grouped ~name:"fig3"
+    [
+      Test.make ~name:"group-plan-deployment"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force group in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+             ignore
+               (Replica_select.Methodology.plan_deployment ~zeta:1_000. spec)));
+    ]
+
+(* --- Section 5: solver scale --------------------------------------------- *)
+
+let scale_tests =
+  let solve_at scale =
+    let cs = CS.make ~nodes:10 ~scale ~intervals:12 CS.Web in
+    let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+    let perm = Mcperf.Permission.compute spec Mcperf.Classes.general in
+    let model = Mcperf.Model.build perm in
+    fun () ->
+      ignore
+        (Lp.Pdhg.solve
+           ~options:{ Lp.Pdhg.default_options with max_iters = 2_000 }
+           model.Mcperf.Model.problem)
+  in
+  Test.make_grouped ~name:"scale"
+    [
+      Test.make ~name:"pdhg-2k-iters-scale-0.01" (Staged.stage (solve_at 0.01));
+      Test.make ~name:"pdhg-2k-iters-scale-0.02" (Staged.stage (solve_at 0.02));
+    ]
+
+(* --- substrate hot paths --------------------------------------------------- *)
+
+let substrate_tests =
+  let rng = Util.Prng.create ~seed:1 in
+  let g20 =
+    Topology.Generate.as_like ~rng ~nodes:20
+      ~latency:Topology.Generate.default_hop_latency ()
+  in
+  let small_lp =
+    let b = Lp.Problem.Builder.create () in
+    for _ = 1 to 30 do
+      ignore (Lp.Problem.Builder.add_var b ~lo:0. ~hi:10. ~obj:1. ())
+    done;
+    for i = 0 to 19 do
+      Lp.Problem.Builder.add_row b Lp.Problem.Ge ~rhs:2.
+        [ (i, 1.); (i + 5, 1.); ((i + 11) mod 30, 0.5) ]
+    done;
+    Lp.Problem.Builder.build b
+  in
+  let round_model =
+    lazy
+      (let cs = Lazy.force web in
+       let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+       let perm = Mcperf.Permission.compute spec Mcperf.Classes.general in
+       let model = Mcperf.Model.build perm in
+       let out =
+         Lp.Pdhg.solve
+           ~options:{ Lp.Pdhg.default_options with max_iters = 4_000 }
+           model.Mcperf.Model.problem
+       in
+       (model, out.Lp.Pdhg.x))
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"dijkstra-all-pairs-20"
+        (Staged.stage (fun () -> ignore (Topology.Shortest_path.all_pairs g20)));
+      Test.make ~name:"simplex-30x20"
+        (Staged.stage (fun () -> ignore (Lp.Simplex.solve small_lp)));
+      Test.make ~name:"zipf-fit-1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Workload.Zipf.fit_mandelbrot ~n:1000 ~total:300_000.
+                  ~max_count:36_000. ~min_count:1.)));
+      Test.make ~name:"rounding-web-0.02"
+        (Staged.stage (fun () ->
+             let model, x = Lazy.force round_model in
+             ignore (Rounding.Round.round model ~x)));
+      Test.make ~name:"permission-masks-web"
+        (Staged.stage (fun () ->
+             let cs = Lazy.force web in
+             let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+             ignore (Mcperf.Permission.compute spec Mcperf.Classes.caching)));
+    ]
+
+(* --- driver ------------------------------------------------------------------ *)
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Printf.printf "%-44s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-44s %16s\n" name pretty)
+    rows
+
+let () =
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      print_results results;
+      print_newline ())
+    [ substrate_tests; fig1_tests; fig2_tests; fig3_tests; scale_tests ]

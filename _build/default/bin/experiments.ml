@@ -1,0 +1,646 @@
+(* Regenerates the paper's evaluation figures (Section 6).
+
+   - fig1: lower bounds per heuristic class vs QoS goal (WEB and GROUP).
+   - fig2: cost of the chosen deployed heuristic vs its class bound, with
+     LRU caching for comparison.
+   - fig3: the two-phase deployment scenario (node opening + bounds on the
+     reduced topology).
+   - scale: solver wall-clock vs instance size (the Section 5 discussion).
+
+   Absolute numbers depend on the synthetic substitutes for the paper's
+   proprietary trace and topology (see DESIGN.md); the reproduced
+   artefacts are the orderings, ceilings and cost ratios. *)
+
+module CS = Replica_select.Case_study
+module Report = Replica_select.Report
+module Methodology = Replica_select.Methodology
+
+let qos_sweep quick =
+  if quick then [ 0.95; 0.999; 0.99999 ] else CS.qos_points
+
+let maybe_write_csv ~csv_dir ~name series =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Report.csv_of_figure series);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+
+let cost_of_result (r : Bounds.Pipeline.t) =
+  if r.Bounds.Pipeline.feasible then Some r.Bounds.Pipeline.lower_bound
+  else None
+
+let sweep_series ?placeable ~label spec points cls =
+  let results = Bounds.Pipeline.sweep_qos ?placeable spec points cls in
+  Report.series_of ~label
+    (List.map (fun (q, r) -> (q, cost_of_result r)) results)
+
+(* --- Figure 1 ----------------------------------------------------------- *)
+
+let fig1_classes =
+  [
+    ("General lower bound", Mcperf.Classes.general);
+    ("Storage constrained", Mcperf.Classes.storage_constrained);
+    ("Replica constrained", Mcperf.Classes.replica_constrained_uniform);
+    ("Decentral local routing", Mcperf.Classes.decentralized_local_routing);
+    ( "Caching",
+      Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
+    ( "Cooperative caching",
+      Mcperf.Classes.allow_intra_interval_reaction
+        Mcperf.Classes.cooperative_caching );
+  ]
+
+let fig1 ?csv_dir ~quick ~scale ~seed workload =
+  let cs = CS.make ~seed ~scale workload in
+  let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  let points = qos_sweep quick in
+  let series =
+    List.map
+      (fun (label, cls) ->
+        Logs.app (fun f -> f "fig1 %s: %s ..." (CS.workload_name workload) label);
+        sweep_series ~label spec points cls)
+      fig1_classes
+  in
+  Report.print_figure
+    ~title:
+      (Printf.sprintf
+         "Figure 1 (%s): lower bound per heuristic class vs QoS goal"
+         (CS.workload_name workload))
+    ~xlabel:"QoS" series;
+  maybe_write_csv ~csv_dir
+    ~name:("fig1-" ^ String.lowercase_ascii (CS.workload_name workload))
+    series;
+  series
+
+(* --- Figure 2 ----------------------------------------------------------- *)
+
+let deployed_series ~label points run =
+  Report.series_of ~label
+    (List.map
+       (fun q ->
+         ( q,
+           Option.map (fun (d : Sim.Runner.deployed) -> d.Sim.Runner.cost)
+             (run q) ))
+       points)
+
+let fig2 ?csv_dir ~quick ~scale ~seed workload =
+  let cs = CS.make ~seed ~scale workload in
+  let points = qos_sweep quick in
+  let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  let sim_spec q = CS.qos_spec cs ~fraction:q ~for_bounds:false () in
+  let chosen_cls, chosen_label, run_chosen =
+    match workload with
+    | CS.Web ->
+      ( Mcperf.Classes.storage_constrained,
+        "Greedy global heuristic",
+        fun q -> Sim.Runner.greedy_global ~spec:(sim_spec q) () )
+    | CS.Group ->
+      ( Mcperf.Classes.replica_constrained_uniform,
+        "Replica constrained heuristic",
+        fun q -> Sim.Runner.greedy_replica ~spec:(sim_spec q) () )
+  in
+  Logs.app (fun f -> f "fig2 %s: class bound ..." (CS.workload_name workload));
+  let bound_series =
+    sweep_series
+      ~label:
+        (match workload with
+        | CS.Web -> "Storage constrained bound"
+        | CS.Group -> "Replica constrained bound")
+      bound_spec points chosen_cls
+  in
+  Logs.app (fun f -> f "fig2 %s: %s ..." (CS.workload_name workload) chosen_label);
+  let chosen_series = deployed_series ~label:chosen_label points run_chosen in
+  Logs.app (fun f -> f "fig2 %s: LRU caching ..." (CS.workload_name workload));
+  let lru_series =
+    deployed_series ~label:"LRU caching" points (fun q ->
+        Sim.Runner.lru_caching ~spec:(sim_spec q) ~trace:cs.CS.trace ())
+  in
+  let series = [ bound_series; chosen_series; lru_series ] in
+  Report.print_figure
+    ~title:
+      (Printf.sprintf
+         "Figure 2 (%s): deployed heuristic cost vs its class bound"
+         (CS.workload_name workload))
+    ~xlabel:"QoS" series;
+  (* The introduction's headline claim: cost ratio of the default heuristic
+     (LRU) to the methodology's choice, at the goals both can meet. *)
+  let ratios =
+    List.filter_map
+      (fun q ->
+        match (run_chosen q, Sim.Runner.lru_caching ~spec:(sim_spec q) ~trace:cs.CS.trace ()) with
+        | Some c, Some l when c.Sim.Runner.cost > 0. ->
+          Some (q, l.Sim.Runner.cost /. c.Sim.Runner.cost)
+        | _ -> None)
+      points
+  in
+  List.iter
+    (fun (q, ratio) ->
+      Printf.printf "intro-claim %s @ %.5f: LRU costs %.1fx the chosen heuristic\n"
+        (CS.workload_name workload) q ratio)
+    ratios;
+  maybe_write_csv ~csv_dir
+    ~name:("fig2-" ^ String.lowercase_ascii (CS.workload_name workload))
+    series;
+  series
+
+(* --- Figure 3 ----------------------------------------------------------- *)
+
+let fig3_classes =
+  [
+    ( "Reactive bound",
+      Mcperf.Classes.allow_intra_interval_reaction
+        Mcperf.Classes.reactive_general );
+    ("Storage constrained", Mcperf.Classes.storage_constrained);
+    ("Replica constrained", Mcperf.Classes.replica_constrained_uniform);
+    ( "Caching bound",
+      Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
+  ]
+
+let fig3 ?csv_dir ~quick ~scale ~seed ~zeta workload =
+  let cs = CS.make ~seed ~scale workload in
+  let points = qos_sweep quick in
+  (* Phase 1: decide where to deploy nodes. The planning goal must be one
+     the reactive classes can reach at all (heavy-tailed workloads have an
+     irreducible cold-miss floor per site), so plan at the sweep's lowest
+     goal; phase 2 then reports how far up the deployed system can go. *)
+  let phase1_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  match Methodology.plan_deployment ~zeta phase1_spec with
+  | None ->
+    Printf.printf "fig3 %s: no deployment can meet the goal\n"
+      (CS.workload_name workload);
+    []
+  | Some plan ->
+    Report.print_deployment plan;
+    (* Phase 2: bounds with users reassigned to the open nodes and
+       placement restricted to them. *)
+    let placeable = plan.Methodology.placeable in
+    let bound_spec =
+      Methodology.reassign_demand
+        (CS.qos_spec cs ~fraction:0.95 ~for_bounds:true ())
+        plan
+    in
+    let sim_spec q =
+      Methodology.reassign_demand (CS.qos_spec cs ~fraction:q ~for_bounds:false ()) plan
+    in
+    let trace =
+      Workload.Trace.remap_nodes cs.CS.trace
+        ~mapping:plan.Methodology.assignment
+    in
+    let bound_series =
+      List.map
+        (fun (label, cls) ->
+          Logs.app (fun f -> f "fig3 %s: %s ..." (CS.workload_name workload) label);
+          sweep_series ~placeable ~label bound_spec points cls)
+        fig3_classes
+    in
+    let deployed =
+      match workload with
+      | CS.Web ->
+        deployed_series ~label:"Greedy global heuristic" points (fun q ->
+            Sim.Runner.greedy_global ~placeable ~spec:(sim_spec q) ())
+      | CS.Group ->
+        deployed_series ~label:"LRU caching" points (fun q ->
+            Sim.Runner.lru_caching ~placeable ~spec:(sim_spec q) ~trace ())
+    in
+    let series = bound_series @ [ deployed ] in
+    Report.print_figure
+      ~title:
+        (Printf.sprintf
+           "Figure 3 (%s): bounds with only the %d deployed nodes"
+           (CS.workload_name workload)
+           (List.length plan.Methodology.open_nodes))
+      ~xlabel:"QoS" series;
+    maybe_write_csv ~csv_dir
+      ~name:("fig3-" ^ String.lowercase_ascii (CS.workload_name workload))
+      series;
+    series
+
+(* --- Scale (Section 5 runtime discussion) -------------------------------- *)
+
+let scale_experiment ~seed () =
+  Printf.printf
+    "\n=== Solver wall-clock vs instance scale (general bound, WEB, 99%%) ===\n";
+  Printf.printf "%-8s %-10s %-10s %-12s %-12s %-10s\n" "scale" "vars" "rows"
+    "solve(s)" "round(s)" "gap";
+  List.iter
+    (fun scale ->
+      let cs = CS.make ~seed ~scale CS.Web in
+      let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+      let perm = Mcperf.Permission.compute spec Mcperf.Classes.general in
+      let model = Mcperf.Model.build perm in
+      let t0 = Unix.gettimeofday () in
+      let out =
+        Lp.Pdhg.solve ~options:Bounds.Pipeline.default_pdhg_options
+          model.Mcperf.Model.problem
+      in
+      let t1 = Unix.gettimeofday () in
+      let rounded = Rounding.Round.round model ~x:out.Lp.Pdhg.x in
+      let t2 = Unix.gettimeofday () in
+      let gap =
+        match rounded with
+        | Ok r ->
+          let c = r.Rounding.Round.evaluation.Mcperf.Costing.total in
+          Printf.sprintf "%.1f%%"
+            (100. *. (c -. out.Lp.Pdhg.best_bound) /. Float.max c 1e-9)
+        | Error _ -> "-"
+      in
+      Printf.printf "%-8.3f %-10d %-10d %-12.2f %-12.2f %-10s\n%!" scale
+        (Lp.Problem.nvars model.Mcperf.Model.problem)
+        (Lp.Problem.nrows model.Mcperf.Model.problem)
+        (t1 -. t0) (t2 -. t1) gap)
+    [ 0.02; 0.05; 0.1; 0.2 ]
+
+(* --- Selection methodology demo (Section 6.1 narrative) ------------------- *)
+
+let selection ~scale ~seed workload =
+  let cs = CS.make ~seed ~scale workload in
+  let spec = CS.qos_spec cs ~fraction:0.999 ~for_bounds:true () in
+  let sel = Methodology.select spec in
+  Report.print_selection
+    ~title:
+      (Printf.sprintf "Heuristic selection for %s at 99.9%% QoS"
+         (CS.workload_name workload))
+    sel
+
+
+(* --- validate: cross-check every bound producer on small instances -------- *)
+
+let validate ~seed () =
+  Printf.printf
+    "\n=== Cross-validation: IP optimum vs LP bounds vs rounding (8 nodes, 2%% WEB) ===\n";
+  Printf.printf "%-30s %12s %12s %12s %12s\n" "class" "simplex-LP"
+    "pdhg-bound" "lagrangian" "rounded";
+  let cs = CS.make ~seed ~nodes:8 ~scale:0.01 ~intervals:8 CS.Web in
+  let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  List.iter
+    (fun (cls : Mcperf.Classes.t) ->
+      let perm = Mcperf.Permission.compute spec cls in
+      if not (Mcperf.Permission.feasible perm) then
+        Printf.printf "%-30s infeasible at this goal\n" cls.Mcperf.Classes.name
+      else begin
+        let model = Mcperf.Model.build perm in
+        let problem = model.Mcperf.Model.problem in
+        let simplex_lp, x_exact =
+          match Lp.Simplex.solve problem with
+          | Lp.Simplex.Optimal { x; objective } -> (objective, Some x)
+          | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> (nan, None)
+        in
+        let pdhg =
+          (Lp.Pdhg.solve
+             ~options:{ Lp.Pdhg.default_options with max_iters = 10_000; rel_tol = 1e-5 }
+             problem)
+            .Lp.Pdhg.best_bound
+        in
+        let lagr =
+          (Bounds.Lagrangian.bound ~iterations:40 spec cls)
+            .Bounds.Lagrangian.bound
+        in
+        let rounded =
+          match x_exact with
+          | Some x -> (
+            match Rounding.Round.round model ~x with
+            | Ok r -> r.Rounding.Round.evaluation.Mcperf.Costing.total
+            | Error _ -> nan)
+          | None -> nan
+        in
+        Printf.printf "%-30s %12.2f %12.2f %12.2f %12.2f\n%!"
+          cls.Mcperf.Classes.name simplex_lp pdhg lagr rounded
+      end)
+    [
+      Mcperf.Classes.general;
+      Mcperf.Classes.storage_constrained;
+      Mcperf.Classes.replica_constrained;
+      Mcperf.Classes.replica_constrained_uniform;
+      Mcperf.Classes.cooperative_caching;
+    ];
+  (* A second, genuinely tiny instance where the exact IP is tractable:
+     the LP bound must sit below the IP optimum, the rounded cost above. *)
+  Printf.printf
+    "\n=== Tiny instance (5 nodes, 4 intervals): LP <= IP <= rounded ===\n";
+  Printf.printf "%-30s %12s %12s %12s\n" "class" "LP" "IP" "rounded";
+  let cs = CS.make ~seed ~nodes:5 ~scale:0.002 ~intervals:4 CS.Web in
+  let spec = CS.qos_spec cs ~fraction:0.9 ~for_bounds:true () in
+  List.iter
+    (fun (cls : Mcperf.Classes.t) ->
+      let perm = Mcperf.Permission.compute spec cls in
+      if not (Mcperf.Permission.feasible perm) then
+        Printf.printf "%-30s infeasible at this goal\n" cls.Mcperf.Classes.name
+      else begin
+        let model = Mcperf.Model.build perm in
+        let problem = model.Mcperf.Model.problem in
+        match Lp.Simplex.solve problem with
+        | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+          Printf.printf "%-30s LP failed\n" cls.Mcperf.Classes.name
+        | Lp.Simplex.Optimal { x; objective = lp } ->
+          let ip =
+            match Ipsolve.Branch_bound.solve ~max_nodes:20_000 problem with
+            | Ipsolve.Branch_bound.Optimal { objective; _ } -> objective
+            | Ipsolve.Branch_bound.Node_limit _
+            | Ipsolve.Branch_bound.Infeasible ->
+              nan
+          in
+          let rounded =
+            match Rounding.Round.round model ~x with
+            | Ok r -> r.Rounding.Round.evaluation.Mcperf.Costing.total
+            | Error _ -> nan
+          in
+          Printf.printf "%-30s %12.2f %12.2f %12.2f\n%!"
+            cls.Mcperf.Classes.name lp ip rounded
+      end)
+    [ Mcperf.Classes.general; Mcperf.Classes.replica_constrained ]
+
+
+(* --- ablations: the design choices DESIGN.md calls out -------------------- *)
+
+let ablation ~seed () =
+  (* 1. Object aggregation: exact pattern classes vs popularity clusters.
+     GROUP's uniform popularity makes clustering near-lossless and much
+     faster; the table quantifies both claims. *)
+  Printf.printf "\n=== Ablation 1: object aggregation (GROUP, 99%% QoS) ===\n";
+  Printf.printf "%-24s %10s %14s %10s\n" "aggregation" "classes" "general-bound"
+    "time(s)";
+  List.iter
+    (fun (label, bound_classes) ->
+      let cs = CS.make ~seed ~bound_classes CS.Group in
+      let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+      let t0 = Unix.gettimeofday () in
+      let r = Bounds.Pipeline.compute spec Mcperf.Classes.general in
+      Printf.printf "%-24s %10d %14.1f %10.1f\n%!" label
+        cs.CS.bound_demand.Workload.Demand.objects
+        r.Bounds.Pipeline.lower_bound
+        (Unix.gettimeofday () -. t0))
+    [ ("exact patterns", 1000); ("popularity clusters", 24) ];
+  (* 2. PDHG restarts: certified bound after a fixed budget. *)
+  Printf.printf "\n=== Ablation 2: PDHG restart-to-average (WEB SC, 99.9%%, 8k iters) ===\n";
+  let cs = CS.make ~seed CS.Web in
+  let spec = CS.qos_spec cs ~fraction:0.999 ~for_bounds:true () in
+  let perm =
+    Mcperf.Permission.compute spec Mcperf.Classes.storage_constrained
+  in
+  let model = Mcperf.Model.build perm in
+  List.iter
+    (fun (label, restart_every) ->
+      let t0 = Unix.gettimeofday () in
+      let out =
+        Lp.Pdhg.solve
+          ~options:
+            {
+              Lp.Pdhg.default_options with
+              max_iters = 8_000;
+              rel_tol = 1e-7;
+              restart_every;
+            }
+          model.Mcperf.Model.problem
+      in
+      Printf.printf "%-24s bound %12.1f  pinf %9.2e  (%.1fs)\n%!" label
+        out.Lp.Pdhg.best_bound out.Lp.Pdhg.primal_infeasibility
+        (Unix.gettimeofday () -. t0))
+    [ ("no restarts", 0); ("restart every 1000", 1_000) ];
+  (* 3. Replacement policy: same class bound, different deployed costs. *)
+  Printf.printf "\n=== Ablation 3: replacement policy (WEB at 95%% QoS) ===\n";
+  Printf.printf "%-10s %10s %12s %12s\n" "policy" "capacity" "cost" "worst-QoS";
+  let sim_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:false () in
+  List.iter
+    (fun policy ->
+      match
+        Sim.Runner.policy_caching ~policy ~spec:sim_spec ~trace:cs.CS.trace ()
+      with
+      | Some d ->
+        Printf.printf "%-10s %10d %12.0f %12.5f\n%!"
+          (Heuristics.Policy_cache.kind_name policy)
+          d.Sim.Runner.parameter d.Sim.Runner.cost d.Sim.Runner.worst_qos
+      | None ->
+        Printf.printf "%-10s cannot meet the goal\n"
+          (Heuristics.Policy_cache.kind_name policy))
+    [ Heuristics.Policy_cache.Lru; Heuristics.Policy_cache.Fifo;
+      Heuristics.Policy_cache.Lfu ];
+  (* 4. The per-access reactive refinement (Theorem 3) on the caching
+     ceiling. *)
+  Printf.printf
+    "\n=== Ablation 4: per-access reactive refinement (GROUP caching ceiling) ===\n";
+  let csg = CS.make ~seed CS.Group in
+  let specg = CS.qos_spec csg ~fraction:0.999 ~for_bounds:true () in
+  List.iter
+    (fun (label, cls) ->
+      let p = Mcperf.Permission.compute specg cls in
+      let ceiling =
+        Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos p)
+      in
+      Printf.printf "%-34s worst-user ceiling %.5f\n%!" label ceiling)
+    [
+      ("caching, interval-exact (20a)", Mcperf.Classes.caching);
+      ( "caching, per-access (Theorem 3)",
+        Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
+    ]
+
+
+(* --- workload: profile the synthetic case-study traces -------------------- *)
+
+let workload_profiles ~scale ~seed () =
+  List.iter
+    (fun w ->
+      let cs = CS.make ~seed ~scale w in
+      Printf.printf "\n=== Workload profile: %s (scale %.2f) ===\n"
+        (CS.workload_name w) scale;
+      Format.printf "%a@." Workload.Profile.pp
+        (Workload.Profile.of_trace cs.CS.trace))
+    [ CS.Web; CS.Group ]
+
+
+(* --- baselines: Qiu et al.'s placement-strategy comparison ---------------- *)
+
+let baselines ~scale ~seed () =
+  List.iter
+    (fun w ->
+      let cs = CS.make ~seed ~scale w in
+      let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:false () in
+      Printf.printf
+        "\n=== Placement strategies at fixed replication factors (%s, RC class) ===\n"
+        (CS.workload_name w);
+      Printf.printf "(worst-user QoS bought by the same storage budget)\n";
+      Printf.printf "%-10s %12s %12s %12s\n" "replicas" "random" "hotspot"
+        "greedy";
+      List.iter
+        (fun replicas ->
+          let results =
+            Heuristics.Placement_baselines.compare_strategies
+              ~rng:(Util.Prng.create ~seed) ~spec ~replicas ()
+          in
+          (* The uniform replica constraint fixes the storage bill at
+             alpha*I*K*R for every strategy; what distinguishes them is the
+             worst-user QoS the same budget buys. *)
+          let cost st =
+            let _, (e : Mcperf.Costing.evaluation) =
+              List.find (fun (s, _) -> s = st) results
+            in
+            Printf.sprintf "%.5f%s"
+              (Array.fold_left Float.min 1. e.Mcperf.Costing.qos)
+              (if e.Mcperf.Costing.meets_goal then "" else "*")
+          in
+          Printf.printf "%-10d %12s %12s %12s\n%!" replicas
+            (cost Heuristics.Placement_baselines.Random)
+            (cost Heuristics.Placement_baselines.Hotspot)
+            (cost Heuristics.Placement_baselines.Greedy))
+        [ 1; 2; 4; 8 ];
+      Printf.printf "(* = does not meet the 99%% QoS goal at this factor)\n")
+    [ CS.Web; CS.Group ]
+
+(* --- command line ---------------------------------------------------------- *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.App))
+
+let verbose_t =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Chatty solver logging.")
+
+let quick_t =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Use 3 QoS points instead of 5 (faster).")
+
+let scale_t =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ] ~docv:"FACTOR"
+        ~doc:"Workload scale; 1.0 is the paper's full size.")
+
+let seed_t =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let zeta_t =
+  Arg.(
+    value & opt float 10_000.
+    & info [ "zeta" ] ~docv:"COST" ~doc:"Node-opening cost for fig3 phase 1.")
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each figure as CSV into $(docv).")
+
+let workload_t =
+  let wconv =
+    Arg.enum [ ("web", [ CS.Web ]); ("group", [ CS.Group ]);
+               ("both", [ CS.Web; CS.Group ]) ]
+  in
+  Arg.(
+    value & opt wconv [ CS.Web; CS.Group ]
+    & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc:"web, group or both.")
+
+let run_figure f =
+  let run verbose quick scale seed zeta csv_dir workloads =
+    setup_logs verbose;
+    List.iter (fun w -> ignore (f ?csv_dir ~quick ~scale ~seed ~zeta w)) workloads
+  in
+  Term.(
+    const run $ verbose_t $ quick_t $ scale_t $ seed_t $ zeta_t $ csv_t
+    $ workload_t)
+
+let fig1_cmd =
+  Cmd.v (Cmd.info "fig1" ~doc:"Lower bounds per class vs QoS (Figure 1).")
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ w ->
+         fig1 ?csv_dir ~quick ~scale ~seed w))
+
+let fig2_cmd =
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Deployed heuristics vs class bounds (Figure 2).")
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ w ->
+         fig2 ?csv_dir ~quick ~scale ~seed w))
+
+let fig3_cmd =
+  Cmd.v (Cmd.info "fig3" ~doc:"Deployment scenario bounds (Figure 3).")
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta w ->
+         fig3 ?csv_dir ~quick ~scale ~seed ~zeta w))
+
+let select_cmd =
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:"Run the Section 6.1 selection methodology and print the ranking.")
+    (run_figure (fun ?csv_dir:_ ~quick:_ ~scale ~seed ~zeta:_ w ->
+         selection ~scale ~seed w;
+         []))
+
+let baselines_cmd =
+  let run verbose scale seed =
+    setup_logs verbose;
+    baselines ~scale ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Replay Qiu et al.'s placement-strategy comparison (random vs \
+             hotspot vs greedy) inside the MC-PERF cost model.")
+    Term.(const run $ verbose_t $ scale_t $ seed_t)
+
+let workload_cmd =
+  let run verbose scale seed =
+    setup_logs verbose;
+    workload_profiles ~scale ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Profile the synthetic WEB/GROUP traces (popularity, site \
+             shares, working sets, cold-miss floors).")
+    Term.(const run $ verbose_t $ scale_t $ seed_t)
+
+let ablation_cmd =
+  let run verbose seed =
+    setup_logs verbose;
+    ablation ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Quantify the repo's own design choices (aggregation, restarts, \
+             policies, the Theorem-3 refinement).")
+    Term.(const run $ verbose_t $ seed_t)
+
+let validate_cmd =
+  let run verbose seed =
+    setup_logs verbose;
+    validate ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Cross-check all bound producers (simplex, PDHG, Lagrangian, exact \
+          IP, rounding) on a small instance.")
+    Term.(const run $ verbose_t $ seed_t)
+
+let scale_cmd =
+  let run verbose seed =
+    setup_logs verbose;
+    scale_experiment ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "scale" ~doc:"Solver wall-clock vs instance size (Section 5).")
+    Term.(const run $ verbose_t $ seed_t)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (fig1, fig2, fig3, scale).")
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta w ->
+         ignore (fig1 ?csv_dir ~quick ~scale ~seed w);
+         ignore (fig2 ?csv_dir ~quick ~scale ~seed w);
+         ignore (fig3 ?csv_dir ~quick ~scale ~seed ~zeta w);
+         selection ~scale ~seed w;
+         if w = CS.Web then scale_experiment ~seed ();
+         []))
+
+let main =
+  Cmd.group
+    (Cmd.info "experiments" ~version:"1.0"
+       ~doc:
+         "Regenerate the evaluation of 'Choosing Replica Placement \
+          Heuristics for Wide-Area Systems' (ICDCS 2004).")
+    [
+      fig1_cmd; fig2_cmd; fig3_cmd; select_cmd; scale_cmd; validate_cmd;
+      ablation_cmd; workload_cmd; baselines_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

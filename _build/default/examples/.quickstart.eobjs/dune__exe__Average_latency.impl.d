@@ -1,0 +1,1 @@
+examples/average_latency.ml: Bounds Format List Mcperf Printf Rounding Topology Util Workload

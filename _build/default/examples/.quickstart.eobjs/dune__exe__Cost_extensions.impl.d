@@ -1,0 +1,1 @@
+examples/cost_extensions.ml: Bounds Format Mcperf Rounding Topology Util Workload

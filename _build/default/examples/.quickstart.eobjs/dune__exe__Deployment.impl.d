@@ -1,0 +1,1 @@
+examples/deployment.ml: Bounds Format List Mcperf Replica_select Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mcperf Replica_select Sim Topology Util Workload

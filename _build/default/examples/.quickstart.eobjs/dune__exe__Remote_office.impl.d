@@ -1,0 +1,1 @@
+examples/remote_office.ml: Format Printf Replica_select Sim

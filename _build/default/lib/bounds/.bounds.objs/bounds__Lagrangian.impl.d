@@ -1,0 +1,1 @@
+lib/bounds/lagrangian.ml: Array Float Hashtbl List Lp Mcperf Util Workload

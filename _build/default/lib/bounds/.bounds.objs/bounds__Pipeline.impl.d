@@ -1,0 +1,1 @@
+lib/bounds/pipeline.ml: Array Float Format List Logs Lp Mcperf Printf Rounding

@@ -1,0 +1,1 @@
+lib/bounds/pipeline.mli: Format Lp Mcperf Rounding

@@ -1,0 +1,248 @@
+type outcome = {
+  bound : float;
+  iterations : int;
+  lambda : float array;
+  subproblems_exact : int;
+  subproblems_bounded : int;
+}
+
+(* Per-object subproblem, built once and re-costed per lambda:
+
+     min  alpha*w*sum store + beta*w*sum create
+        + (RC per-object: alpha*I*w*R)
+        - sum_cells lambda_(cell node) * rw_cell * covered_cell
+
+   subject to the continuity rows (3)/(20) over the permission masks,
+   covered <= sum of reachable stores, and (optionally) the per-object
+   replica rows. All variables boxed, so both the simplex optimum and any
+   PDHG dual certificate are finite. *)
+type subproblem = {
+  problem : Lp.Problem.t;
+  covered_cells : (int * int * float) array;
+      (* (covered var, cell node, weighted reads) *)
+  size : int;
+}
+
+let build_subproblem (perm : Mcperf.Permission.t) k =
+  let spec = perm.Mcperf.Permission.spec in
+  let cls = perm.Mcperf.Permission.cls in
+  let demand = spec.Mcperf.Spec.demand in
+  let nodes = Mcperf.Spec.node_count spec in
+  let intervals = Mcperf.Spec.interval_count spec in
+  let costs = spec.Mcperf.Spec.costs in
+  let w = demand.Workload.Demand.weight.(k) in
+  (* Mirror Model.build's storage-cost carrier: with a per-object replica
+     constraint the alpha charge moves to the R variable (charging both
+     would over-count and break the bound's validity). *)
+  let alpha_on_store =
+    cls.Mcperf.Classes.replicas <> Mcperf.Classes.Rc_per_object
+  in
+  let b = Lp.Problem.Builder.create () in
+  let store_var = Hashtbl.create 64 in
+  let rc_terms = Array.make intervals [] in
+  for m = 0 to nodes - 1 do
+    let smask = perm.Mcperf.Permission.store_mask.(m).(k) in
+    if smask <> 0 then begin
+      let prev = ref None in
+      for i = 0 to intervals - 1 do
+        if smask land (1 lsl i) <> 0 then begin
+          let sv =
+            Lp.Problem.Builder.add_var b ~lo:0. ~hi:1.
+              ~obj:(if alpha_on_store then costs.Mcperf.Spec.alpha *. w else 0.)
+              ()
+          in
+          Hashtbl.add store_var (m, i) sv;
+          rc_terms.(i) <- (sv, 1.) :: rc_terms.(i);
+          let row = ref [ (sv, 1.) ] in
+          (match !prev with Some pv -> row := (pv, -1.) :: !row | None -> ());
+          if Mcperf.Permission.create_allowed perm ~node:m ~interval:i
+               ~object_id:k
+          then begin
+            let cv =
+              Lp.Problem.Builder.add_var b ~lo:0. ~hi:1.
+                ~obj:(costs.Mcperf.Spec.beta *. w)
+                ()
+            in
+            row := (cv, -1.) :: !row
+          end;
+          Lp.Problem.Builder.add_row b Lp.Problem.Le ~rhs:0. !row;
+          prev := Some sv
+        end
+        else prev := None
+      done
+    end
+  done;
+  (* Covered variables: objective coefficients are rewritten per lambda,
+     so they start at 0. *)
+  let covered = ref [] in
+  Array.iter
+    (fun (c : Workload.Demand.cell) ->
+      if not perm.Mcperf.Permission.origin_covered.(c.node) then begin
+        let covering = ref [] in
+        for m = 0 to nodes - 1 do
+          if perm.Mcperf.Permission.reach.(c.node).(m) then
+            match Hashtbl.find_opt store_var (m, c.interval) with
+            | Some sv -> covering := sv :: !covering
+            | None -> ()
+        done;
+        if !covering <> [] then begin
+          let cv = Lp.Problem.Builder.add_var b ~lo:0. ~hi:1. ~obj:0. () in
+          Lp.Problem.Builder.add_row b Lp.Problem.Le ~rhs:0.
+            ((cv, 1.) :: List.map (fun sv -> (sv, -1.)) !covering);
+          covered := (cv, c.node, c.count *. w) :: !covered
+        end
+      end)
+    demand.Workload.Demand.reads.(k);
+  (* Per-object replica constraint (17a): does not couple objects. *)
+  (match cls.Mcperf.Classes.replicas with
+  | Mcperf.Classes.Rc_per_object ->
+    let has_any = Array.exists (fun terms -> terms <> []) rc_terms in
+    if has_any then begin
+      let rv =
+        Lp.Problem.Builder.add_var b ~lo:0.
+          ~hi:(float_of_int (nodes - 1))
+          ~obj:(costs.Mcperf.Spec.alpha *. float_of_int intervals *. w)
+          ()
+      in
+      Array.iter
+        (fun terms ->
+          if terms <> [] then
+            Lp.Problem.Builder.add_row b Lp.Problem.Le ~rhs:0.
+              ((rv, -1.) :: terms))
+        rc_terms
+    end
+  | Mcperf.Classes.Rc_none | Mcperf.Classes.Rc_uniform -> ());
+  let problem = Lp.Problem.Builder.build b in
+  {
+    problem;
+    covered_cells = Array.of_list !covered;
+    size = Lp.Problem.nvars problem;
+  }
+
+let simplex_size_limit = 200
+
+(* Solve (or validly lower-bound) a subproblem whose covered-variable
+   objective has been set for the current lambda. Returns the bound and
+   the coverage per node achieved by the (approximate) minimizer, for the
+   subgradient. *)
+let solve_sub sub ~coverage_acc ~exact_count ~bounded_count =
+  if Lp.Problem.nvars sub.problem = 0 then 0.
+  else if sub.size <= simplex_size_limit then begin
+    match Lp.Simplex.solve sub.problem with
+    | Lp.Simplex.Optimal { x; objective } ->
+      incr exact_count;
+      Array.iter
+        (fun (cv, n, rw) -> coverage_acc.(n) <- coverage_acc.(n) +. (rw *. x.(cv)))
+        sub.covered_cells;
+      objective
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+      invalid_arg "Lagrangian: subproblem should be feasible and bounded"
+  end
+  else begin
+    incr bounded_count;
+    let out =
+      Lp.Pdhg.solve
+        ~options:
+          { Lp.Pdhg.default_options with max_iters = 1_500; rel_tol = 1e-6 }
+        sub.problem
+    in
+    Array.iter
+      (fun (cv, n, rw) ->
+        coverage_acc.(n) <- coverage_acc.(n) +. (rw *. out.Lp.Pdhg.x.(cv)))
+      sub.covered_cells;
+    out.Lp.Pdhg.best_bound
+  end
+
+(* The builder assigns objective coefficients at construction; rewriting
+   them per lambda mutates the (non-private-to-us) objective array in
+   place, which is safe because we own these problems. *)
+let set_lambda_objective sub lambda =
+  Array.iter
+    (fun (cv, n, rw) ->
+      sub.problem.Lp.Problem.objective.(cv) <- -.(lambda.(n) *. rw))
+    sub.covered_cells
+
+let bound ?(iterations = 60) ?(step_scale = 1.0) spec cls =
+  (match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Qos _ -> ()
+  | Mcperf.Spec.Avg_latency _ ->
+    invalid_arg "Lagrangian.bound: requires a QoS goal");
+  let fraction =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Qos { fraction; _ } -> fraction
+    | Mcperf.Spec.Avg_latency _ -> assert false
+  in
+  let perm = Mcperf.Permission.compute spec cls in
+  let nodes = Mcperf.Spec.node_count spec in
+  let objects = Mcperf.Spec.object_count spec in
+  if not (Mcperf.Permission.feasible perm) then
+    {
+      bound = infinity;
+      iterations = 0;
+      lambda = Array.make nodes 0.;
+      subproblems_exact = 0;
+      subproblems_bounded = 0;
+    }
+  else begin
+    let node_totals = Workload.Demand.node_read_totals spec.Mcperf.Spec.demand in
+    (* Always-covered demand reduces the QoS requirements (same constants
+       as the monolithic model). *)
+    let always = Array.make nodes 0. in
+    Array.iteri
+      (fun k cells ->
+        let w = spec.Mcperf.Spec.demand.Workload.Demand.weight.(k) in
+        Array.iter
+          (fun (c : Workload.Demand.cell) ->
+            if perm.Mcperf.Permission.origin_covered.(c.node) then
+              always.(c.node) <- always.(c.node) +. (c.count *. w))
+          cells)
+      spec.Mcperf.Spec.demand.Workload.Demand.reads;
+    let t_n =
+      Array.init nodes (fun n ->
+          Float.max 0. ((fraction *. node_totals.(n)) -. always.(n)))
+    in
+    let subs = Array.init objects (fun k -> build_subproblem perm k) in
+    let lambda = Array.make nodes 0. in
+    let best_bound = ref 0. in
+    let best_lambda = ref (Array.copy lambda) in
+    let exact_count = ref 0 and bounded_count = ref 0 in
+    let alpha = spec.Mcperf.Spec.costs.Mcperf.Spec.alpha in
+    for t = 0 to iterations - 1 do
+      let coverage = Array.make nodes 0. in
+      let sub_total = ref 0. in
+      Array.iter
+        (fun sub ->
+          set_lambda_objective sub lambda;
+          sub_total :=
+            !sub_total
+            +. solve_sub sub ~coverage_acc:coverage ~exact_count
+                 ~bounded_count)
+        subs;
+      let value = Util.Vecops.dot lambda t_n +. !sub_total in
+      if value > !best_bound then begin
+        best_bound := value;
+        best_lambda := Array.copy lambda
+      end;
+      (* Projected subgradient step on g_n = T_n - coverage_n, normalized
+         to unit infinity-norm so the multiplier scale tracks the unit
+         costs rather than the (much larger) demand counts. *)
+      let g = Array.init nodes (fun n -> t_n.(n) -. coverage.(n)) in
+      let gmax = Util.Vecops.norm_inf g in
+      if gmax > 0. then begin
+        let unit_cost =
+          Float.max (alpha +. spec.Mcperf.Spec.costs.Mcperf.Spec.beta) 1e-6
+        in
+        let step = step_scale *. unit_cost /. float_of_int (1 + t) in
+        for n = 0 to nodes - 1 do
+          lambda.(n) <- Float.max 0. (lambda.(n) +. (step *. g.(n) /. gmax))
+        done
+      end
+    done;
+    {
+      bound = !best_bound;
+      iterations;
+      lambda = !best_lambda;
+      subproblems_exact = !exact_count;
+      subproblems_bounded = !bounded_count;
+    }
+  end

@@ -1,0 +1,51 @@
+(** Lagrangian-decomposition lower bounds for MC-PERF.
+
+    The only constraints of the basic QoS formulation that couple objects
+    are the per-user QoS rows (2). Relaxing them with multipliers
+    [lambda_n >= 0] makes the problem separate into one small subproblem
+    per object:
+
+    {v
+    L(lambda) = sum_n lambda_n * T_n
+              + sum_k min { cost_k(x_k) - sum_n lambda_n * coverage_nk(x_k) }
+    v}
+
+    and weak duality gives [L(lambda) <= LP optimum <= IP optimum] for
+    {e every} non-negative [lambda] — the same always-valid-bound property
+    as {!Lp.Certificate}, obtained by a different route. Each subproblem
+    is solved exactly (dense simplex) when small, or itself lower-bounded
+    by a short PDHG run's dual certificate when large; both compose into a
+    valid overall bound.
+
+    Why this exists alongside the monolithic LP: the subproblems are
+    embarrassingly parallel and have constant size as |K| grows, so this
+    path scales to object counts where even the first-order solver's
+    per-iteration cost hurts (the paper reports 12-hour CPLEX runs at
+    K = 1000). It also cross-checks the PDHG bounds in the test suite.
+
+    Class support: knowledge/history/reactivity/routing properties are
+    honored exactly (they live in the per-object permission masks); the
+    per-object replica constraint (17a) is honored exactly; the uniform
+    replica constraint and the storage constraints couple objects and are
+    dropped, which keeps the bound valid for the class (dropping
+    constraints can only lower a minimum) but makes it no tighter than the
+    corresponding unconstrained-storage bound. *)
+
+type outcome = {
+  bound : float;  (** best certified lower bound over all iterations *)
+  iterations : int;
+  lambda : float array;  (** multipliers achieving [bound] *)
+  subproblems_exact : int;  (** per-object solves done by simplex *)
+  subproblems_bounded : int;  (** per-object solves bounded by PDHG *)
+}
+
+val bound :
+  ?iterations:int ->
+  ?step_scale:float ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  outcome
+(** Projected subgradient ascent on the QoS multipliers ([iterations]
+    default 60, [step_scale] default 1.0 — the step at round t is
+    [step_scale * alpha / (1 + t)]). Requires a QoS goal. Infeasible
+    classes (by the {!Mcperf.Permission} oracle) yield [infinity]. *)

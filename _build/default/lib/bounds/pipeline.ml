@@ -1,0 +1,256 @@
+type solver =
+  | Auto
+  | Exact_simplex
+  | First_order of Lp.Pdhg.options
+
+type t = {
+  class_name : string;
+  feasible : bool;
+  lower_bound : float;
+  rounded : Rounding.Round.result option;
+  gap : float option;
+  exact : bool;
+  lp_iterations : int;
+  vars : int;
+  rows : int;
+  max_feasible_qos : float;
+}
+
+let src = Logs.Src.create "bounds" ~doc:"lower-bound pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let default_pdhg_options =
+  { Lp.Pdhg.default_options with max_iters = 40_000; rel_tol = 1e-4 }
+
+let simplex_size_limit = 260
+
+let infeasible_result cls worst_qos =
+  {
+    class_name = cls.Mcperf.Classes.name;
+    feasible = false;
+    lower_bound = infinity;
+    rounded = None;
+    gap = None;
+    exact = true;
+    lp_iterations = 0;
+    vars = 0;
+    rows = 0;
+    max_feasible_qos = worst_qos;
+  }
+
+let compute ?(solver = Auto) ?placeable spec cls =
+  let perm = Mcperf.Permission.compute ?placeable spec cls in
+  let worst_qos =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Qos _ ->
+      Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos perm)
+    | Mcperf.Spec.Avg_latency _ -> 1.
+  in
+  if not (Mcperf.Permission.feasible perm) then
+    infeasible_result cls worst_qos
+  else begin
+    let model = Mcperf.Model.build perm in
+    let problem = model.Mcperf.Model.problem in
+    let offset = model.Mcperf.Model.objective_offset in
+    let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
+    Log.info (fun f ->
+        f "class %s: %a" cls.Mcperf.Classes.name Mcperf.Model.pp_stats model);
+    let use_simplex =
+      match solver with
+      | Exact_simplex -> true
+      | First_order _ -> false
+      | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
+    in
+    let lp_result =
+      if use_simplex then
+        match Lp.Simplex.solve problem with
+        | Lp.Simplex.Optimal { x; objective } -> Some (x, objective, true, 0)
+        | Lp.Simplex.Infeasible -> None
+        | Lp.Simplex.Unbounded ->
+          invalid_arg "Bounds.compute: unbounded MC-PERF relaxation"
+      else begin
+        let options =
+          match solver with
+          | First_order o -> o
+          | Auto | Exact_simplex -> default_pdhg_options
+        in
+        let out = Lp.Pdhg.solve ~options problem in
+        Some
+          ( out.Lp.Pdhg.x,
+            out.Lp.Pdhg.best_bound,
+            false,
+            out.Lp.Pdhg.iterations )
+      end
+    in
+    match lp_result with
+    | None ->
+      (* The LP disagreed with the coverage oracle: conservative report. *)
+      infeasible_result cls worst_qos
+    | Some (x, bound, exact, iterations) ->
+      let lower_bound = bound +. offset in
+      let round =
+        match spec.Mcperf.Spec.goal with
+        | Mcperf.Spec.Qos _ -> Rounding.Round.round
+        | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
+      in
+      let rounded =
+        match round model ~x with
+        | Ok r -> Some r
+        | Error msg ->
+          Log.warn (fun f ->
+              f "rounding failed for class %s: %s" cls.Mcperf.Classes.name msg);
+          None
+      in
+      let gap =
+        match rounded with
+        | Some r when r.Rounding.Round.evaluation.Mcperf.Costing.total > 0. ->
+          Some
+            ((r.Rounding.Round.evaluation.Mcperf.Costing.total -. lower_bound)
+            /. r.Rounding.Round.evaluation.Mcperf.Costing.total)
+        | Some _ | None -> None
+      in
+      {
+        class_name = cls.Mcperf.Classes.name;
+        feasible = true;
+        lower_bound;
+        rounded;
+        gap;
+        exact;
+        lp_iterations = iterations;
+        vars;
+        rows;
+        max_feasible_qos = worst_qos;
+      }
+  end
+
+let compare_classes ?solver ?placeable spec classes =
+  List.map (fun cls -> compute ?solver ?placeable spec cls) classes
+
+let best_class results =
+  List.fold_left
+    (fun acc r ->
+      if not r.feasible then acc
+      else
+        match acc with
+        | Some best when best.lower_bound <= r.lower_bound -> acc
+        | Some _ | None -> Some r)
+    None results
+
+let pp ppf t =
+  if not t.feasible then
+    Format.fprintf ppf "%-32s infeasible (max QoS %.5f)" t.class_name
+      t.max_feasible_qos
+  else
+    Format.fprintf ppf "%-32s bound %10.1f%s%s" t.class_name t.lower_bound
+      (match t.rounded with
+      | Some r ->
+        Printf.sprintf "  rounded %10.1f"
+          r.Rounding.Round.evaluation.Mcperf.Costing.total
+      | None -> "")
+      (match t.gap with
+      | Some g -> Printf.sprintf "  gap %5.1f%%" (100. *. g)
+      | None -> "")
+
+let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
+  let tlat_ms =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
+    | Mcperf.Spec.Avg_latency _ ->
+      invalid_arg "Pipeline.sweep_qos: requires a QoS goal"
+  in
+  let warm = ref None in
+  List.map
+    (fun fraction ->
+      let spec =
+        {
+          spec with
+          Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction };
+        }
+      in
+      let perm = Mcperf.Permission.compute ?placeable spec cls in
+      let worst_qos =
+        Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos perm)
+      in
+      if not (Mcperf.Permission.feasible perm) then
+        (fraction, infeasible_result cls worst_qos)
+      else begin
+        let model = Mcperf.Model.build perm in
+        let problem = model.Mcperf.Model.problem in
+        let offset = model.Mcperf.Model.objective_offset in
+        let vars = Lp.Problem.nvars problem
+        and rows = Lp.Problem.nrows problem in
+        let use_simplex =
+          match solver with
+          | Exact_simplex -> true
+          | First_order _ -> false
+          | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
+        in
+        let lp_result =
+          if use_simplex then
+            match Lp.Simplex.solve problem with
+            | Lp.Simplex.Optimal { x; objective } ->
+              Some (x, objective, true, 0)
+            | Lp.Simplex.Infeasible -> None
+            | Lp.Simplex.Unbounded ->
+              invalid_arg "Pipeline.sweep_qos: unbounded relaxation"
+          else begin
+            let options =
+              match solver with
+              | First_order o -> o
+              | Auto | Exact_simplex -> default_pdhg_options
+            in
+            let x0, y0 =
+              match !warm with
+              | Some (x0, y0)
+                when Array.length x0 = vars && Array.length y0 = rows ->
+                (Some x0, Some y0)
+              | Some _ | None -> (None, None)
+            in
+            let out = Lp.Pdhg.solve ~options ?x0 ?y0 problem in
+            warm := Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
+            Some
+              ( out.Lp.Pdhg.x,
+                out.Lp.Pdhg.best_bound,
+                false,
+                out.Lp.Pdhg.iterations )
+          end
+        in
+        match lp_result with
+        | None -> (fraction, infeasible_result cls worst_qos)
+        | Some (x, bound, exact, iterations) ->
+          let lower_bound = bound +. offset in
+          let rounded =
+            match Rounding.Round.round model ~x with
+            | Ok r -> Some r
+            | Error msg ->
+              Log.warn (fun f ->
+                  f "rounding failed for class %s at %.5f: %s"
+                    cls.Mcperf.Classes.name fraction msg);
+              None
+          in
+          let gap =
+            match rounded with
+            | Some r
+              when r.Rounding.Round.evaluation.Mcperf.Costing.total > 0. ->
+              Some
+                ((r.Rounding.Round.evaluation.Mcperf.Costing.total
+                 -. lower_bound)
+                /. r.Rounding.Round.evaluation.Mcperf.Costing.total)
+            | Some _ | None -> None
+          in
+          ( fraction,
+            {
+              class_name = cls.Mcperf.Classes.name;
+              feasible = true;
+              lower_bound;
+              rounded;
+              gap;
+              exact;
+              lp_iterations = iterations;
+              vars;
+              rows;
+              max_feasible_qos = worst_qos;
+            } )
+      end)
+    fractions

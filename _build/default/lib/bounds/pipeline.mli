@@ -1,0 +1,85 @@
+(** The lower-bound pipeline of the paper's methodology (Sections 5–6.1).
+
+    For a given spec and heuristic class:
+
+    + run the {!Mcperf.Permission} feasibility oracle — if the class cannot
+      reach the goal at all (e.g. caching above its cold-miss ceiling), no
+      LP is solved and the class is reported infeasible;
+    + build the MC-PERF LP relaxation ({!Mcperf.Model});
+    + solve it — exactly with the dense simplex for small models, or with
+      PDHG + the always-valid dual certificate for large ones;
+    + round the fractional solution to a feasible integral placement
+      ({!Rounding.Round}), whose cost bounds the lower bound's tightness
+      from above.
+
+    The designer then compares classes on [lower_bound] (Figure 1) and
+    checks deployed heuristics against them (Figure 2). *)
+
+type solver =
+  | Auto
+      (** dense simplex when the model is small enough, PDHG otherwise *)
+  | Exact_simplex
+  | First_order of Lp.Pdhg.options
+
+type t = {
+  class_name : string;
+  feasible : bool;
+      (** the class can meet the goal; when false all other fields are
+          zero/None and [lower_bound] is [infinity] *)
+  lower_bound : float;
+      (** certified lower bound on any heuristic of the class (exact LP
+          optimum under [Exact_simplex]) *)
+  rounded : Rounding.Round.result option;
+      (** feasible integral solution from the rounding algorithm *)
+  gap : float option;
+      (** (rounded cost - lower bound) / rounded cost, when both exist *)
+  exact : bool;  (** lower bound is an exact LP optimum *)
+  lp_iterations : int;  (** 0 for simplex *)
+  vars : int;
+  rows : int;
+  max_feasible_qos : float;
+      (** worst per-user achievable QoS for this class (1.0 if no QoS
+          goal) *)
+}
+
+val default_pdhg_options : Lp.Pdhg.options
+(** PDHG options tuned for MC-PERF instances (more iterations, looser
+    relative tolerance than the library default). *)
+
+val compute :
+  ?solver:solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  t
+(** Raises [Invalid_argument] only on malformed inputs; class infeasibility
+    and solver truncation are reported in the result. [placeable]
+    restricts replica-hosting nodes (Section 6.2 phase two). *)
+
+val compare_classes :
+  ?solver:solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t list ->
+  t list
+(** {!compute} for each class, in the given order. *)
+
+val best_class : t list -> t option
+(** The feasible class with the smallest lower bound (the methodology's
+    recommendation when its bound is close to the general bound). *)
+
+val pp : Format.formatter -> t -> unit
+
+val sweep_qos :
+  ?solver:solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  float list ->
+  Mcperf.Classes.t ->
+  (float * t) list
+(** Compute the class's bound at each QoS fraction (the spec's goal
+    supplies the latency threshold; its fraction is replaced per point).
+    Sweep the fractions in ascending order: the first-order solver warm
+    starts each point from the previous solution, which typically cuts
+    iteration counts by an order of magnitude. Requires a QoS-goal
+    spec. *)

@@ -1,0 +1,1 @@
+lib/core/case_study.ml: Float Mcperf Topology Util Workload

@@ -1,0 +1,1 @@
+lib/core/case_study.mli: Mcperf Topology Workload

@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Array Bounds Float List Lp Mcperf Topology Workload

@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Bounds Mcperf

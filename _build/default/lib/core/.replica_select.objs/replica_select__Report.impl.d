@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Bounds Buffer Float List Methodology Printf String

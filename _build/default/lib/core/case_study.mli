@@ -1,0 +1,56 @@
+(** The paper's case study: a corporate remote-office file service.
+
+    Twenty sites on an AS-level-like topology (100–200 ms hops), one of
+    which (the best-connected) is the headquarters data center storing all
+    files. Two one-day workloads over a shared object set: WEB
+    (WorldCup98-like Zipf) and GROUP (uniformly popular collaborative
+    files). See {!Workload.Synthesize} for the workload marginals and
+    DESIGN.md for the substitutions relative to the paper's proprietary
+    data.
+
+    A scenario carries both the event-level trace (driving deployed cache
+    heuristics) and two interval-bucketed demands: the raw one (driving
+    the greedy heuristics) and an aggregated one (driving the LP lower
+    bounds, where the object dimension costs |N|·|I|·|K| in model size). *)
+
+type workload = Web | Group
+
+val workload_name : workload -> string
+
+type t = {
+  system : Topology.System.t;
+  workload : workload;
+  trace : Workload.Trace.t;
+  demand : Workload.Demand.t;  (** full-resolution interval demand *)
+  bound_demand : Workload.Demand.t;  (** aggregated for LP bounds *)
+}
+
+val make :
+  ?seed:int ->
+  ?nodes:int ->
+  ?intervals:int ->
+  ?scale:float ->
+  ?bound_classes:int ->
+  workload ->
+  t
+(** [make w] builds the case study for workload [w].
+
+    - [seed] (default 2004) drives topology and workload synthesis;
+    - [nodes] (default 20) and [intervals] (default 24, i.e. hourly
+      evaluation intervals over one day) set the system size;
+    - [scale] (default 0.1) scales request counts — 1.0 is the paper's
+      full size (16M requests for GROUP; expect long runs). WEB object
+      counts scale by [2.5 * scale] to preserve the heavy tail;
+    - [bound_classes] caps the object classes used for the lower-bound
+      models. Defaults per workload: WEB keeps exact pattern aggregation
+      (valid bounds), GROUP clusters to a handful of popularity buckets
+      ({!Workload.Aggregate.by_popularity}), which is near-lossless for
+      its uniform popularity and much faster. *)
+
+val qos_spec : t -> ?tlat_ms:float -> fraction:float -> for_bounds:bool -> unit
+  -> Mcperf.Spec.t
+(** A QoS-goal spec over the scenario ([tlat_ms] defaults to the paper's
+    150 ms). [for_bounds] selects the aggregated demand. *)
+
+val qos_points : float list
+(** The QoS sweep of Figures 1–3: 0.95, 0.99, 0.999, 0.9999, 0.99999. *)

@@ -1,0 +1,111 @@
+type point = { x : float; cost : float option }
+
+type series = { label : string; points : point list }
+
+let series_of ~label points =
+  { label; points = List.map (fun (x, cost) -> { x; cost }) points }
+
+let xs_of series =
+  let xs =
+    List.concat_map (fun s -> List.map (fun p -> p.x) s.points) series
+  in
+  List.sort_uniq compare xs
+
+let cost_at s x =
+  List.find_map
+    (fun p -> if Float.abs (p.x -. x) < 1e-12 then Some p.cost else None)
+    s.points
+
+let format_cost = function
+  | Some (Some c) ->
+    if Float.abs c >= 10_000. then Printf.sprintf "%.3gk" (c /. 1000.)
+    else Printf.sprintf "%.4g" c
+  | Some None -> "-"
+  | None -> ""
+
+let print_figure ?(oc = stdout) ~title ~xlabel series =
+  let xs = xs_of series in
+  Printf.fprintf oc "\n=== %s ===\n" title;
+  let col_width =
+    List.fold_left (fun acc s -> max acc (String.length s.label)) 12 series + 2
+  in
+  let pad s = Printf.sprintf "%-*s" col_width s in
+  Printf.fprintf oc "%-12s" xlabel;
+  List.iter (fun s -> output_string oc (pad s.label)) series;
+  output_char oc '\n';
+  List.iter
+    (fun x ->
+      Printf.fprintf oc "%-12.5g" x;
+      List.iter
+        (fun s -> output_string oc (pad (format_cost (cost_at s x))))
+        series;
+      output_char oc '\n')
+    xs;
+  flush oc
+
+let print_selection ?(oc = stdout) ~title (sel : Methodology.selection) =
+  Printf.fprintf oc "\n=== %s ===\n" title;
+  Printf.fprintf oc "general lower bound: %.1f\n" sel.Methodology.general_bound;
+  List.iter
+    (fun (r : Methodology.ranked) ->
+      let b = r.Methodology.result in
+      if b.Bounds.Pipeline.feasible then
+        Printf.fprintf oc "  %-34s bound %12.1f%s%s\n"
+          b.Bounds.Pipeline.class_name b.Bounds.Pipeline.lower_bound
+          (match b.Bounds.Pipeline.gap with
+          | Some g -> Printf.sprintf "  (rounding gap %4.1f%%)" (100. *. g)
+          | None -> "")
+          (match r.Methodology.deployable with
+          | Some h -> Printf.sprintf "  -> deploy %s" h
+          | None -> "")
+      else
+        Printf.fprintf oc "  %-34s infeasible (max QoS %.5f)\n"
+          b.Bounds.Pipeline.class_name b.Bounds.Pipeline.max_feasible_qos)
+    sel.Methodology.ranking;
+  (match sel.Methodology.chosen with
+  | Some c ->
+    Printf.fprintf oc "chosen class: %s%s\n"
+      c.Methodology.result.Bounds.Pipeline.class_name
+      (if sel.Methodology.near_general then
+         " (close to the general bound: no class can do much better)"
+       else " (note: far from the general bound; consider other classes)")
+  | None -> Printf.fprintf oc "no feasible class\n");
+  flush oc
+
+let print_deployment ?(oc = stdout) (d : Methodology.deployment) =
+  Printf.fprintf oc "\n=== deployment plan ===\n";
+  Printf.fprintf oc "open nodes (%d): %s\n"
+    (List.length d.Methodology.open_nodes)
+    (String.concat ", " (List.map string_of_int d.Methodology.open_nodes));
+  Printf.fprintf oc "phase-1 bound (incl. opening costs): %.1f\n"
+    d.Methodology.phase1_bound;
+  Printf.fprintf oc "site assignment: %s\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.mapi (fun n a -> Printf.sprintf "%d->%d" n a)
+             d.Methodology.assignment)));
+  flush oc
+
+let csv_of_figure series =
+  let xs = xs_of series in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "qos";
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.label)
+    series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%.6g" x);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          match cost_at s x with
+          | Some (Some c) -> Buffer.add_string buf (Printf.sprintf "%.6g" c)
+          | Some None | None -> Buffer.add_string buf "")
+        series;
+      Buffer.add_char buf '\n')
+    xs;
+  Buffer.contents buf

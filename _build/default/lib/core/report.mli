@@ -1,0 +1,26 @@
+(** Plain-text rendering of experiment series and methodology output.
+
+    The experiment binaries print the same rows/series as the paper's
+    figures; a series maps the QoS sweep to costs, with [None] marking
+    goals the class cannot meet (e.g. local caching above its cold-miss
+    ceiling on WEB). *)
+
+type point = { x : float; cost : float option }
+
+type series = { label : string; points : point list }
+
+val series_of : label:string -> (float * float option) list -> series
+
+val print_figure :
+  ?oc:out_channel -> title:string -> xlabel:string -> series list -> unit
+(** Aligned-column table: one row per x value, one column per series;
+    infeasible points print as ["-"]. *)
+
+val print_selection :
+  ?oc:out_channel -> title:string -> Methodology.selection -> unit
+(** The ranked class table of the selection methodology. *)
+
+val print_deployment : ?oc:out_channel -> Methodology.deployment -> unit
+
+val csv_of_figure : series list -> string
+(** Machine-readable dump (one line per x value). *)

@@ -1,0 +1,1 @@
+lib/heuristics/event_cache.ml: Array Hashtbl List Mcperf Option Policy_cache Topology Workload

@@ -1,0 +1,1 @@
+lib/heuristics/event_cache.mli: Mcperf Policy_cache Topology Workload

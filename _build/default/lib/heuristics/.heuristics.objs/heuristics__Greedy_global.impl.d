@@ -1,0 +1,1 @@
+lib/heuristics/greedy_global.ml: Array Float List Mcperf Topology Util Workload

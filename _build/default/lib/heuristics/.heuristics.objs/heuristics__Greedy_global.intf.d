@@ -1,0 +1,1 @@
+lib/heuristics/greedy_global.mli: Mcperf

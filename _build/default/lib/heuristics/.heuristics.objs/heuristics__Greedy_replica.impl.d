@@ -1,0 +1,1 @@
+lib/heuristics/greedy_replica.ml: Array Mcperf Topology Workload

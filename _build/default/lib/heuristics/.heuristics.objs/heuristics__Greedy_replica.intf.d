@@ -1,0 +1,1 @@
+lib/heuristics/greedy_replica.mli: Mcperf

@@ -1,0 +1,1 @@
+lib/heuristics/lru_cache.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/heuristics/placement_baselines.ml: Array Greedy_replica List Mcperf Util Workload

@@ -1,0 +1,1 @@
+lib/heuristics/placement_baselines.mli: Mcperf Util

@@ -1,0 +1,1 @@
+lib/heuristics/policy_cache.ml: Hashtbl Lru_cache

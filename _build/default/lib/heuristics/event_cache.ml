@@ -1,0 +1,293 @@
+type mode =
+  | Local
+  | Cooperative
+  | Hierarchical of { cluster_radius_ms : float }
+
+(* Greedy latency-ball clustering: repeatedly seed a cluster at the
+   unassigned node with the most unassigned neighbours within the radius
+   and absorb them. Deterministic given the latency matrix. *)
+let build_clusters latency ~nodes ~radius =
+  let cluster = Array.make nodes (-1) in
+  let next = ref 0 in
+  let unassigned () =
+    let best = ref (-1) and best_count = ref (-1) in
+    for n = 0 to nodes - 1 do
+      if cluster.(n) < 0 then begin
+        let count = ref 0 in
+        for m = 0 to nodes - 1 do
+          if cluster.(m) < 0 && latency.(n).(m) <= radius then incr count
+        done;
+        if !count > !best_count then begin
+          best := n;
+          best_count := !count
+        end
+      end
+    done;
+    !best
+  in
+  let rec loop () =
+    let seed = unassigned () in
+    if seed >= 0 then begin
+      for m = 0 to nodes - 1 do
+        if cluster.(m) < 0 && latency.(seed).(m) <= radius then
+          cluster.(m) <- !next
+      done;
+      incr next;
+      loop ()
+    end
+  in
+  loop ();
+  cluster
+
+type write_policy = Update | Invalidate
+
+type outcome = {
+  capacity : int;
+  hits_local : int;
+  hits_remote : int;
+  misses : int;
+  insertions : int;
+  qos : float array;
+  avg_latency : float array;
+  provisioned_cost : float;
+  occupancy_cost : float;
+  write_messages : float;
+}
+
+let meets_qos outcome ~fraction =
+  Array.for_all (fun q -> q >= fraction -. 1e-9) outcome.qos
+
+let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
+    ?(prefetch = false) ?placeable ?(policy = Policy_cache.Lru)
+    ?(write_policy = Update) () =
+  let nodes = Topology.System.node_count system in
+  if nodes > 62 then
+    invalid_arg "Event_cache.simulate: at most 62 nodes supported";
+  if capacity < 0 then invalid_arg "Event_cache.simulate: negative capacity";
+  if intervals <= 0 then invalid_arg "Event_cache.simulate: intervals must be positive";
+  let origin = system.Topology.System.origin in
+  let placeable =
+    match placeable with
+    | None -> Array.make nodes true
+    | Some p ->
+      if Array.length p <> nodes then
+        invalid_arg "Event_cache.simulate: placeable length mismatch";
+      p
+  in
+  let latency = system.Topology.System.latency in
+  let objects = Workload.Trace.object_count trace in
+  let caches =
+    Array.init nodes (fun n ->
+        Policy_cache.create policy
+          ~capacity:(if placeable.(n) then capacity else 0))
+  in
+  (* Directory for cooperative lookup: per object, bitmask of caching
+     nodes. *)
+  let holders = Array.make objects 0 in
+  (* Peers sorted by latency, nearest first, self and origin excluded. *)
+  let peer_order =
+    Array.init nodes (fun n ->
+        let others = ref [] in
+        for m = 0 to nodes - 1 do
+          if m <> n && m <> origin && placeable.(m) then others := m :: !others
+        done;
+        let arr = Array.of_list !others in
+        Array.sort (fun a b -> compare latency.(n).(a) latency.(n).(b)) arr;
+        arr)
+  in
+  let clusters =
+    match mode with
+    | Hierarchical { cluster_radius_ms } ->
+      build_clusters latency ~nodes ~radius:cluster_radius_ms
+    | Local | Cooperative -> Array.make nodes 0
+  in
+  let insertions = ref 0 in
+  let hits_local = ref 0 and hits_remote = ref 0 and misses = ref 0 in
+  let covered = Array.make nodes 0 and totals = Array.make nodes 0 in
+  let latency_sum = Array.make nodes 0. in
+  let occupancy = ref 0. in
+  let write_messages = ref 0. in
+  let interval_s = Workload.Trace.duration_s trace /. float_of_int intervals in
+  let cache_insert n k =
+    if n <> origin && placeable.(n) && capacity > 0 then begin
+      if not (Policy_cache.mem caches.(n) k) then begin
+        incr insertions;
+        (match Policy_cache.insert caches.(n) k with
+        | Some evicted ->
+          if evicted <> k then
+            holders.(evicted) <- holders.(evicted) land lnot (1 lsl n)
+        | None -> ());
+        if Policy_cache.mem caches.(n) k then
+          holders.(k) <- holders.(k) lor (1 lsl n)
+      end
+      else ignore (Policy_cache.touch caches.(n) k)
+    end
+  in
+  (* Objects each node accesses per interval, for the prefetch oracle. *)
+  let prefetch_plan =
+    if not prefetch then [||]
+    else begin
+      let plan = Array.init nodes (fun _ -> Array.make intervals []) in
+      let counts = Hashtbl.create 1024 in
+      Workload.Trace.iter
+        (fun ~time ~node ~object_id ~kind ->
+          if kind = Workload.Trace.Read then begin
+            let i =
+              min (intervals - 1) (int_of_float (time /. interval_s))
+            in
+            let key = (node, i, object_id) in
+            Hashtbl.replace counts key
+              (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+          end)
+        trace;
+      Hashtbl.iter
+        (fun (n, i, k) c -> plan.(n).(i) <- (c, k) :: plan.(n).(i))
+        counts;
+      Array.iteri
+        (fun n per_interval ->
+          Array.iteri
+            (fun i entries ->
+              plan.(n).(i) <-
+                List.sort (fun (c1, _) (c2, _) -> compare c2 c1) entries)
+            per_interval;
+          ignore n)
+        plan;
+      plan
+    end
+  in
+  let run_prefetch i =
+    for n = 0 to nodes - 1 do
+      if n <> origin && placeable.(n) then begin
+        let budget = ref capacity in
+        List.iter
+          (fun (_, k) ->
+            if !budget > 0 then begin
+              cache_insert n k;
+              decr budget
+            end)
+          prefetch_plan.(n).(i)
+      end
+    done
+  in
+  let current_interval = ref (-1) in
+  let enter_interval i =
+    while !current_interval < i do
+      (* Occupancy is sampled at the end of each elapsed interval. *)
+      if !current_interval >= 0 then
+        for n = 0 to nodes - 1 do
+          if n <> origin then
+            occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n))
+        done;
+      incr current_interval;
+      if prefetch && !current_interval < intervals then
+        run_prefetch !current_interval
+    done
+  in
+  enter_interval 0;
+  Workload.Trace.iter
+    (fun ~time ~node:n ~object_id:k ~kind ->
+      let i = min (intervals - 1) (int_of_float (time /. interval_s)) in
+      enter_interval i;
+      match kind with
+      | Workload.Trace.Write ->
+        (* Writes reach every cached copy: either refreshing it in place
+           (update) or dropping it (invalidate). Either way one message
+           per copy is accounted when delta is charged. *)
+        let copies = ref 0 in
+        for m = 0 to nodes - 1 do
+          if holders.(k) land (1 lsl m) <> 0 then begin
+            incr copies;
+            match write_policy with
+            | Invalidate ->
+              ignore (Policy_cache.remove caches.(m) k);
+              holders.(k) <- holders.(k) land lnot (1 lsl m)
+            | Update -> ()
+          end
+        done;
+        write_messages := !write_messages +. float_of_int !copies
+      | Workload.Trace.Read ->
+        totals.(n) <- totals.(n) + 1;
+        let lat =
+          if n = origin then 0.
+          else if Policy_cache.touch caches.(n) k then begin
+            incr hits_local;
+            0.
+          end
+          else begin
+            let from_peer =
+              match mode with
+              | Local -> None
+              | Cooperative | Hierarchical _ ->
+                Array.fold_left
+                  (fun acc m ->
+                    match acc with
+                    | Some _ -> acc
+                    | None ->
+                      if holders.(k) land (1 lsl m) <> 0 then Some m else None)
+                  None peer_order.(n)
+            in
+            (match from_peer with
+            | Some m when latency.(n).(m) < latency.(n).(origin) ->
+              incr hits_remote;
+              (* Hierarchical mode: a copy inside the cluster serves the
+                 whole cluster; do not duplicate it locally. *)
+              let same_cluster =
+                match mode with
+                | Hierarchical _ -> clusters.(n) = clusters.(m)
+                | Local | Cooperative -> false
+              in
+              if same_cluster then ignore (Policy_cache.touch caches.(m) k)
+              else cache_insert n k;
+              latency.(n).(m)
+            | Some _ | None ->
+              incr misses;
+              cache_insert n k;
+              latency.(n).(origin))
+          end
+        in
+        latency_sum.(n) <- latency_sum.(n) +. lat;
+        if lat <= tlat_ms then covered.(n) <- covered.(n) + 1)
+    trace;
+  enter_interval (intervals - 1);
+  (* Final interval's occupancy sample. *)
+  for n = 0 to nodes - 1 do
+    if n <> origin then
+      occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n))
+  done;
+  let qos =
+    Array.init nodes (fun n ->
+        if totals.(n) = 0 then 1.
+        else float_of_int covered.(n) /. float_of_int totals.(n))
+  in
+  let avg_latency =
+    Array.init nodes (fun n ->
+        if totals.(n) = 0 then 0.
+        else latency_sum.(n) /. float_of_int totals.(n))
+  in
+  let sites =
+    let acc = ref 0 in
+    for n = 0 to nodes - 1 do
+      if n <> origin && placeable.(n) then incr acc
+    done;
+    float_of_int !acc
+  in
+  let creation_cost =
+    costs.Mcperf.Spec.beta *. float_of_int !insertions
+  in
+  let write_cost = costs.Mcperf.Spec.delta *. !write_messages in
+  {
+    capacity;
+    hits_local = !hits_local;
+    hits_remote = !hits_remote;
+    misses = !misses;
+    insertions = !insertions;
+    qos;
+    avg_latency;
+    provisioned_cost =
+      (costs.Mcperf.Spec.alpha *. float_of_int capacity *. sites
+      *. float_of_int intervals)
+      +. creation_cost +. write_cost;
+    occupancy_cost =
+      (costs.Mcperf.Spec.alpha *. !occupancy) +. creation_cost +. write_cost;
+    write_messages = !write_messages;
+  }

@@ -1,0 +1,70 @@
+type strategy = Random | Hotspot | Greedy
+
+let strategy_name = function
+  | Random -> "random"
+  | Hotspot -> "hotspot"
+  | Greedy -> "greedy"
+
+let place ?rng ~(perm : Mcperf.Permission.t) ~strategy ~replicas () =
+  if replicas < 0 then
+    invalid_arg "Placement_baselines.place: negative replicas";
+  match strategy with
+  | Greedy -> Greedy_replica.place ~perm ~replicas ()
+  | Random | Hotspot ->
+    let rng =
+      match rng with Some r -> r | None -> Util.Prng.create ~seed:7
+    in
+    let spec = perm.Mcperf.Permission.spec in
+    let demand = spec.Mcperf.Spec.demand in
+    let nodes = Mcperf.Spec.node_count spec in
+    let intervals = Mcperf.Spec.interval_count spec in
+    let weight = demand.Workload.Demand.weight in
+    let full_mask = Mcperf.Permission.interval_bits intervals in
+    let placement = Mcperf.Costing.empty_placement spec in
+    Array.iteri
+      (fun k kcells ->
+        (* Candidate sites: any node with store support for this object. *)
+        let candidates = ref [] in
+        for m = 0 to nodes - 1 do
+          if perm.Mcperf.Permission.store_mask.(m).(k) <> 0 then
+            candidates := m :: !candidates
+        done;
+        let candidates = Array.of_list !candidates in
+        let chosen =
+          match strategy with
+          | Random ->
+            let pool = Array.copy candidates in
+            Util.Prng.shuffle rng pool;
+            Array.sub pool 0 (min replicas (Array.length pool))
+          | Hotspot ->
+            (* Demand each candidate site itself generates for the
+               object (Qiu's per-site request counts). *)
+            let local_demand = Array.make nodes 0. in
+            Array.iter
+              (fun (c : Workload.Demand.cell) ->
+                local_demand.(c.node) <-
+                  local_demand.(c.node) +. (c.count *. weight.(k)))
+              kcells;
+            let pool = Array.copy candidates in
+            Array.sort
+              (fun a b -> compare local_demand.(b) local_demand.(a))
+              pool;
+            Array.sub pool 0 (min replicas (Array.length pool))
+          | Greedy -> assert false
+        in
+        Array.iter (fun m -> placement.(m).(k) <- full_mask) chosen)
+      demand.Workload.Demand.reads;
+    placement
+
+let evaluate ?rng ?placeable ~spec ~strategy ~replicas () =
+  let perm =
+    Mcperf.Permission.compute ?placeable spec
+      Mcperf.Classes.replica_constrained_uniform
+  in
+  let placement = place ?rng ~perm ~strategy ~replicas () in
+  Mcperf.Costing.evaluate perm placement
+
+let compare_strategies ?rng ~spec ~replicas () =
+  List.map
+    (fun strategy -> (strategy, evaluate ?rng ~spec ~strategy ~replicas ()))
+    [ Random; Hotspot; Greedy ]

@@ -1,0 +1,54 @@
+(** Baseline replica-placement strategies from Qiu, Padmanabhan and
+    Voelker, "On the Placement of Web Server Replicas" (INFOCOM 2001) —
+    the paper behind the replica-constrained class.
+
+    Qiu et al. evaluate greedy placement against simpler baselines; this
+    module provides those baselines so the repository can replay that
+    comparison inside the MC-PERF cost model:
+
+    - [Random]: replica locations drawn uniformly among permitted sites
+      (averaging over placements is the caller's concern; the function is
+      deterministic given the PRNG);
+    - [Hotspot]: replicas at the sites generating the most demand for the
+      object (Qiu's "hot spot" heuristic);
+    - [Greedy]: the cost-driven greedy of {!Greedy_replica} (re-exported
+      for uniform invocation).
+
+    All strategies produce fixed-replication-factor placements held for
+    the whole horizon, i.e. members of the replica-constrained class, so
+    their costs are directly comparable to that class's lower bound. *)
+
+type strategy = Random | Hotspot | Greedy
+
+val strategy_name : strategy -> string
+
+val place :
+  ?rng:Util.Prng.t ->
+  perm:Mcperf.Permission.t ->
+  strategy:strategy ->
+  replicas:int ->
+  unit ->
+  Mcperf.Costing.placement
+(** [place ~perm ~strategy ~replicas ()] picks up to [replicas] sites per
+    object. [rng] is required for [Random] (defaults to a fixed seed).
+    Sites are restricted to those with store support for the object, so
+    every strategy respects the class's permissions. *)
+
+val evaluate :
+  ?rng:Util.Prng.t ->
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  strategy:strategy ->
+  replicas:int ->
+  unit ->
+  Mcperf.Costing.evaluation
+(** Place under the uniform replica-constrained class and evaluate. *)
+
+val compare_strategies :
+  ?rng:Util.Prng.t ->
+  spec:Mcperf.Spec.t ->
+  replicas:int ->
+  unit ->
+  (strategy * Mcperf.Costing.evaluation) list
+(** All three strategies at the same replication factor — the rows of
+    Qiu et al.'s comparison. *)

@@ -1,0 +1,1 @@
+lib/ipsolve/branch_bound.ml: Array Float Logs Lp

@@ -1,0 +1,85 @@
+type result =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Node_limit of { incumbent : (float array * float) option }
+
+let src = Logs.Src.create "ipsolve" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let solve ?(max_nodes = 100_000) ?integer_vars ?(integrality_tol = 1e-6) p =
+  let integer_vars =
+    match integer_vars with
+    | Some vs -> vs
+    | None -> Array.init (Lp.Problem.nvars p) (fun j -> j)
+  in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let better objective =
+    match !incumbent with
+    | None -> true
+    | Some (_, best) -> objective < best -. 1e-9
+  in
+  let most_fractional x =
+    let pick = ref None in
+    Array.iter
+      (fun j ->
+        let frac = Float.abs (x.(j) -. Float.round x.(j)) in
+        if frac > integrality_tol then
+          match !pick with
+          | Some (_, best_frac) when frac <= best_frac -> ()
+          | _ -> pick := Some (j, frac))
+      integer_vars;
+    !pick
+  in
+  let rec explore problem =
+    if !nodes >= max_nodes then truncated := true
+    else begin
+      incr nodes;
+      match Lp.Simplex.solve problem with
+      | Lp.Simplex.Infeasible -> ()
+      | Lp.Simplex.Unbounded ->
+        invalid_arg "Branch_bound.solve: unbounded relaxation"
+      | Lp.Simplex.Optimal { x; objective } ->
+        if better objective then begin
+          match most_fractional x with
+          | None ->
+            Log.debug (fun f ->
+                f "node %d: new incumbent %.6g" !nodes objective);
+            incumbent := Some (Array.copy x, objective)
+          | Some (j, _) ->
+            let v = x.(j) in
+            let lo = problem.Lp.Problem.lower.(j)
+            and hi = problem.Lp.Problem.upper.(j) in
+            let down_hi = Float.floor v and up_lo = Float.ceil v in
+            (* Explore the branch nearest the fractional value first. *)
+            let down () =
+              if down_hi >= lo -. 1e-12 then
+                explore
+                  (Lp.Problem.with_var_bounds problem j ~lo
+                     ~hi:(Float.min hi down_hi))
+            in
+            let up () =
+              if up_lo <= hi +. 1e-12 then
+                explore
+                  (Lp.Problem.with_var_bounds problem j ~lo:(Float.max lo up_lo)
+                     ~hi)
+            in
+            if v -. down_hi <= 0.5 then begin
+              down ();
+              up ()
+            end
+            else begin
+              up ();
+              down ()
+            end
+        end
+    end
+  in
+  explore p;
+  if !truncated then Node_limit { incumbent = !incumbent }
+  else
+    match !incumbent with
+    | Some (x, objective) -> Optimal { x; objective }
+    | None -> Infeasible

@@ -1,0 +1,1 @@
+lib/lp/pdhg.ml: Array Certificate Float Logs Problem Sparse Util

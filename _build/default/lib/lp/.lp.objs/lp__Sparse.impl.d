@@ -1,0 +1,1 @@
+lib/lp/sparse.ml: Array Float Hashtbl List Option

@@ -1,0 +1,37 @@
+let dual_bound_parts (p : Problem.t) ~y =
+  let m = Problem.nrows p in
+  if Array.length y <> m then
+    invalid_arg "Certificate.dual_bound: dual dimension mismatch";
+  let y_feas =
+    Array.mapi
+      (fun i yi ->
+        match p.rows.(i).kind with
+        | Problem.Ge -> Float.max 0. yi
+        | Problem.Eq -> yi
+        | Problem.Le ->
+          invalid_arg "Certificate.dual_bound: problem must be Ge-normalized")
+      y
+  in
+  let r = Array.copy p.objective in
+  Array.iteri
+    (fun i (row : Problem.row) ->
+      let yi = y_feas.(i) in
+      if yi <> 0. then
+        Array.iter (fun (j, v) -> r.(j) <- r.(j) -. (yi *. v)) row.coeffs)
+    p.rows;
+  let bound = ref 0. in
+  Array.iteri (fun i (row : Problem.row) -> bound := !bound +. (y_feas.(i) *. row.rhs)) p.rows;
+  (try
+     for j = 0 to Problem.nvars p - 1 do
+       let lo = p.lower.(j) and hi = p.upper.(j) in
+       let contrib =
+         if r.(j) >= 0. then r.(j) *. lo
+         else if Float.is_finite hi then r.(j) *. hi
+         else raise Exit
+       in
+       bound := !bound +. contrib
+     done
+   with Exit -> bound := neg_infinity);
+  (!bound, r)
+
+let dual_bound p ~y = fst (dual_bound_parts p ~y)

@@ -1,0 +1,30 @@
+(** Certified lower bounds from (possibly non-optimal) dual vectors.
+
+    For the minimization problem in [Ge]/[Eq]-normalized form
+
+        min c.x   s.t.  A x >= b (rows Ge), A x = b (rows Eq),
+                        l <= x <= u,
+
+    weak duality gives, for ANY multiplier vector [y] with [y_i >= 0] on
+    the Ge rows (free on Eq rows):
+
+        opt >= b.y + sum_j min(r_j * l_j, r_j * u_j)
+        where r = c - A^T y.
+
+    This holds regardless of how [y] was produced, so a truncated PDHG run
+    still yields a mathematically valid lower bound — the property the
+    paper's methodology needs from its LP relaxations. The bound degrades
+    gracefully with dual suboptimality. If some variable has [u_j =
+    infinity] and [r_j < 0], the bound is [neg_infinity]; the MC-PERF
+    builder therefore gives every variable a finite upper bound. *)
+
+val dual_bound : Problem.t -> y:float array -> float
+(** [dual_bound p ~y] computes the bound above. The problem must be in
+    normalized form ({!Problem.normalize_ge}); [Le] rows are rejected.
+    Negative entries of [y] on Ge rows are clamped to 0 (which preserves
+    validity), so any real vector is accepted. *)
+
+val dual_bound_parts :
+  Problem.t -> y:float array -> float * float array
+(** Bound together with the reduced-cost vector [r] (useful for tests and
+    diagnostics). *)

@@ -1,0 +1,164 @@
+type options = {
+  max_iters : int;
+  check_every : int;
+  rel_tol : float;
+  restart_every : int;
+  verbose : bool;
+}
+
+let default_options =
+  {
+    max_iters = 20_000;
+    check_every = 50;
+    rel_tol = 1e-6;
+    restart_every = 1_000;
+    verbose = false;
+  }
+
+type outcome = {
+  x : float array;
+  y : float array;
+  best_bound : float;
+  best_y : float array;
+  primal_objective : float;
+  primal_infeasibility : float;
+  iterations : int;
+  converged : bool;
+}
+
+let src = Logs.Src.create "lp.pdhg" ~doc:"first-order LP solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let solve ?(options = default_options) ?x0 ?y0 problem =
+  let p = Problem.normalize_ge problem in
+  let n = Problem.nvars p and m = Problem.nrows p in
+  Array.iteri
+    (fun j l ->
+      if not (Float.is_finite l && Float.is_finite p.upper.(j)) then
+        invalid_arg "Pdhg.solve: all variable bounds must be finite")
+    p.lower;
+  let a = Problem.constraint_matrix p in
+  let b = Problem.rhs_vector p in
+  let c = p.objective in
+  (* Diagonal preconditioners: tau_j = 1 / sum_i |A_ij|, sigma_i =
+     1 / sum_j |A_ij| (alpha = 1), which satisfies the Pock-Chambolle
+     convergence condition. Empty rows/columns get a neutral step. *)
+  let col_sums = Sparse.col_abs_sums a in
+  let row_sums = Sparse.row_abs_sums a in
+  let tau = Array.map (fun s -> if s > 0. then 1. /. s else 1.) col_sums in
+  let sigma = Array.map (fun s -> if s > 0. then 1. /. s else 1.) row_sums in
+  let x =
+    match x0 with
+    | None -> Array.copy p.lower
+    | Some x0 ->
+      if Array.length x0 <> n then invalid_arg "Pdhg.solve: x0 dimension";
+      Array.mapi
+        (fun j v -> Util.Vecops.clamp v ~lo:p.lower.(j) ~hi:p.upper.(j))
+        x0
+  in
+  let y =
+    match y0 with
+    | None -> Array.make m 0.
+    | Some y0 ->
+      if Array.length y0 <> m then invalid_arg "Pdhg.solve: y0 dimension";
+      Array.copy y0
+  in
+  let x_prev = Array.make n 0. in
+  let aty = Array.make n 0. in
+  let ax_bar = Array.make m 0. in
+  let x_bar = Array.make n 0. in
+  (* Running averages for restarts: on LPs, periodically restarting the
+     iteration from the ergodic average empirically upgrades PDHG's O(1/k)
+     rate to fast linear convergence (the key idea behind PDLP). *)
+  let x_sum = Array.make n 0. in
+  let y_sum = Array.make m 0. in
+  let since_restart = ref 0 in
+  let is_eq = Array.map (fun (r : Problem.row) -> r.kind = Problem.Eq) p.rows in
+  let best_bound = ref neg_infinity in
+  let best_y = ref (Array.copy y) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  Sparse.mul_t a y aty;
+  (try
+     for iter = 1 to options.max_iters do
+       iterations := iter;
+       Array.blit x 0 x_prev 0 n;
+       (* Primal step with box projection. *)
+       for j = 0 to n - 1 do
+         let g = c.(j) -. aty.(j) in
+         x.(j) <-
+           Util.Vecops.clamp
+             (x.(j) -. (tau.(j) *. g))
+             ~lo:p.lower.(j) ~hi:p.upper.(j)
+       done;
+       (* Extrapolated point. *)
+       for j = 0 to n - 1 do
+         x_bar.(j) <- (2. *. x.(j)) -. x_prev.(j)
+       done;
+       Sparse.mul a x_bar ax_bar;
+       (* Dual step: ascend on b - A x_bar; project Ge duals to >= 0. *)
+       for i = 0 to m - 1 do
+         let yi = y.(i) +. (sigma.(i) *. (b.(i) -. ax_bar.(i))) in
+         y.(i) <- (if is_eq.(i) then yi else Float.max 0. yi)
+       done;
+       Sparse.mul_t a y aty;
+       Util.Vecops.axpy 1. x x_sum;
+       Util.Vecops.axpy 1. y y_sum;
+       incr since_restart;
+       if options.restart_every > 0 && !since_restart >= options.restart_every
+       then begin
+         let inv = 1. /. float_of_int !since_restart in
+         for j = 0 to n - 1 do
+           x.(j) <- x_sum.(j) *. inv;
+           x_sum.(j) <- 0.
+         done;
+         for i = 0 to m - 1 do
+           let avg = y_sum.(i) *. inv in
+           y.(i) <- (if is_eq.(i) then avg else Float.max 0. avg);
+           y_sum.(i) <- 0.
+         done;
+         since_restart := 0;
+         Sparse.mul_t a y aty
+       end;
+       if iter mod options.check_every = 0 then begin
+         let bound = Certificate.dual_bound p ~y in
+         if bound > !best_bound then begin
+           best_bound := bound;
+           best_y := Array.copy y
+         end;
+         let pobj = Util.Vecops.dot c x in
+         let pinf = Problem.max_violation p x in
+         let scale = 1. +. Float.abs pobj +. Float.abs !best_bound in
+         let gap = Float.abs (pobj -. !best_bound) /. scale in
+         if options.verbose then
+           Log.info (fun f ->
+               f "iter %6d  obj %.6g  bound %.6g  gap %.2e  pinf %.2e" iter
+                 pobj !best_bound gap pinf);
+         if
+           Float.is_finite !best_bound
+           && gap < options.rel_tol
+           && pinf < options.rel_tol *. (1. +. Util.Vecops.norm_inf b)
+         then begin
+           converged := true;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  (* Final checkpoint in case the loop ended between checks. *)
+  let final_bound = Certificate.dual_bound p ~y in
+  if final_bound > !best_bound then begin
+    best_bound := final_bound;
+    best_y := Array.copy y
+  end;
+  {
+    x;
+    y;
+    best_bound = !best_bound;
+    best_y = !best_y;
+    primal_objective = Util.Vecops.dot c x;
+    primal_infeasibility = Problem.max_violation p x;
+    iterations = !iterations;
+    converged = !converged;
+  }

@@ -1,0 +1,179 @@
+type row_kind = Ge | Le | Eq
+
+type row = {
+  kind : row_kind;
+  rhs : float;
+  coeffs : (int * float) array;
+}
+
+type t = {
+  nvars : int;
+  objective : float array;
+  lower : float array;
+  upper : float array;
+  rows : row array;
+  names : string array;
+}
+
+module Builder = struct
+  type buf = {
+    mutable objs : float list;
+    mutable lowers : float list;
+    mutable uppers : float list;
+    mutable buf_names : string list;
+    mutable nvars : int;
+    mutable brows : row list;
+    mutable nrows : int;
+  }
+
+  type t = buf
+
+  let create () =
+    {
+      objs = [];
+      lowers = [];
+      uppers = [];
+      buf_names = [];
+      nvars = 0;
+      brows = [];
+      nrows = 0;
+    }
+
+  let add_var b ?(name = "") ?(lo = 0.) ?(hi = infinity) ~obj () =
+    if lo > hi then invalid_arg "Lp.Builder.add_var: lo > hi";
+    b.objs <- obj :: b.objs;
+    b.lowers <- lo :: b.lowers;
+    b.uppers <- hi :: b.uppers;
+    b.buf_names <- name :: b.buf_names;
+    let idx = b.nvars in
+    b.nvars <- b.nvars + 1;
+    idx
+
+  let add_row b kind ~rhs terms =
+    let tbl = Hashtbl.create (List.length terms) in
+    List.iter
+      (fun (j, v) ->
+        if j < 0 || j >= b.nvars then
+          invalid_arg "Lp.Builder.add_row: unknown variable index";
+        let prev = Option.value (Hashtbl.find_opt tbl j) ~default:0. in
+        Hashtbl.replace tbl j (prev +. v))
+      terms;
+    let coeffs =
+      Hashtbl.fold (fun j v acc -> if v <> 0. then (j, v) :: acc else acc) tbl []
+      |> Array.of_list
+    in
+    Array.sort (fun (a, _) (b, _) -> compare a b) coeffs;
+    b.brows <- { kind; rhs; coeffs } :: b.brows;
+    b.nrows <- b.nrows + 1
+
+  let var_count b = b.nvars
+  let row_count b = b.nrows
+
+  let build b =
+    {
+      nvars = b.nvars;
+      objective = Array.of_list (List.rev b.objs);
+      lower = Array.of_list (List.rev b.lowers);
+      upper = Array.of_list (List.rev b.uppers);
+      rows = Array.of_list (List.rev b.brows);
+      names = Array.of_list (List.rev b.buf_names);
+    }
+end
+
+let nvars t = t.nvars
+let nrows t = Array.length t.rows
+
+let nnz t =
+  Array.fold_left (fun acc r -> acc + Array.length r.coeffs) 0 t.rows
+
+let objective_value t x =
+  if Array.length x <> t.nvars then
+    invalid_arg "Lp.objective_value: dimension mismatch";
+  Util.Vecops.dot t.objective x
+
+let row_activity row x =
+  Array.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0. row.coeffs
+
+let max_violation t x =
+  if Array.length x <> t.nvars then
+    invalid_arg "Lp.max_violation: dimension mismatch";
+  let worst = ref 0. in
+  let note v = if v > !worst then worst := v in
+  Array.iteri
+    (fun j xj ->
+      note (t.lower.(j) -. xj);
+      if Float.is_finite t.upper.(j) then note (xj -. t.upper.(j)))
+    x;
+  Array.iter
+    (fun r ->
+      let a = row_activity r x in
+      match r.kind with
+      | Ge -> note (r.rhs -. a)
+      | Le -> note (a -. r.rhs)
+      | Eq -> note (Float.abs (a -. r.rhs)))
+    t.rows;
+  !worst
+
+let with_var_bounds t j ~lo ~hi =
+  if j < 0 || j >= t.nvars then
+    invalid_arg "Lp.with_var_bounds: index out of range";
+  if lo > hi then invalid_arg "Lp.with_var_bounds: lo > hi";
+  let lower = Array.copy t.lower and upper = Array.copy t.upper in
+  lower.(j) <- lo;
+  upper.(j) <- hi;
+  { t with lower; upper }
+
+let normalize_ge t =
+  let flip r =
+    match r.kind with
+    | Ge | Eq -> r
+    | Le ->
+      {
+        kind = Ge;
+        rhs = -.r.rhs;
+        coeffs = Array.map (fun (j, v) -> (j, -.v)) r.coeffs;
+      }
+  in
+  { t with rows = Array.map flip t.rows }
+
+let constraint_matrix t =
+  let per_row =
+    Array.map (fun r -> Array.to_list r.coeffs) t.rows
+  in
+  Sparse.of_row_list ~rows:(Array.length t.rows) ~cols:t.nvars per_row
+
+let rhs_vector t = Array.map (fun r -> r.rhs) t.rows
+
+let var_name t j =
+  if j < 0 || j >= t.nvars then invalid_arg "Lp.var_name: index out of range";
+  if t.names.(j) = "" then Printf.sprintf "x%d" j else t.names.(j)
+
+let pp ppf t =
+  let pp_term first ppf (j, v) =
+    if v >= 0. && not first then Format.fprintf ppf " + %g %s" v (var_name t j)
+    else if v >= 0. then Format.fprintf ppf "%g %s" v (var_name t j)
+    else Format.fprintf ppf " - %g %s" (Float.abs v) (var_name t j)
+  in
+  let pp_terms ppf coeffs =
+    Array.iteri (fun i term -> pp_term (i = 0) ppf term) coeffs
+  in
+  Format.fprintf ppf "@[<v>minimize ";
+  let obj_terms =
+    Array.to_list (Array.mapi (fun j v -> (j, v)) t.objective)
+    |> List.filter (fun (_, v) -> v <> 0.)
+    |> Array.of_list
+  in
+  pp_terms ppf obj_terms;
+  Format.fprintf ppf "@,subject to";
+  Array.iter
+    (fun r ->
+      let op = match r.kind with Ge -> ">=" | Le -> "<=" | Eq -> "=" in
+      Format.fprintf ppf "@,  %a %s %g" pp_terms r.coeffs op r.rhs)
+    t.rows;
+  Format.fprintf ppf "@,bounds";
+  Array.iteri
+    (fun j _ ->
+      Format.fprintf ppf "@,  %g <= %s <= %g" t.lower.(j) (var_name t j)
+        t.upper.(j))
+    t.objective;
+  Format.fprintf ppf "@]"

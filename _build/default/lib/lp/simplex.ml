@@ -1,0 +1,234 @@
+type result =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+let feas_tol = 1e-7
+
+(* Tableau layout: [tab] has one row per constraint, each of length
+   [ncols + 1]; the last entry is the rhs. [basis.(i)] is the variable
+   basic in row i. The reduced-cost row is recomputed from scratch at the
+   start of each phase and updated by pivots afterwards. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  tab : float array array;
+  basis : int array;
+  reduced : float array;  (* length ncols + 1; last entry = -objective *)
+}
+
+let pivot t ~row ~col =
+  let piv = t.tab.(row).(col) in
+  let w = t.ncols + 1 in
+  let r = t.tab.(row) in
+  for j = 0 to w - 1 do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = t.tab.(i).(col) in
+      if factor <> 0. then begin
+        let ri = t.tab.(i) in
+        for j = 0 to w - 1 do
+          ri.(j) <- ri.(j) -. (factor *. r.(j))
+        done;
+        ri.(col) <- 0.
+      end
+    end
+  done;
+  let factor = t.reduced.(col) in
+  if factor <> 0. then begin
+    for j = 0 to w - 1 do
+      t.reduced.(j) <- t.reduced.(j) -. (factor *. r.(j))
+    done;
+    t.reduced.(col) <- 0.
+  end;
+  t.basis.(row) <- col
+
+let recompute_reduced t cost =
+  (* reduced = cost - sum over basic rows of cost(basis) * row *)
+  let w = t.ncols + 1 in
+  for j = 0 to t.ncols - 1 do
+    t.reduced.(j) <- cost.(j)
+  done;
+  t.reduced.(t.ncols) <- 0.;
+  for i = 0 to t.m - 1 do
+    let cb = cost.(t.basis.(i)) in
+    if cb <> 0. then begin
+      let r = t.tab.(i) in
+      for j = 0 to w - 1 do
+        t.reduced.(j) <- t.reduced.(j) -. (cb *. r.(j))
+      done
+    end
+  done
+
+(* Bland's rule: entering variable is the allowed column with the smallest
+   index whose reduced cost is negative; leaving row breaks ratio ties by
+   the smallest basic variable index. *)
+let iterate t ~allowed ~budget =
+  let rec step pivots =
+    if pivots > budget then failwith "Simplex: pivot budget exceeded";
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed.(j) && t.reduced.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let a = t.tab.(i).(col) in
+        if a > eps then begin
+          let ratio = t.tab.(i).(t.ncols) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        step (pivots + 1)
+      end
+    end
+  in
+  step 0
+
+let solve ?(max_pivots = 100_000) (p : Problem.t) =
+  let n = Problem.nvars p in
+  Array.iter
+    (fun l ->
+      if not (Float.is_finite l) then
+        invalid_arg "Simplex.solve: all lower bounds must be finite")
+    p.lower;
+  (* Shift x = z + lower so z >= 0, and collect rows: original constraints
+     plus one Le row per finite upper bound. *)
+  let shifted_rows = ref [] in
+  Array.iter
+    (fun (r : Problem.row) ->
+      let shift =
+        Array.fold_left (fun acc (j, v) -> acc +. (v *. p.lower.(j))) 0. r.coeffs
+      in
+      shifted_rows := (r.kind, r.rhs -. shift, Array.to_list r.coeffs) :: !shifted_rows)
+    p.rows;
+  Array.iteri
+    (fun j u ->
+      if Float.is_finite u then
+        shifted_rows := (Problem.Le, u -. p.lower.(j), [ (j, 1.) ]) :: !shifted_rows)
+    p.upper;
+  let all_rows = List.rev !shifted_rows in
+  let m = List.length all_rows in
+  (* Count auxiliary columns: slack (Le), surplus (Ge), artificial (Ge with
+     positive rhs, Eq always; Le with negative rhs becomes Ge after the
+     sign flip below). *)
+  let rows_std =
+    List.map
+      (fun (kind, rhs, coeffs) ->
+        if rhs < 0. then
+          let flipped = List.map (fun (j, v) -> (j, -.v)) coeffs in
+          let kind' =
+            match kind with Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq
+          in
+          (kind', -.rhs, flipped)
+        else (kind, rhs, coeffs))
+      all_rows
+  in
+  let n_slack =
+    List.length
+      (List.filter (fun (k, _, _) -> k <> Problem.Eq) rows_std)
+  in
+  let n_artificial =
+    List.length
+      (List.filter
+         (fun ((k : Problem.row_kind), _, _) -> k = Ge || k = Eq)
+         rows_std)
+  in
+  let ncols = n + n_slack + n_artificial in
+  let tab = Array.make_matrix m (ncols + 1) 0. in
+  let basis = Array.make m 0 in
+  let slack_cursor = ref n in
+  let art_cursor = ref (n + n_slack) in
+  List.iteri
+    (fun i (kind, rhs, coeffs) ->
+      List.iter (fun (j, v) -> tab.(i).(j) <- tab.(i).(j) +. v) coeffs;
+      tab.(i).(ncols) <- rhs;
+      (match kind with
+      | Problem.Le ->
+        let s = !slack_cursor in
+        incr slack_cursor;
+        tab.(i).(s) <- 1.;
+        basis.(i) <- s
+      | Problem.Ge ->
+        let s = !slack_cursor in
+        incr slack_cursor;
+        tab.(i).(s) <- -1.;
+        let a = !art_cursor in
+        incr art_cursor;
+        tab.(i).(a) <- 1.;
+        basis.(i) <- a
+      | Problem.Eq ->
+        let a = !art_cursor in
+        incr art_cursor;
+        tab.(i).(a) <- 1.;
+        basis.(i) <- a))
+    rows_std;
+  let t = { m; ncols; tab; basis; reduced = Array.make (ncols + 1) 0. } in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1_cost = Array.make ncols 0. in
+  for j = n + n_slack to ncols - 1 do
+    phase1_cost.(j) <- 1.
+  done;
+  recompute_reduced t phase1_cost;
+  let allowed_all = Array.make ncols true in
+  (match iterate t ~allowed:allowed_all ~budget:max_pivots with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  let phase1_obj = -.t.reduced.(ncols) in
+  if phase1_obj > feas_tol then Infeasible
+  else begin
+    (* Drive remaining artificials out of the basis where possible. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n + n_slack then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to n + n_slack - 1 do
+             if Float.abs t.tab.(i).(j) > eps then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot t ~row:i ~col:!found
+        (* else: the row is redundant; the artificial stays basic at
+           value ~0, which is harmless once its column is disallowed. *)
+      end
+    done;
+    (* Phase 2: original objective on shifted variables. *)
+    let phase2_cost = Array.make ncols 0. in
+    for j = 0 to n - 1 do
+      phase2_cost.(j) <- p.objective.(j)
+    done;
+    recompute_reduced t phase2_cost;
+    let allowed = Array.init ncols (fun j -> j < n + n_slack) in
+    match iterate t ~allowed ~budget:max_pivots with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let z = Array.make n 0. in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then z.(t.basis.(i)) <- t.tab.(i).(ncols)
+      done;
+      let x = Array.mapi (fun j zj -> zj +. p.lower.(j)) z in
+      Optimal { x; objective = Problem.objective_value p x }
+  end

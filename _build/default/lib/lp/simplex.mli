@@ -1,0 +1,22 @@
+(** Exact dense two-phase simplex.
+
+    Solves small LP instances to optimality; used for validation-sized
+    MC-PERF models, as the relaxation engine inside the branch-and-bound IP
+    solver, and as the ground-truth oracle in the test suite. Bland's rule
+    is used throughout, so the method terminates on degenerate instances
+    (set-cover relaxations are heavily degenerate).
+
+    Dense tableau: O((rows + bounded vars)^2 * vars) memory and work per
+    pivot — intended for problems with at most a few hundred rows and
+    variables. Large instances go to {!Pdhg}. *)
+
+type result =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_pivots:int -> Problem.t -> result
+(** [solve p] requires every variable to have a finite lower bound (upper
+    bounds may be infinite). [max_pivots] defaults to [100_000]; raises
+    [Failure] if exceeded, which indicates a bug rather than a hard
+    instance at the intended scale. *)

@@ -1,0 +1,127 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  (* CSR image *)
+  row_ptr : int array;  (* length nrows + 1 *)
+  col_idx : int array;
+  values : float array;
+  (* CSC image (transpose in CSR layout) *)
+  colt_ptr : int array;  (* length ncols + 1 *)
+  rowt_idx : int array;
+  valuest : float array;
+}
+
+let rows t = t.nrows
+let cols t = t.ncols
+let nnz t = Array.length t.values
+
+let of_row_list ~rows ~cols per_row =
+  if Array.length per_row <> rows then
+    invalid_arg "Sparse.of_row_list: row array length mismatch";
+  (* Combine duplicates and drop zeros row by row. *)
+  let cleaned =
+    Array.map
+      (fun entries ->
+        let tbl = Hashtbl.create (List.length entries) in
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= cols then
+              invalid_arg "Sparse.of_row_list: column index out of range";
+            let prev = Option.value (Hashtbl.find_opt tbl j) ~default:0. in
+            Hashtbl.replace tbl j (prev +. v))
+          entries;
+        let acc = Hashtbl.fold (fun j v acc ->
+            if v <> 0. then (j, v) :: acc else acc) tbl []
+        in
+        let arr = Array.of_list acc in
+        Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+        arr)
+      per_row
+  in
+  let total = Array.fold_left (fun acc r -> acc + Array.length r) 0 cleaned in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_ptr.(i) <- !pos;
+      Array.iter
+        (fun (j, v) ->
+          col_idx.(!pos) <- j;
+          values.(!pos) <- v;
+          incr pos)
+        entries)
+    cleaned;
+  row_ptr.(rows) <- !pos;
+  (* Build the transpose with a counting pass. *)
+  let colt_ptr = Array.make (cols + 1) 0 in
+  Array.iter (fun j -> colt_ptr.(j + 1) <- colt_ptr.(j + 1) + 1) col_idx;
+  for j = 1 to cols do
+    colt_ptr.(j) <- colt_ptr.(j) + colt_ptr.(j - 1)
+  done;
+  let rowt_idx = Array.make total 0 in
+  let valuest = Array.make total 0. in
+  let cursor = Array.copy colt_ptr in
+  for i = 0 to rows - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let j = col_idx.(p) in
+      let q = cursor.(j) in
+      rowt_idx.(q) <- i;
+      valuest.(q) <- values.(p);
+      cursor.(j) <- q + 1
+    done
+  done;
+  { nrows = rows; ncols = cols; row_ptr; col_idx; values;
+    colt_ptr; rowt_idx; valuest }
+
+let mul t x y =
+  if Array.length x <> t.ncols || Array.length y <> t.nrows then
+    invalid_arg "Sparse.mul: dimension mismatch";
+  for i = 0 to t.nrows - 1 do
+    let acc = ref 0. in
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(p) *. x.(t.col_idx.(p)))
+    done;
+    y.(i) <- !acc
+  done
+
+let mul_t t x y =
+  if Array.length x <> t.nrows || Array.length y <> t.ncols then
+    invalid_arg "Sparse.mul_t: dimension mismatch";
+  for j = 0 to t.ncols - 1 do
+    let acc = ref 0. in
+    for p = t.colt_ptr.(j) to t.colt_ptr.(j + 1) - 1 do
+      acc := !acc +. (t.valuest.(p) *. x.(t.rowt_idx.(p)))
+    done;
+    y.(j) <- !acc
+  done
+
+let row t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Sparse.row: index out of range";
+  Array.init
+    (t.row_ptr.(i + 1) - t.row_ptr.(i))
+    (fun k ->
+      let p = t.row_ptr.(i) + k in
+      (t.col_idx.(p), t.values.(p)))
+
+let iter_row t i f =
+  if i < 0 || i >= t.nrows then invalid_arg "Sparse.iter_row: index out of range";
+  for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(p) t.values.(p)
+  done
+
+let row_abs_sums t =
+  Array.init t.nrows (fun i ->
+      let acc = ref 0. in
+      for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. Float.abs t.values.(p)
+      done;
+      !acc)
+
+let col_abs_sums t =
+  let sums = Array.make t.ncols 0. in
+  Array.iteri
+    (fun p j -> sums.(j) <- sums.(j) +. Float.abs t.values.(p))
+    t.col_idx;
+  sums

@@ -1,0 +1,37 @@
+(** Compressed sparse row (CSR) matrices over floats.
+
+    The first-order LP solver only needs [y <- A x] and [y <- A^T x]
+    products, so this module stores one CSR image of the matrix and a
+    precomputed transpose for cache-friendly products in both
+    directions. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val of_row_list : rows:int -> cols:int -> (int * float) list array -> t
+(** [of_row_list ~rows ~cols per_row] builds from per-row [(col, coeff)]
+    lists. Duplicate column entries within a row are summed; explicit zeros
+    are dropped. Column indices must be in range. *)
+
+val mul : t -> float array -> float array -> unit
+(** [mul a x y] computes [y <- A x]. Requires [length x = cols],
+    [length y = rows]. *)
+
+val mul_t : t -> float array -> float array -> unit
+(** [mul_t a x y] computes [y <- A^T x]. Requires [length x = rows],
+    [length y = cols]. *)
+
+val row : t -> int -> (int * float) array
+(** Entries of one row (shared, do not mutate). *)
+
+val row_abs_sums : t -> float array
+(** Per-row sums of absolute values (PDHG preconditioner). *)
+
+val col_abs_sums : t -> float array
+(** Per-column sums of absolute values. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate the nonzeros of a row without allocating. *)

@@ -1,0 +1,1 @@
+lib/mcperf/classes.ml: Format List Printf Topology

@@ -1,0 +1,1 @@
+lib/mcperf/classes.mli: Format Topology

@@ -1,0 +1,1 @@
+lib/mcperf/costing.ml: Array Classes Float Permission Spec Topology Workload

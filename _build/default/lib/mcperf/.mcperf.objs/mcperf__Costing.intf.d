@@ -1,0 +1,1 @@
+lib/mcperf/costing.mli: Permission Spec

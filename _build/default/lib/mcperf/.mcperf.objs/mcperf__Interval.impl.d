@@ -1,0 +1,1 @@
+lib/mcperf/interval.ml: Array Float Topology Workload

@@ -1,0 +1,1 @@
+lib/mcperf/interval.mli: Topology Workload

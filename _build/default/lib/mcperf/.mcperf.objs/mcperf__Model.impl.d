@@ -1,0 +1,1 @@
+lib/mcperf/model.ml: Array Classes Float Format Hashtbl List Lp Permission Printf Spec Topology Util Workload

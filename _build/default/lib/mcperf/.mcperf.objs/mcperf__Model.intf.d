@@ -1,0 +1,1 @@
+lib/mcperf/model.mli: Format Hashtbl Lp Permission

@@ -1,0 +1,1 @@
+lib/mcperf/permission.ml: Array Classes Spec Topology Workload

@@ -1,0 +1,1 @@
+lib/mcperf/permission.mli: Classes Spec

@@ -1,0 +1,1 @@
+lib/mcperf/spec.ml: Topology Workload

@@ -1,0 +1,1 @@
+lib/mcperf/spec.mli: Topology Workload

@@ -1,0 +1,62 @@
+let covers_heuristic_interval ~delta_s ~heuristic_delta_s =
+  if delta_s <= 0. || heuristic_delta_s <= 0. then
+    invalid_arg "Interval.covers_heuristic_interval: intervals must be positive";
+  heuristic_delta_s >= 2. *. delta_s
+  || Float.abs (heuristic_delta_s -. delta_s) < 1e-12
+
+(* Two accesses interact when the same object is involved and one node's
+   placement decision or coverage can be affected by the other node
+   (Lemma 1: A_nm = dec_nm or dist_nm). We approximate A with "within the
+   latency threshold of each other", which subsumes local interaction and
+   cooperative reach. *)
+let min_interaction_gaps sys ~tlat_ms trace =
+  let nodes = Topology.System.node_count sys in
+  if nodes > 62 then
+    invalid_arg "Interval.min_interaction_gaps: at most 62 nodes supported";
+  let reach = Topology.System.within_threshold sys ~tlat:tlat_ms in
+  (* Bitmask of nodes that interact with each node. *)
+  let peers =
+    Array.init nodes (fun n ->
+        let mask = ref 0 in
+        for m = 0 to nodes - 1 do
+          if reach.(n).(m) || reach.(m).(n) then mask := !mask lor (1 lsl m)
+        done;
+        !mask)
+  in
+  (* Last access time of each object per node. *)
+  let objects = Workload.Trace.object_count trace in
+  let last = Array.make_matrix objects nodes neg_infinity in
+  let m1 = ref infinity and m2 = ref infinity in
+  let note gap =
+    if gap > 0. then
+      if gap < !m1 then begin
+        if !m1 < !m2 then m2 := !m1;
+        m1 := gap
+      end
+      else if gap < !m2 && gap > !m1 then m2 := gap
+  in
+  Workload.Trace.iter
+    (fun ~time ~node ~object_id ~kind ->
+      if kind = Workload.Trace.Read then begin
+        for m = 0 to nodes - 1 do
+          if peers.(node) land (1 lsl m) <> 0 then begin
+            let prev = last.(object_id).(m) in
+            if prev > neg_infinity then note (time -. prev)
+          end
+        done;
+        last.(object_id).(node) <- time
+      end)
+    trace;
+  (* m2 may remain infinite when every interacting gap is equal; Theorem 3
+     then picks delta = m1 (no gaps fall inside [m1, 2*m1)). *)
+  if Float.is_finite !m1 then Some (!m1, !m2) else None
+
+let per_access_delta sys ~tlat_ms trace =
+  match min_interaction_gaps sys ~tlat_ms trace with
+  | None -> None
+  | Some (m1, m2) -> Some (if 2. *. m1 >= m2 then m1 /. 2. else m1)
+
+let intervals_for trace ~delta_s =
+  if delta_s <= 0. then invalid_arg "Interval.intervals_for: delta must be positive";
+  let d = Workload.Trace.duration_s trace in
+  max 1 (int_of_float (Float.ceil (d /. delta_s)))

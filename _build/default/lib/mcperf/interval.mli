@@ -1,0 +1,39 @@
+(** Evaluation-interval theory (Section 4.3 and appendix Theorems 2–3).
+
+    MC-PERF discretizes time into evaluation intervals of length Δ. The
+    choice of Δ trades fidelity for model size:
+
+    - {b Theorem 2}: a lower bound computed with interval Δ is also a lower
+      bound for any heuristic whose own evaluation interval Δ' satisfies
+      Δ' >= 2Δ or Δ' = Δ.
+    - {b Theorem 3}: for heuristics evaluated at {e every access} (caching),
+      let m1 be the smallest time between two accesses that can influence
+      each other (within reach or sphere of knowledge) and m2 the next
+      smallest. Then Δ = m1/2 if 2·m1 >= m2, else Δ = m1, suffices.
+
+    These are advisory computations for designers choosing the [intervals]
+    parameter; the solvers accept any interval count up to 62. *)
+
+val covers_heuristic_interval : delta_s:float -> heuristic_delta_s:float -> bool
+(** Theorem 2's applicability test: a bound computed at [delta_s] applies
+    to a heuristic evaluated every [heuristic_delta_s]. *)
+
+val min_interaction_gaps :
+  Topology.System.t -> tlat_ms:float -> Workload.Trace.t -> (float * float) option
+(** [(m1, m2)] of Theorem 3: the two smallest positive gaps between
+    consecutive interacting accesses (same object, nodes within reach of a
+    common coverage point or of each other). [m2] is [infinity] when all
+    gaps are equal; the result is [None] when no two accesses interact at
+    all. O(events x nodes). *)
+
+val per_access_delta :
+  Topology.System.t -> tlat_ms:float -> Workload.Trace.t -> float option
+(** Theorem 3's recommended Δ (seconds) for bounding per-access heuristics
+    on this trace. *)
+
+val intervals_for :
+  Workload.Trace.t -> delta_s:float -> int
+(** Number of evaluation intervals implied by a Δ (ceiling of
+    duration/Δ). May exceed the solver's 62-interval limit — the caller
+    decides whether to clamp (the paper itself used 1-hour intervals for
+    tractability and reports that bounds stay indicative). *)

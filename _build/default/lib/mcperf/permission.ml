@@ -1,0 +1,245 @@
+type t = {
+  spec : Spec.t;
+  cls : Classes.t;
+  placeable : bool array;
+  reach : bool array array;
+  know : bool array array;
+  origin_covered : bool array;
+  create_mask : int array array;
+  store_mask : int array array;
+}
+
+let interval_bits i =
+  if i < 0 || i > 62 then invalid_arg "Permission.interval_bits";
+  if i = 62 then -1 lsr 1 else (1 lsl i) - 1
+
+(* OR of [mask lsl d] for d in [d0, d1], i.e. an access at interval j
+   permits intervals j+d0 .. j+d1. *)
+let smear mask ~d0 ~d1 ~bits =
+  let acc = ref 0 in
+  for d = d0 to d1 do
+    acc := !acc lor (mask lsl d)
+  done;
+  !acc land bits
+
+let prefix_or mask ~intervals =
+  let acc = ref mask in
+  let shift = ref 1 in
+  while !shift < intervals do
+    acc := !acc lor (!acc lsl !shift);
+    shift := !shift * 2
+  done;
+  !acc land interval_bits intervals
+
+let compute ?placeable (spec : Spec.t) (cls : Classes.t) =
+  let sys = spec.system in
+  let nodes = Spec.node_count spec in
+  let placeable =
+    match placeable with
+    | None -> Array.make nodes true
+    | Some p ->
+      if Array.length p <> nodes then
+        invalid_arg "Permission.compute: placeable length must equal node count";
+      p
+  in
+  let intervals = Spec.interval_count spec in
+  let objects = Spec.object_count spec in
+  let bits = interval_bits intervals in
+  (* For a QoS goal, a replica helps node n only when it is both routable
+     and within the latency threshold. For an average-latency goal there is
+     no hard threshold: any routable replica can lower the average. *)
+  let reach =
+    match spec.goal with
+    | Spec.Qos { tlat_ms; _ } ->
+      Topology.System.effective_reach sys ~tlat:tlat_ms cls.routing
+    | Spec.Avg_latency _ -> Topology.System.fetch_matrix sys cls.routing
+  in
+  let know = Topology.System.know_matrix sys cls.knowledge in
+  let origin = sys.origin in
+  let origin_covered = Array.init nodes (fun n -> reach.(n).(origin)) in
+  (* Access masks: for each (node, object), the intervals with reads. *)
+  let access = Array.make_matrix nodes objects 0 in
+  Array.iteri
+    (fun k cells ->
+      Array.iter
+        (fun (c : Workload.Demand.cell) ->
+          access.(c.node).(k) <- access.(c.node).(k) lor (1 lsl c.interval))
+        cells)
+    spec.demand.Workload.Demand.reads;
+  (* Sphere masks: union of access masks over the sphere of knowledge. *)
+  let sphere = Array.make_matrix nodes objects 0 in
+  for m = 0 to nodes - 1 do
+    for v = 0 to nodes - 1 do
+      if know.(m).(v) then
+        for k = 0 to objects - 1 do
+          sphere.(m).(k) <- sphere.(m).(k) lor access.(v).(k)
+        done
+    done
+  done;
+  (* Per-access refinement (Theorem 3): intervals where the sphere sees at
+     least two accesses, so a per-access reactive heuristic has already
+     reacted to the first by the time the later ones arrive. Only needed
+     when the class opts in. *)
+  let sphere_multi =
+    if not cls.intra_interval then [||]
+    else begin
+      let counts = Array.make_matrix nodes objects [||] in
+      for n = 0 to nodes - 1 do
+        for k = 0 to objects - 1 do
+          counts.(n).(k) <- Array.make intervals 0.
+        done
+      done;
+      Array.iteri
+        (fun k cells ->
+          Array.iter
+            (fun (c : Workload.Demand.cell) ->
+              counts.(c.node).(k).(c.interval) <-
+                counts.(c.node).(k).(c.interval) +. c.count)
+            cells)
+        spec.demand.Workload.Demand.reads;
+      let multi = Array.make_matrix nodes objects 0 in
+      for m = 0 to nodes - 1 do
+        for k = 0 to objects - 1 do
+          for i = 0 to intervals - 1 do
+            let total = ref 0. in
+            for v = 0 to nodes - 1 do
+              if know.(m).(v) then total := !total +. counts.(v).(k).(i)
+            done;
+            if !total >= 2. then multi.(m).(k) <- multi.(m).(k) lor (1 lsl i)
+          done
+        done
+      done;
+      multi
+    end
+  in
+  (* Last interval with a read this node's replica could usefully cover.
+     Under a QoS goal, reads from origin-covered nodes are already served
+     within the threshold and never need placement; under an average-
+     latency goal every read can still benefit from a closer replica. *)
+  let needs_placement =
+    match spec.goal with
+    | Spec.Qos _ -> fun n -> not origin_covered.(n)
+    | Spec.Avg_latency _ -> fun _ -> true
+  in
+  let last_coverable = Array.make_matrix nodes objects (-1) in
+  Array.iteri
+    (fun k cells ->
+      Array.iter
+        (fun (c : Workload.Demand.cell) ->
+          if needs_placement c.node then
+            for m = 0 to nodes - 1 do
+              if reach.(c.node).(m) && c.interval > last_coverable.(m).(k) then
+                last_coverable.(m).(k) <- c.interval
+            done)
+        cells)
+    spec.demand.Workload.Demand.reads;
+  let create_mask = Array.make_matrix nodes objects 0 in
+  let store_mask = Array.make_matrix nodes objects 0 in
+  for m = 0 to nodes - 1 do
+    if m <> origin && placeable.(m) then
+      for k = 0 to objects - 1 do
+        let permitted =
+          match (cls.history, cls.timing) with
+          | Classes.All_intervals, Classes.Proactive ->
+            prefix_or sphere.(m).(k) ~intervals
+          | Classes.All_intervals, Classes.Reactive ->
+            prefix_or sphere.(m).(k) ~intervals lsl 1 land bits
+          | Classes.Window w, Classes.Proactive ->
+            if w < 1 then invalid_arg "Permission.compute: window must be >= 1";
+            smear sphere.(m).(k) ~d0:0 ~d1:(w - 1) ~bits
+          | Classes.Window w, Classes.Reactive ->
+            if w < 1 then invalid_arg "Permission.compute: window must be >= 1";
+            smear sphere.(m).(k) ~d0:1 ~d1:w ~bits
+        in
+        let permitted =
+          if cls.intra_interval && cls.timing = Classes.Reactive then
+            permitted lor sphere_multi.(m).(k)
+          else permitted
+        in
+        let lc = last_coverable.(m).(k) in
+        if lc >= 0 then begin
+          let useful = interval_bits (lc + 1) in
+          create_mask.(m).(k) <- permitted land useful;
+          store_mask.(m).(k) <-
+            prefix_or create_mask.(m).(k) ~intervals land useful
+        end
+      done
+  done;
+  let placeable =
+    Array.mapi (fun m p -> p && m <> sys.Topology.System.origin) placeable
+  in
+  { spec; cls; placeable; reach; know; origin_covered; create_mask; store_mask }
+
+let create_allowed t ~node ~interval ~object_id =
+  t.create_mask.(node).(object_id) land (1 lsl interval) <> 0
+
+let store_possible t ~node ~interval ~object_id =
+  t.store_mask.(node).(object_id) land (1 lsl interval) <> 0
+
+let covered_possible t ~node ~interval ~object_id =
+  t.origin_covered.(node)
+  ||
+  let nodes = Array.length t.reach in
+  let rec scan m =
+    if m >= nodes then false
+    else if
+      t.reach.(node).(m)
+      && t.store_mask.(m).(object_id) land (1 lsl interval) <> 0
+    then true
+    else scan (m + 1)
+  in
+  scan 0
+
+let max_feasible_qos t =
+  let spec = t.spec in
+  let nodes = Spec.node_count spec in
+  let covered = Array.make nodes 0. in
+  let totals = Workload.Demand.node_read_totals spec.demand in
+  Array.iteri
+    (fun k cells ->
+      let w = spec.demand.Workload.Demand.weight.(k) in
+      Array.iter
+        (fun (c : Workload.Demand.cell) ->
+          if covered_possible t ~node:c.node ~interval:c.interval ~object_id:k
+          then covered.(c.node) <- covered.(c.node) +. (c.count *. w))
+        cells)
+    spec.demand.Workload.Demand.reads;
+  Array.init nodes (fun n ->
+      if totals.(n) <= 0. then 1. else covered.(n) /. totals.(n))
+
+let feasible t =
+  let spec = t.spec in
+  match spec.goal with
+  | Spec.Qos { fraction; _ } ->
+    Array.for_all
+      (fun q -> q >= fraction -. 1e-12)
+      (max_feasible_qos t)
+  | Spec.Avg_latency { tavg_ms } ->
+    (* Best case: every read is served from the closest node that could
+       possibly store the object at that time (or the origin). *)
+    let sys = spec.system in
+    let nodes = Spec.node_count spec in
+    let latency_sum = Array.make nodes 0. in
+    let totals = Workload.Demand.node_read_totals spec.demand in
+    Array.iteri
+      (fun k cells ->
+        let w = spec.demand.Workload.Demand.weight.(k) in
+        Array.iter
+          (fun (c : Workload.Demand.cell) ->
+            let best = ref sys.latency.(c.node).(sys.origin) in
+            for m = 0 to nodes - 1 do
+              if
+                t.store_mask.(m).(k) land (1 lsl c.interval) <> 0
+                && sys.latency.(c.node).(m) < !best
+              then best := sys.latency.(c.node).(m)
+            done;
+            latency_sum.(c.node) <-
+              latency_sum.(c.node) +. (!best *. c.count *. w))
+          cells)
+      spec.demand.Workload.Demand.reads;
+    let ok = ref true in
+    for n = 0 to nodes - 1 do
+      if totals.(n) > 0. && latency_sum.(n) /. totals.(n) > tavg_ms +. 1e-9
+      then ok := false
+    done;
+    !ok

@@ -1,0 +1,1 @@
+lib/rounding/round.ml: Array Float List Mcperf Workload

@@ -1,0 +1,1 @@
+lib/rounding/round.mli: Mcperf Stdlib

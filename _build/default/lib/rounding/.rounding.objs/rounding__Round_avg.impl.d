@@ -1,0 +1,1 @@
+lib/rounding/round_avg.ml: Array Float List Mcperf Round Topology Workload

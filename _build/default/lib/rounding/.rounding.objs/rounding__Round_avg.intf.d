@@ -1,0 +1,1 @@
+lib/rounding/round_avg.mli: Mcperf Round Stdlib

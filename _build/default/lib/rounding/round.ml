@@ -1,0 +1,570 @@
+type result = {
+  placement : Mcperf.Costing.placement;
+  evaluation : Mcperf.Costing.evaluation;
+  rounded_up : int;
+  rounded_down : int;
+  repaired : int;
+}
+
+let integral_eps = 1e-6
+
+(* A maximal run of consecutive intervals of one (node, object) pair that
+   carry the same fractional store value; rounded as a unit (the appendix's
+   speed optimization). *)
+type run = {
+  node : int;
+  object_id : int;
+  i0 : int;
+  i1 : int;
+  mutable value : float;
+  mutable live : bool;  (* still fractional / not yet rounded *)
+}
+
+(* One read cell (n, i, k) with positive demand that placement must cover;
+   [rw] is the weighted read count. *)
+type cell = {
+  cnode : int;
+  cinterval : int;
+  rw : float;
+  mutable cover_sum : float;  (* sum of reachable store values *)
+  mutable int_cover : int;  (* number of reachable stores at exactly 1 *)
+}
+
+type state = {
+  perm : Mcperf.Permission.t;
+  nodes : int;
+  intervals : int;
+  vals : float array array array;  (* node -> object -> interval *)
+  cells : cell array array;  (* object -> cells *)
+  qos : float array;  (* per node: always_covered + sum rw*min(1,cover) *)
+  target : float array;  (* per node: fraction * total reads *)
+  alpha : float;
+  beta : float;
+  weight : float array;
+}
+
+let cap1 x = if x > 1. then 1. else x
+
+(* Cells of object [k] within [i0, i1] whose node can reach [m]. *)
+let iter_affected st ~m ~k ~i0 ~i1 f =
+  Array.iter
+    (fun c ->
+      if
+        c.cinterval >= i0 && c.cinterval <= i1
+        && st.perm.Mcperf.Permission.reach.(c.cnode).(m)
+      then f c)
+    st.cells.(k)
+
+(* Change a run's value, maintaining cover sums, integral-cover counts and
+   per-node qos. *)
+let set_run st (r : run) new_value =
+  let old_value = r.value in
+  let delta = new_value -. old_value in
+  if delta <> 0. then begin
+    iter_affected st ~m:r.node ~k:r.object_id ~i0:r.i0 ~i1:r.i1 (fun c ->
+        let before = cap1 c.cover_sum in
+        c.cover_sum <- c.cover_sum +. delta;
+        if new_value >= 1. -. integral_eps && old_value < 1. -. integral_eps
+        then c.int_cover <- c.int_cover + 1;
+        if old_value >= 1. -. integral_eps && new_value < 1. -. integral_eps
+        then c.int_cover <- c.int_cover - 1;
+        let after = cap1 c.cover_sum in
+        st.qos.(c.cnode) <- st.qos.(c.cnode) +. (c.rw *. (after -. before)));
+    for i = r.i0 to r.i1 do
+      st.vals.(r.node).(r.object_id).(i) <- new_value
+    done;
+    r.value <- new_value
+  end
+
+(* Signed creation-cost delta of moving the run's value to [target], from
+   the neighbouring-interval case analysis of Figures 6/7 (derived directly
+   from the max(0, x_i - x_(i-1)) creation terms). *)
+let creation_delta st (r : run) ~target =
+  let v = r.value in
+  let prev =
+    if r.i0 = 0 then 0. else st.vals.(r.node).(r.object_id).(r.i0 - 1)
+  in
+  let succ_term x =
+    (* Creation edge between the run and interval i1+1, if that interval
+       exists within the horizon. *)
+    if r.i1 + 1 >= st.intervals then 0.
+    else
+      let succ = st.vals.(r.node).(r.object_id).(r.i1 + 1) in
+      Float.max 0. (succ -. x)
+  in
+  let old_cost = Float.max 0. (v -. prev) +. succ_term v in
+  let new_cost = Float.max 0. (target -. prev) +. succ_term target in
+  new_cost -. old_cost
+
+type benefit = {
+  dcost : float;  (* signed cost change (storage + creation) *)
+  reward : float;  (* demand whose integral coverage depends on this run *)
+  dqos : float array option;
+      (* per-affected-node mixed-qos change; None means zero everywhere *)
+}
+
+let run_length r = r.i1 - r.i0 + 1
+
+let benefit_of st (r : run) ~target =
+  let w = st.weight.(r.object_id) in
+  let len = float_of_int (run_length r) in
+  let dstorage = st.alpha *. w *. (target -. r.value) *. len in
+  let dcreate = st.beta *. w *. creation_delta st r ~target in
+  let delta = target -. r.value in
+  let reward = ref 0. in
+  let dqos = Array.make st.nodes 0. in
+  let any = ref false in
+  iter_affected st ~m:r.node ~k:r.object_id ~i0:r.i0 ~i1:r.i1 (fun c ->
+      if c.int_cover = 0 then reward := !reward +. c.rw;
+      let change = c.rw *. (cap1 (c.cover_sum +. delta) -. cap1 c.cover_sum) in
+      if change <> 0. then begin
+        dqos.(c.cnode) <- dqos.(c.cnode) +. change;
+        any := true
+      end);
+  {
+    dcost = dstorage +. dcreate;
+    reward = !reward;
+    dqos = (if !any then Some dqos else None);
+  }
+
+let down_is_safe st b =
+  match b.dqos with
+  | None -> true
+  | Some dqos ->
+    let ok = ref true in
+    Array.iteri
+      (fun n d ->
+        if d < 0. && st.qos.(n) +. d < st.target.(n) -. 1e-9 then ok := false)
+      dqos;
+    !ok
+
+(* Quantize interior values onto a grid so that solver noise does not
+   fragment runs: a first-order LP solution that has not fully converged
+   carries per-interval jitter, and without quantization almost every
+   fractional interval becomes its own run, making the greedy loop
+   quadratic in tens of thousands of units. Coarsen until the run count
+   is workable; the values only seed the rounding, so the perturbation is
+   harmless (feasibility is re-established by the algorithm itself). *)
+let quantize_vals st ~grid =
+  for m = 0 to st.nodes - 1 do
+    Array.iter
+      (fun per_interval ->
+        Array.iteri
+          (fun i v ->
+            if v > integral_eps && v < 1. -. integral_eps then begin
+              let q = Float.round (v *. grid) /. grid in
+              per_interval.(i) <-
+                (if q <= integral_eps then 0.
+                 else if q >= 1. -. integral_eps then 1.
+                 else q)
+            end)
+          per_interval)
+      st.vals.(m)
+  done
+
+let count_runs st =
+  let count = ref 0 in
+  for m = 0 to st.nodes - 1 do
+    Array.iter
+      (fun per_interval ->
+        let prev = ref 0. in
+        Array.iter
+          (fun v ->
+            if
+              v > integral_eps && v < 1. -. integral_eps
+              && Float.abs (v -. !prev) > 1e-9
+            then incr count;
+            prev := v)
+          per_interval)
+      st.vals.(m)
+  done;
+  !count
+
+let max_runs = 8_000
+
+(* Extract maximal equal-value fractional runs from the LP solution. *)
+let runs_of_vals st =
+  let runs = ref [] in
+  for m = 0 to st.nodes - 1 do
+    Array.iteri
+      (fun k per_interval ->
+        let i = ref 0 in
+        while !i < st.intervals do
+          let v = per_interval.(!i) in
+          if v > integral_eps && v < 1. -. integral_eps then begin
+            let j = ref !i in
+            while
+              !j + 1 < st.intervals
+              && Float.abs (per_interval.(!j + 1) -. v) < 1e-9
+            do
+              incr j
+            done;
+            runs :=
+              { node = m; object_id = k; i0 = !i; i1 = !j; value = v; live = true }
+              :: !runs;
+            i := !j + 1
+          end
+          else incr i
+        done)
+      st.vals.(m)
+  done;
+  !runs
+
+let round (model : Mcperf.Model.t) ~x =
+  let perm = model.Mcperf.Model.permission in
+  let spec = perm.Mcperf.Permission.spec in
+  match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Avg_latency _ ->
+    Error "Round.round: the rounding algorithm applies to QoS goals only"
+  | Mcperf.Spec.Qos { fraction; _ } ->
+    let nodes = Mcperf.Spec.node_count spec in
+    let intervals = Mcperf.Spec.interval_count spec in
+    let demand = spec.Mcperf.Spec.demand in
+    let weight = demand.Workload.Demand.weight in
+    let vals = Mcperf.Model.store_placement model x in
+    (* Snap nearly-integral values. *)
+    Array.iter
+      (Array.iter (fun per_interval ->
+           Array.iteri
+             (fun i v ->
+               if v < integral_eps then per_interval.(i) <- 0.
+               else if v > 1. -. integral_eps then per_interval.(i) <- 1.)
+             per_interval))
+      vals;
+    (* Build cells and initialize coverage state. *)
+    let cells =
+      Array.mapi
+        (fun k kcells ->
+          let out = ref [] in
+          Array.iter
+            (fun (c : Workload.Demand.cell) ->
+              if not perm.Mcperf.Permission.origin_covered.(c.node) then
+                out :=
+                  {
+                    cnode = c.node;
+                    cinterval = c.interval;
+                    rw = c.count *. weight.(k);
+                    cover_sum = 0.;
+                    int_cover = 0;
+                  }
+                  :: !out)
+            kcells;
+          Array.of_list !out)
+        demand.Workload.Demand.reads
+    in
+    let st =
+      {
+        perm;
+        nodes;
+        intervals;
+        vals;
+        cells;
+        qos = Array.copy model.Mcperf.Model.always_covered;
+        target =
+          Array.map (fun t -> fraction *. t) model.Mcperf.Model.node_totals;
+        alpha = spec.Mcperf.Spec.costs.Mcperf.Spec.alpha;
+        beta = spec.Mcperf.Spec.costs.Mcperf.Spec.beta;
+        weight;
+      }
+    in
+    (* Coarsen the value grid until the run count is tractable, then
+       rebuild the coverage state from the quantized values. *)
+    let grid = ref 1000. in
+    quantize_vals st ~grid:!grid;
+    while count_runs st > max_runs && !grid >= 10. do
+      grid := !grid /. 10.;
+      quantize_vals st ~grid:!grid
+    done;
+    Array.iteri
+      (fun k kcells ->
+        Array.iter
+          (fun c ->
+            for m = 0 to nodes - 1 do
+              if perm.Mcperf.Permission.reach.(c.cnode).(m) then begin
+                let v = vals.(m).(k).(c.cinterval) in
+                c.cover_sum <- c.cover_sum +. v;
+                if v >= 1. -. integral_eps then c.int_cover <- c.int_cover + 1
+              end
+            done;
+            st.qos.(c.cnode) <- st.qos.(c.cnode) +. (c.rw *. cap1 c.cover_sum))
+          kcells)
+      cells;
+    let live = ref (runs_of_vals st) in
+    let rounded_up = ref 0 and rounded_down = ref 0 in
+    let drop r =
+      r.live <- false;
+      live := List.filter (fun r' -> r'.live) !live
+    in
+    (* Apply every safe round-down, best (most saving per unit of reward
+       put at risk) first. *)
+    let rec drain_down () =
+      let best = ref None in
+      List.iter
+        (fun r ->
+          let b = benefit_of st r ~target:0. in
+          if down_is_safe st b then begin
+            let profitable = b.dcost < -1e-12 in
+            if profitable then begin
+              let score =
+                if b.reward > 0. then b.dcost /. b.reward else b.dcost *. 1e12
+              in
+              match !best with
+              | Some (_, s) when s <= score -> ()
+              | _ -> best := Some (r, score)
+            end
+          end)
+        !live;
+      match !best with
+      | Some (r, _) ->
+        set_run st r 0.;
+        incr rounded_down;
+        drop r;
+        drain_down ()
+      | None -> ()
+    in
+    (* One greedy step: for each remaining run, consider rounding up, or
+       down when that is qos-safe and at most as expensive; apply the
+       action with the best cost/reward ratio. *)
+    let step_best () =
+      let best = ref None in
+      List.iter
+        (fun r ->
+          let bu = benefit_of st r ~target:1. in
+          let bd = benefit_of st r ~target:0. in
+          let target, b =
+            if down_is_safe st bd && bd.dcost <= bu.dcost then (0., bd)
+            else (1., bu)
+          in
+          let score =
+            if b.reward > 0. then b.dcost /. b.reward else b.dcost *. 1e12
+          in
+          match !best with
+          | Some (_, _, s) when s <= score -> ()
+          | _ -> best := Some (r, target, score))
+        !live;
+      match !best with
+      | Some (r, target, _) ->
+        set_run st r target;
+        if target = 1. then incr rounded_up else incr rounded_down;
+        drop r
+      | None -> ()
+    in
+    drain_down ();
+    while !live <> [] do
+      step_best ();
+      drain_down ()
+    done;
+    (* Legalize: the LP lets store values decrease mid-support, so a run
+       rounded up may start at an interval where creation is not permitted
+       (its fractional predecessor carried the creation). Extend such runs
+       backward to the nearest permitted creation interval -- the prefix
+       structure of the store support guarantees one exists, and extending
+       only adds coverage, so feasibility is preserved. *)
+    let stored m k i =
+      i >= 0 && i < intervals && st.vals.(m).(k).(i) >= 1. -. integral_eps
+    in
+    let set_single m k i value =
+      let r =
+        {
+          node = m;
+          object_id = k;
+          i0 = i;
+          i1 = i;
+          value = st.vals.(m).(k).(i);
+          live = false;
+        }
+      in
+      set_run st r value
+    in
+    let legalize m k =
+      for i = intervals - 1 downto 0 do
+        if
+          stored m k i
+          && (not (stored m k (i - 1)))
+          && not (Mcperf.Permission.create_allowed perm ~node:m ~interval:i
+                    ~object_id:k)
+        then begin
+          (* Walk back to a permitted creation interval, storing along the
+             way. *)
+          let j = ref (i - 1) in
+          while
+            !j >= 0
+            && not
+                 (Mcperf.Permission.create_allowed perm ~node:m ~interval:!j
+                    ~object_id:k)
+          do
+            set_single m k !j 1.;
+            decr j
+          done;
+          if !j >= 0 then set_single m k !j 1.
+        end
+      done
+    in
+    for m = 0 to nodes - 1 do
+      for k = 0 to Array.length st.cells - 1 do
+        legalize m k
+      done
+    done;
+    (* Trim: rounding whole runs can overshoot (a run of four intervals
+       rounded up when three suffice). Shed boundary intervals of stored
+       runs while the target QoS holds -- the integral-granularity
+       counterpart of the paper's round-down phase. A start interval can
+       only be shed when the successor may legally become the new run
+       start (permitted creation). *)
+    let try_drop m k i =
+      if stored m k i then begin
+        let is_end = not (stored m k (i + 1)) in
+        let is_start = not (stored m k (i - 1)) in
+        let successor_legal =
+          is_end
+          || Mcperf.Permission.create_allowed perm ~node:m ~interval:(i + 1)
+               ~object_id:k
+        in
+        let droppable = is_end || (is_start && successor_legal) in
+        if droppable then begin
+          let r =
+            { node = m; object_id = k; i0 = i; i1 = i; value = 1.; live = false }
+          in
+          let b = benefit_of st r ~target:0. in
+          if b.dcost < -1e-12 && down_is_safe st b then begin
+            set_run st r 0.;
+            incr rounded_down;
+            true
+          end
+          else false
+        end
+        else false
+      end
+      else false
+    in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for m = 0 to nodes - 1 do
+        Array.iteri
+          (fun k per_interval ->
+            Array.iteri
+              (fun i _ -> if try_drop m k i then improved := true)
+              per_interval)
+          st.vals.(m)
+      done
+    done;
+    (* Repair: first-order LP solutions can carry small infeasibilities, so
+       greedily add covering replicas until every user meets the target. *)
+    let repaired = ref 0 in
+    let max_qos = Mcperf.Permission.max_feasible_qos perm in
+    let infeasible = ref None in
+    for n = 0 to nodes - 1 do
+      if
+        max_qos.(n) *. model.Mcperf.Model.node_totals.(n)
+        < st.target.(n) -. 1e-9
+      then infeasible := Some n
+    done;
+    (match !infeasible with
+    | Some n ->
+      ignore n;
+      ()
+    | None ->
+      let progress = ref true in
+      while
+        !progress
+        && Array.exists
+             (fun n -> st.qos.(n) < st.target.(n) -. 1e-9)
+             (Array.init nodes (fun n -> n))
+      do
+        progress := false;
+        for n = 0 to nodes - 1 do
+          if st.qos.(n) < st.target.(n) -. 1e-9 then begin
+            (* Cheapest single-interval cover for this node's biggest
+               uncovered read. *)
+            let best_cell = ref None in
+            Array.iteri
+              (fun k kcells ->
+                Array.iter
+                  (fun c ->
+                    if c.cnode = n && c.int_cover = 0 then begin
+                      (* A store is addable iff permitted and not already 1. *)
+                      let addable = ref false in
+                      for m = 0 to nodes - 1 do
+                        if
+                          perm.Mcperf.Permission.reach.(n).(m)
+                          && Mcperf.Permission.store_possible perm ~node:m
+                               ~interval:c.cinterval ~object_id:k
+                          && st.vals.(m).(k).(c.cinterval) < 1.
+                        then addable := true
+                      done;
+                      if !addable then
+                        match !best_cell with
+                        | Some (_, _, rw) when rw >= c.rw -> ()
+                        | _ -> best_cell := Some (k, c, c.rw)
+                    end)
+                  kcells)
+              cells;
+            match !best_cell with
+            | None -> ()
+            | Some (k, c, _) ->
+              (* Choose the covering node that extends an existing run if
+                 possible (saves the creation cost). *)
+              let pick = ref None in
+              for m = 0 to nodes - 1 do
+                if
+                  perm.Mcperf.Permission.reach.(n).(m)
+                  && Mcperf.Permission.store_possible perm ~node:m
+                       ~interval:c.cinterval ~object_id:k
+                  && st.vals.(m).(k).(c.cinterval) < 1.
+                then begin
+                  let adjacent =
+                    (c.cinterval > 0 && st.vals.(m).(k).(c.cinterval - 1) = 1.)
+                    || (c.cinterval + 1 < intervals
+                       && st.vals.(m).(k).(c.cinterval + 1) = 1.)
+                  in
+                  match !pick with
+                  | Some (_, best_adj) when best_adj || not adjacent -> ()
+                  | _ -> pick := Some (m, adjacent)
+                end
+              done;
+              (match !pick with
+              | None -> ()
+              | Some (m, _) ->
+                let r =
+                  {
+                    node = m;
+                    object_id = k;
+                    i0 = c.cinterval;
+                    i1 = c.cinterval;
+                    value = st.vals.(m).(k).(c.cinterval);
+                    live = false;
+                  }
+                in
+                set_run st r 1.;
+                legalize m k;
+                incr repaired;
+                progress := true)
+          end
+        done
+      done);
+    (* Assemble the integral placement. *)
+    let placement = Mcperf.Costing.empty_placement spec in
+    for m = 0 to nodes - 1 do
+      Array.iteri
+        (fun k per_interval ->
+          let mask = ref 0 in
+          Array.iteri
+            (fun i v -> if v >= 1. -. integral_eps then mask := !mask lor (1 lsl i))
+            per_interval;
+          placement.(m).(k) <- !mask)
+        st.vals.(m)
+    done;
+    let evaluation = Mcperf.Costing.evaluate perm placement in
+    if not evaluation.Mcperf.Costing.meets_goal then
+      Error
+        "Round.round: could not reach the QoS target (class-infeasible goal)"
+    else
+      Ok
+        {
+          placement;
+          evaluation;
+          rounded_up = !rounded_up;
+          rounded_down = !rounded_down;
+          repaired = !repaired;
+        }

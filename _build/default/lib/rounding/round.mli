@@ -1,0 +1,46 @@
+(** The domain-specific rounding algorithm (paper appendix, Figures 5–7).
+
+    Input: a fractional [store] solution of the MC-PERF LP relaxation.
+    Output: a feasible integral placement whose cost certifies how tight
+    the LP lower bound is (the paper reports within 10%).
+
+    The algorithm alternates round-ups and round-downs of fractional store
+    values, ranked by a cost/reward ratio:
+
+    - {e qos} is the mixed coverage measure (fractional values count
+      proportionally, capped at 1 per read); the LP solution satisfies the
+      QoS constraint under this measure, and the algorithm never lets it
+      drop below the target, so the final all-integral solution is
+      feasible.
+    - {e reward} is the coverage a value would provide if all fractional
+      values were treated as 0 — it breaks ties among values whose
+      round-up has no immediate mixed-qos effect (Figure 4's example).
+    - {e cost} is the exact storage + creation cost delta, including the
+      neighbouring-interval creation effects of Figures 6/7.
+
+    As in the appendix's optimization, maximal runs of consecutive
+    intervals holding the same fractional value are rounded as single
+    units, which cuts the run time by an order of magnitude for a small
+    cost increase.
+
+    The storage/replica-constraint padding, write costs, penalties and
+    node-opening costs of the final solution are charged by
+    {!Mcperf.Costing.evaluate}, exactly as for simulated heuristics.
+
+    When the first-order LP solution carries residual infeasibility, a
+    final repair phase greedily adds cheapest covering replicas until the
+    goal is met (or reports failure if the class cannot meet it at all). *)
+
+type result = {
+  placement : Mcperf.Costing.placement;
+  evaluation : Mcperf.Costing.evaluation;
+  rounded_up : int;  (** number of run-units rounded up *)
+  rounded_down : int;
+  repaired : int;  (** replicas added by the repair phase (0 normally) *)
+}
+
+val round : Mcperf.Model.t -> x:float array -> (result, string) Stdlib.result
+(** [round model ~x] rounds the LP solution vector [x] (from
+    {!Lp.Simplex} or {!Lp.Pdhg}) for QoS-goal models. Average-latency
+    models are not supported by this algorithm (the paper's rounding is
+    QoS-specific); an [Error] is returned for them. *)

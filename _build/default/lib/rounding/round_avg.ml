@@ -1,0 +1,235 @@
+let thresholds = [ 0.9; 0.7; 0.5; 0.3; 0.1; 0.01 ]
+
+(* Legalize run starts in place: a stored run must begin at an interval
+   with creation permission; extend backward to the nearest permitted
+   interval (the store support's prefix structure guarantees one). *)
+let legalize (perm : Mcperf.Permission.t) placement =
+  let spec = perm.Mcperf.Permission.spec in
+  let nodes = Mcperf.Spec.node_count spec in
+  let objects = Mcperf.Spec.object_count spec in
+  let intervals = Mcperf.Spec.interval_count spec in
+  for m = 0 to nodes - 1 do
+    for k = 0 to objects - 1 do
+      let mask = ref placement.(m).(k) in
+      for i = intervals - 1 downto 0 do
+        let stored = !mask land (1 lsl i) <> 0 in
+        let prev_stored = i > 0 && !mask land (1 lsl (i - 1)) <> 0 in
+        if
+          stored && (not prev_stored)
+          && not
+               (Mcperf.Permission.create_allowed perm ~node:m ~interval:i
+                  ~object_id:k)
+        then begin
+          let j = ref (i - 1) in
+          while
+            !j >= 0
+            && not
+                 (Mcperf.Permission.create_allowed perm ~node:m ~interval:!j
+                    ~object_id:k)
+          do
+            mask := !mask lor (1 lsl !j);
+            decr j
+          done;
+          if !j >= 0 then mask := !mask lor (1 lsl !j)
+        end
+      done;
+      placement.(m).(k) <- !mask
+    done
+  done
+
+let placement_at_threshold (model : Mcperf.Model.t) x theta =
+  let perm = model.Mcperf.Model.permission in
+  let spec = perm.Mcperf.Permission.spec in
+  let vals = Mcperf.Model.store_placement model x in
+  let placement = Mcperf.Costing.empty_placement spec in
+  Array.iteri
+    (fun m per_obj ->
+      Array.iteri
+        (fun k per_interval ->
+          let mask = ref 0 in
+          Array.iteri
+            (fun i v -> if v >= theta then mask := !mask lor (1 lsl i))
+            per_interval;
+          placement.(m).(k) <- !mask)
+        per_obj)
+    vals;
+  legalize perm placement;
+  placement
+
+(* Best single repair: for the node furthest above its average goal, add
+   the permitted store with the largest weighted latency reduction per
+   unit of (storage + creation) cost. Returns false when no addition can
+   help. *)
+let repair_step (perm : Mcperf.Permission.t) placement =
+  let spec = perm.Mcperf.Permission.spec in
+  let sys = spec.Mcperf.Spec.system in
+  let demand = spec.Mcperf.Spec.demand in
+  let nodes = Mcperf.Spec.node_count spec in
+  let origin = sys.Topology.System.origin in
+  let weight = demand.Workload.Demand.weight in
+  let costs = spec.Mcperf.Spec.costs in
+  let e = Mcperf.Costing.evaluate perm placement in
+  let tavg =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Avg_latency { tavg_ms } -> tavg_ms
+    | Mcperf.Spec.Qos _ -> invalid_arg "Round_avg.repair_step: QoS goal"
+  in
+  (* Worst node relative to the goal. *)
+  let worst = ref (-1) in
+  for n = 0 to nodes - 1 do
+    if
+      e.Mcperf.Costing.avg_latency.(n) > tavg +. 1e-9
+      && (!worst < 0
+         || e.Mcperf.Costing.avg_latency.(n)
+            > e.Mcperf.Costing.avg_latency.(!worst))
+    then worst := n
+  done;
+  if !worst < 0 then `Done
+  else begin
+    let n = !worst in
+    (* Current serving latency of each of n's read cells, and the best
+       permitted improvement. *)
+    let best = ref None in
+    Array.iteri
+      (fun k cells ->
+        Array.iter
+          (fun (c : Workload.Demand.cell) ->
+            if c.node = n then begin
+              let i = c.interval in
+              let cur = ref sys.Topology.System.latency.(n).(origin) in
+              for m = 0 to nodes - 1 do
+                if
+                  m <> origin
+                  && perm.Mcperf.Permission.reach.(n).(m)
+                  && placement.(m).(k) land (1 lsl i) <> 0
+                  && sys.Topology.System.latency.(n).(m) < !cur
+                then cur := sys.Topology.System.latency.(n).(m)
+              done;
+              for m = 0 to nodes - 1 do
+                if
+                  m <> origin
+                  && perm.Mcperf.Permission.reach.(n).(m)
+                  && placement.(m).(k) land (1 lsl i) = 0
+                  && Mcperf.Permission.store_possible perm ~node:m ~interval:i
+                       ~object_id:k
+                  && sys.Topology.System.latency.(n).(m) < !cur
+                then begin
+                  let gain =
+                    (!cur -. sys.Topology.System.latency.(n).(m))
+                    *. c.count *. weight.(k)
+                  in
+                  let add_cost =
+                    weight.(k)
+                    *. (costs.Mcperf.Spec.alpha +. costs.Mcperf.Spec.beta)
+                  in
+                  let score = gain /. Float.max add_cost 1e-9 in
+                  match !best with
+                  | Some (_, _, _, s) when s >= score -> ()
+                  | _ -> best := Some (m, k, i, score)
+                end
+              done
+            end)
+          cells)
+      demand.Workload.Demand.reads;
+    match !best with
+    | None -> `Stuck
+    | Some (m, k, i, _) ->
+      placement.(m).(k) <- placement.(m).(k) lor (1 lsl i);
+      legalize perm placement;
+      `Progress
+  end
+
+let trim (perm : Mcperf.Permission.t) placement =
+  let spec = perm.Mcperf.Permission.spec in
+  let nodes = Mcperf.Spec.node_count spec in
+  let objects = Mcperf.Spec.object_count spec in
+  let intervals = Mcperf.Spec.interval_count spec in
+  let dropped = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for m = 0 to nodes - 1 do
+      for k = 0 to objects - 1 do
+        let mask = placement.(m).(k) in
+        if mask <> 0 then
+          for i = 0 to intervals - 1 do
+            let bit = 1 lsl i in
+            let stored = placement.(m).(k) land bit <> 0 in
+            let is_end =
+              i + 1 >= intervals || placement.(m).(k) land (bit lsl 1) = 0
+            in
+            let is_start = i = 0 || placement.(m).(k) land (bit lsr 1) = 0 in
+            let successor_legal =
+              is_end
+              || Mcperf.Permission.create_allowed perm ~node:m
+                   ~interval:(i + 1) ~object_id:k
+            in
+            if stored && (is_end || (is_start && successor_legal)) then begin
+              placement.(m).(k) <- placement.(m).(k) land lnot bit;
+              let e = Mcperf.Costing.evaluate perm placement in
+              if e.Mcperf.Costing.meets_goal then begin
+                incr dropped;
+                improved := true
+              end
+              else placement.(m).(k) <- placement.(m).(k) lor bit
+            end
+          done
+      done
+    done
+  done;
+  !dropped
+
+let round (model : Mcperf.Model.t) ~x =
+  let perm = model.Mcperf.Model.permission in
+  let spec = perm.Mcperf.Permission.spec in
+  match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Qos _ ->
+    Error "Round_avg.round: use Round.round for QoS goals"
+  | Mcperf.Spec.Avg_latency _ ->
+    let feasible_placement =
+      List.fold_left
+        (fun acc theta ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let placement = placement_at_threshold model x theta in
+            let e = Mcperf.Costing.evaluate perm placement in
+            if e.Mcperf.Costing.meets_goal then Some placement else None)
+        None thresholds
+    in
+    let placement, repaired =
+      match feasible_placement with
+      | Some p -> (p, 0)
+      | None ->
+        (* Repair from the densest threshold. *)
+        let p = placement_at_threshold model x 0.01 in
+        let repaired = ref 0 in
+        let budget = ref 10_000 in
+        let rec loop () =
+          if !budget <= 0 then ()
+          else begin
+            decr budget;
+            match repair_step perm p with
+            | `Done -> ()
+            | `Stuck -> budget := 0
+            | `Progress ->
+              incr repaired;
+              loop ()
+          end
+        in
+        loop ();
+        (p, !repaired)
+    in
+    let dropped = trim perm placement in
+    let evaluation = Mcperf.Costing.evaluate perm placement in
+    if not evaluation.Mcperf.Costing.meets_goal then
+      Error "Round_avg.round: could not reach the average-latency goal"
+    else
+      Ok
+        {
+          Round.placement;
+          evaluation;
+          rounded_up = 0;
+          rounded_down = dropped;
+          repaired;
+        }

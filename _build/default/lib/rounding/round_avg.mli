@@ -1,0 +1,25 @@
+(** Rounding for average-latency goals.
+
+    The paper's rounding algorithm (Figures 5–7) is specific to the QoS
+    metric; for the average-latency metric (constraints (7)–(10)) this
+    module provides a simpler threshold-plus-repair rounding that serves
+    the same purpose — a feasible integral solution certifying how tight
+    the LP bound is:
+
+    + threshold: keep the stores whose fractional value reaches θ,
+      scanning θ from high to low until the average-latency goal is met
+      (more stores can only lower averages, so feasibility is monotone in
+      θ);
+    + repair: if even a tiny threshold fails (first-order solutions carry
+      slack), greedily add the store with the best latency-improvement per
+      unit cost until every user meets the goal;
+    + trim: drop run-boundary stores whose removal keeps the goal and
+      saves cost.
+
+    Placement-permission legality (creations only at permitted intervals)
+    is maintained throughout, exactly as in {!Round}. *)
+
+val round :
+  Mcperf.Model.t -> x:float array -> (Round.result, string) Stdlib.result
+(** [round model ~x] for average-latency models; returns an [Error] for
+    QoS models (use {!Round.round}). *)

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Float Heuristics Mcperf Search Util Workload

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Heuristics Mcperf Workload

@@ -1,0 +1,123 @@
+type detail =
+  | Cache of Heuristics.Event_cache.outcome
+  | Placement of Mcperf.Costing.evaluation
+
+type deployed = {
+  name : string;
+  parameter : int;
+  cost : float;
+  worst_qos : float;
+  detail : detail;
+}
+
+let worst arr = Array.fold_left Float.min 1. arr
+
+let goal_parts spec =
+  match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Qos { tlat_ms; fraction } -> (tlat_ms, `Qos fraction)
+  | Mcperf.Spec.Avg_latency { tavg_ms } -> (tavg_ms, `Avg tavg_ms)
+
+let cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity ~mode
+    ?(prefetch = false) () =
+  let tlat_ms, _ = goal_parts spec in
+  Heuristics.Event_cache.simulate ~system:spec.Mcperf.Spec.system ~trace
+    ~intervals:(Mcperf.Spec.interval_count spec)
+    ~costs:spec.Mcperf.Spec.costs ~tlat_ms ~capacity ~mode ~prefetch
+    ?placeable ?policy ()
+
+let cache_meets spec (o : Heuristics.Event_cache.outcome) =
+  match goal_parts spec with
+  | _, `Qos fraction -> Heuristics.Event_cache.meets_qos o ~fraction
+  | _, `Avg tavg ->
+    Array.for_all (fun l -> l <= tavg +. 1e-9) o.Heuristics.Event_cache.avg_latency
+
+let cache_heuristic ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace () =
+  let objects = Workload.Trace.object_count trace in
+  let outcome_at c =
+    cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity:c ~mode
+      ~prefetch ()
+  in
+  let feasible c = cache_meets spec (outcome_at c) in
+  match Search.min_feasible_int ~lo:0 ~hi:objects ~feasible with
+  | None -> None
+  | Some capacity ->
+    let o = outcome_at capacity in
+    Some
+      {
+        name;
+        parameter = capacity;
+        cost = o.Heuristics.Event_cache.provisioned_cost;
+        worst_qos = worst o.Heuristics.Event_cache.qos;
+        detail = Cache o;
+      }
+
+let lru_caching ?placeable ~spec ~trace () =
+  cache_heuristic ?placeable ~name:"lru-caching"
+    ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
+
+let cooperative_caching ?placeable ~spec ~trace () =
+  cache_heuristic ?placeable ~name:"cooperative-caching"
+    ~mode:Heuristics.Event_cache.Cooperative ~prefetch:false ~spec ~trace ()
+
+let caching_with_prefetch ?placeable ~spec ~trace () =
+  cache_heuristic ?placeable ~name:"caching-prefetch"
+    ~mode:Heuristics.Event_cache.Local ~prefetch:true ~spec ~trace ()
+
+let cooperative_caching_with_prefetch ?placeable ~spec ~trace () =
+  cache_heuristic ?placeable ~name:"cooperative-caching-prefetch"
+    ~mode:Heuristics.Event_cache.Cooperative ~prefetch:true ~spec ~trace ()
+
+let hierarchical_caching ?placeable ?(cluster_radius_ms = 150.) ~spec ~trace
+    () =
+  cache_heuristic ?placeable ~name:"hierarchical-caching"
+    ~mode:(Heuristics.Event_cache.Hierarchical { cluster_radius_ms })
+    ~prefetch:false ~spec ~trace ()
+
+let policy_caching ?placeable ~policy ~spec ~trace () =
+  cache_heuristic ?placeable ~policy
+    ~name:(Heuristics.Policy_cache.kind_name policy ^ "-caching")
+    ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
+
+let placement_meets (e : Mcperf.Costing.evaluation) = e.Mcperf.Costing.meets_goal
+
+let greedy_global ?placeable ~spec () =
+  let total_weight =
+    Util.Vecops.sum spec.Mcperf.Spec.demand.Workload.Demand.weight
+  in
+  let hi = int_of_float (Float.ceil total_weight) in
+  let eval_at c =
+    Heuristics.Greedy_global.evaluate ?placeable ~spec
+      ~capacity:(float_of_int c) ()
+  in
+  let feasible c = placement_meets (eval_at c) in
+  match Search.min_feasible_int ~lo:0 ~hi ~feasible with
+  | None -> None
+  | Some capacity ->
+    let e = eval_at capacity in
+    Some
+      {
+        name = "greedy-global";
+        parameter = capacity;
+        cost = e.Mcperf.Costing.total;
+        worst_qos = worst e.Mcperf.Costing.qos;
+        detail = Placement e;
+      }
+
+let greedy_replica ?placeable ~spec () =
+  let hi = Mcperf.Spec.node_count spec - 1 in
+  let eval_at r =
+    Heuristics.Greedy_replica.evaluate ?placeable ~spec ~replicas:r ()
+  in
+  let feasible r = placement_meets (eval_at r) in
+  match Search.min_feasible_int ~lo:0 ~hi ~feasible with
+  | None -> None
+  | Some replicas ->
+    let e = eval_at replicas in
+    Some
+      {
+        name = "greedy-replica";
+        parameter = replicas;
+        cost = e.Mcperf.Costing.total;
+        worst_qos = worst e.Mcperf.Costing.qos;
+        detail = Placement e;
+      }

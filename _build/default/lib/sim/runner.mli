@@ -1,0 +1,94 @@
+(** Deployed-heuristic evaluation: run an actual heuristic against the
+    case study, find its minimal resource parameter that meets the goal,
+    and report its cost (the data of Figure 2).
+
+    Caching heuristics are simulated at event granularity on the request
+    trace; the centralized greedy heuristics place at interval granularity
+    on the bucketed demand and are costed by {!Mcperf.Costing} under their
+    class, so their costs are directly comparable to the class lower
+    bounds. *)
+
+type detail =
+  | Cache of Heuristics.Event_cache.outcome
+  | Placement of Mcperf.Costing.evaluation
+
+type deployed = {
+  name : string;
+  parameter : int;  (** capacity (objects) or replication factor *)
+  cost : float;
+  worst_qos : float;  (** min per-user QoS achieved *)
+  detail : detail;
+}
+
+val lru_caching :
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+(** Plain per-node LRU with the smallest uniform capacity meeting the
+    goal; [None] when no capacity suffices (cold misses from sites beyond
+    the threshold). [placeable] limits cache sites (Section 6.2). *)
+
+val cooperative_caching :
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+
+val caching_with_prefetch :
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+(** Oracle-prefetching LRU (the proactive caching class). *)
+
+val cooperative_caching_with_prefetch :
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+
+val hierarchical_caching :
+  ?placeable:bool array ->
+  ?cluster_radius_ms:float ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+(** Hierarchical cooperative caching (Korupolu et al. style): clusters of
+    the given radius share one logical cache. Default radius 150 ms. *)
+
+val policy_caching :
+  ?placeable:bool array ->
+  policy:Heuristics.Policy_cache.kind ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  unit ->
+  deployed option
+(** Plain local caching under an arbitrary replacement policy (LRU, FIFO,
+    LFU) — same heuristic class, different distance from its bound. *)
+
+val greedy_global :
+  ?placeable:bool array -> spec:Mcperf.Spec.t -> unit -> deployed option
+(** Storage-constrained greedy placement with minimal uniform capacity. *)
+
+val greedy_replica :
+  ?placeable:bool array -> spec:Mcperf.Spec.t -> unit -> deployed option
+(** Replica-constrained greedy placement with minimal uniform replication
+    factor. *)
+
+val cache_outcome_at :
+  ?placeable:bool array ->
+  ?policy:Heuristics.Policy_cache.kind ->
+  spec:Mcperf.Spec.t ->
+  trace:Workload.Trace.t ->
+  capacity:int ->
+  mode:Heuristics.Event_cache.mode ->
+  ?prefetch:bool ->
+  unit ->
+  Heuristics.Event_cache.outcome
+(** Low-level escape hatch: simulate a cache at a fixed capacity. *)

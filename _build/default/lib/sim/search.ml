@@ -1,0 +1,27 @@
+let min_feasible_int ~lo ~hi ~feasible =
+  if lo > hi then invalid_arg "Search.min_feasible_int: lo > hi";
+  if not (feasible hi) then None
+  else if feasible lo then Some lo
+  else begin
+    (* Invariant: feasible hi, not (feasible lo). *)
+    let lo = ref lo and hi = ref hi in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if feasible mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
+let min_feasible_float ~lo ~hi ~tol ~feasible =
+  if lo > hi then invalid_arg "Search.min_feasible_float: lo > hi";
+  if tol <= 0. then invalid_arg "Search.min_feasible_float: tol must be positive";
+  if not (feasible hi) then None
+  else if feasible lo then Some lo
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if feasible mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end

@@ -1,0 +1,18 @@
+(** Minimal-parameter searches for deployed heuristics.
+
+    Heuristic families are parameterized by a scalar knob — cache capacity,
+    replication factor — and the designer wants the smallest knob value
+    that meets the performance goal (storage cost grows with the knob).
+    Feasibility is monotone for these families (LRU contents satisfy the
+    inclusion property; the greedy placements only grow with their
+    budget), so binary search applies. *)
+
+val min_feasible_int : lo:int -> hi:int -> feasible:(int -> bool) -> int option
+(** Smallest [p] in [\[lo, hi\]] with [feasible p], assuming monotonicity
+    ([feasible p] implies [feasible (p+1)]). [None] when even [hi] fails.
+    [feasible] is invoked O(log (hi - lo)) times. Requires [lo <= hi]. *)
+
+val min_feasible_float :
+  lo:float -> hi:float -> tol:float -> feasible:(float -> bool) -> float option
+(** Continuous counterpart, bisecting until the bracket is narrower than
+    [tol] and returning the feasible end. *)

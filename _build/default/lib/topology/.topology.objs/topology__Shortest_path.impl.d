@@ -1,0 +1,1 @@
+lib/topology/shortest_path.ml: Array Float Graph List Util

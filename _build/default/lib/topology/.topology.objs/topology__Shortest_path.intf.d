@@ -1,0 +1,1 @@
+lib/topology/shortest_path.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/system.ml: Array Generate Graph Shortest_path

@@ -1,0 +1,1 @@
+lib/topology/topo_io.ml: Buffer Fun Graph List Printf String System

@@ -1,0 +1,86 @@
+type latency_range = { lo_ms : float; hi_ms : float }
+
+let default_hop_latency = { lo_ms = 100.; hi_ms = 200. }
+
+let draw_latency rng { lo_ms; hi_ms } =
+  if lo_ms < 0. || hi_ms < lo_ms then invalid_arg "Generate: bad latency range";
+  if hi_ms = lo_ms then lo_ms else Util.Prng.uniform rng ~lo:lo_ms ~hi:hi_ms
+
+let as_like ?(extra_edge_fraction = 0.3) ~rng ~nodes ~latency () =
+  if nodes < 1 then invalid_arg "Generate.as_like: need at least one node";
+  if extra_edge_fraction < 0. then
+    invalid_arg "Generate.as_like: negative extra_edge_fraction";
+  let g = Graph.create nodes in
+  (* Preferential attachment: endpoints of existing edges, each listed once
+     per incidence, form the attachment pool, so a node's pick probability
+     is proportional to its degree. *)
+  let pool = ref [ 0 ] in
+  for v = 1 to nodes - 1 do
+    let pool_arr = Array.of_list !pool in
+    let target = pool_arr.(Util.Prng.int rng (Array.length pool_arr)) in
+    Graph.add_edge g v target (draw_latency rng latency);
+    pool := v :: target :: !pool
+  done;
+  let extra = int_of_float (Float.round (extra_edge_fraction *. float_of_int nodes)) in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Util.Prng.int rng nodes and v = Util.Prng.int rng nodes in
+    if u <> v && not (Graph.has_edge g u v) then begin
+      Graph.add_edge g u v (draw_latency rng latency);
+      incr added
+    end
+  done;
+  g
+
+let ring ~rng ~nodes ~latency =
+  if nodes < 1 then invalid_arg "Generate.ring: need at least one node";
+  let g = Graph.create nodes in
+  if nodes = 2 then Graph.add_edge g 0 1 (draw_latency rng latency)
+  else if nodes > 2 then
+    for v = 0 to nodes - 1 do
+      Graph.add_edge g v ((v + 1) mod nodes) (draw_latency rng latency)
+    done;
+  g
+
+let star ~rng ~nodes ~latency =
+  if nodes < 1 then invalid_arg "Generate.star: need at least one node";
+  let g = Graph.create nodes in
+  for v = 1 to nodes - 1 do
+    Graph.add_edge g 0 v (draw_latency rng latency)
+  done;
+  g
+
+let grid ~rng ~width ~height ~latency =
+  if width < 1 || height < 1 then invalid_arg "Generate.grid: bad dimensions";
+  let g = Graph.create (width * height) in
+  let id x y = (y * width) + x in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then
+        Graph.add_edge g (id x y) (id (x + 1) y) (draw_latency rng latency);
+      if y + 1 < height then
+        Graph.add_edge g (id x y) (id x (y + 1)) (draw_latency rng latency)
+    done
+  done;
+  g
+
+let clique ~rng ~nodes ~latency =
+  if nodes < 1 then invalid_arg "Generate.clique: need at least one node";
+  let g = Graph.create nodes in
+  for u = 0 to nodes - 1 do
+    for v = u + 1 to nodes - 1 do
+      Graph.add_edge g u v (draw_latency rng latency)
+    done
+  done;
+  g
+
+let headquarters g =
+  let n = Graph.node_count g in
+  if n = 0 then invalid_arg "Generate.headquarters: empty graph";
+  let best = ref 0 in
+  for v = 1 to n - 1 do
+    if Graph.degree g v > Graph.degree g !best then best := v
+  done;
+  !best

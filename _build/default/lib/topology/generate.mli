@@ -1,0 +1,39 @@
+(** Synthetic wide-area topologies.
+
+    The paper's case study uses a 20-node AS-level topology derived from
+    Telstra's network, with 100–200 ms per AS-level hop. That data set is
+    not redistributable, so {!as_like} synthesizes a topology with the same
+    observable characteristics: hub-and-spoke degree skew (preferential
+    attachment), per-hop latencies uniform in a configurable range, and a
+    well-connected "headquarters" candidate. Regular shapes (ring, star,
+    grid, clique) are provided for tests and examples. *)
+
+type latency_range = { lo_ms : float; hi_ms : float }
+
+val default_hop_latency : latency_range
+(** 100–200 ms, the paper's AS-level hop latency. *)
+
+val as_like :
+  ?extra_edge_fraction:float ->
+  rng:Util.Prng.t ->
+  nodes:int ->
+  latency:latency_range ->
+  unit ->
+  Graph.t
+(** Preferential-attachment topology: nodes arrive one at a time and attach
+    to an existing node with probability proportional to its degree, then
+    [extra_edge_fraction * nodes] additional random edges are added (default
+    0.3) to create the meshier core of real AS graphs. Always connected.
+    Requires [nodes >= 1]. *)
+
+val ring : rng:Util.Prng.t -> nodes:int -> latency:latency_range -> Graph.t
+val star : rng:Util.Prng.t -> nodes:int -> latency:latency_range -> Graph.t
+(** [star] has node 0 as the hub. *)
+
+val grid : rng:Util.Prng.t -> width:int -> height:int -> latency:latency_range -> Graph.t
+val clique : rng:Util.Prng.t -> nodes:int -> latency:latency_range -> Graph.t
+
+val headquarters : Graph.t -> int
+(** The designated origin/data-center node: the node with the highest
+    degree (ties to the lowest index). In the case study this node stores
+    every object permanently. *)

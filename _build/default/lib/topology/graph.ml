@@ -1,0 +1,76 @@
+type t = {
+  n : int;
+  adj : (int * float) list array;
+  mutable edge_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; adj = Array.make (max n 1) []; edge_count = 0 }
+
+let node_count g = g.n
+let edge_count g = g.edge_count
+
+let check_node g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph: node index out of range"
+
+let has_edge g u v =
+  check_node g u;
+  check_node g v;
+  List.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let add_edge g u v w =
+  check_node g u;
+  check_node g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w < 0. then invalid_arg "Graph.add_edge: negative latency";
+  if has_edge g u v then invalid_arg "Graph.add_edge: parallel edge";
+  g.adj.(u) <- (v, w) :: g.adj.(u);
+  g.adj.(v) <- (u, w) :: g.adj.(v);
+  g.edge_count <- g.edge_count + 1
+
+let edge_weight g u v =
+  check_node g u;
+  check_node g v;
+  List.find_map (fun (x, w) -> if x = v then Some w else None) g.adj.(u)
+
+let neighbors g u =
+  check_node g u;
+  List.rev g.adj.(u)
+
+let degree g u =
+  check_node g u;
+  List.length g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun (v, w) -> if u < v then acc := (u, v, w) :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v, w) -> add_edge g u v w) es;
+  g
+
+let is_connected g =
+  if g.n <= 1 then true
+  else begin
+    let seen = Array.make g.n false in
+    let rec visit u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter (fun (v, _) -> visit v) g.adj.(u)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph with %d nodes, %d edges" g.n g.edge_count;
+  List.iter
+    (fun (u, v, w) -> Format.fprintf ppf "@,  %d -- %d (%.1f ms)" u v w)
+    (edges g);
+  Format.fprintf ppf "@]"

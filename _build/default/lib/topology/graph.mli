@@ -1,0 +1,39 @@
+(** Undirected weighted graphs representing wide-area network topologies.
+
+    Nodes are dense integers [0 .. node_count - 1]; each represents a site
+    that may host users and replicas. Edge weights are link latencies in
+    milliseconds. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] nodes. Requires [n >= 0]. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds an undirected edge of latency [w].
+    Requires distinct valid endpoints and [w >= 0.]. Parallel edges are
+    rejected; self-loops are rejected. *)
+
+val has_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> float option
+(** Latency of the direct link, if present. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Adjacent nodes with link latencies, in insertion order. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int * float) list
+(** Every undirected edge once, with [u < v]. *)
+
+val of_edges : int -> (int * int * float) list -> t
+(** [of_edges n es] builds the graph on [n] nodes with the given edges. *)
+
+val is_connected : t -> bool
+(** Whether the graph is connected (the empty graph is connected). *)
+
+val pp : Format.formatter -> t -> unit

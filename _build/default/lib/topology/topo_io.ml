@@ -1,0 +1,95 @@
+let header_prefix = "# replica-select topology v1"
+
+let to_string ?origin g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s nodes=%d%s\n" header_prefix (Graph.node_count g)
+       (match origin with
+       | Some o -> Printf.sprintf " origin=%d" o
+       | None -> ""));
+  Buffer.add_string buf "u,v,latency_ms\n";
+  List.iter
+    (fun (u, v, w) ->
+      Buffer.add_string buf (Printf.sprintf "%d,%d,%.9g\n" u v w))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let save ?origin g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?origin g))
+
+let fail_line lineno msg =
+  failwith (Printf.sprintf "topology line %d: %s" lineno msg)
+
+let header_field line key =
+  let marker = key ^ "=" in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length line then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop =
+      match String.index_from_opt line start ' ' with
+      | Some j -> j
+      | None -> String.length line
+    in
+    Some (String.sub line start (stop - start))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: _columns :: rest ->
+    if
+      String.length header < String.length header_prefix
+      || String.sub header 0 (String.length header_prefix) <> header_prefix
+    then failwith "topology: not a replica-select topology file";
+    let nodes =
+      match header_field header "nodes" with
+      | Some v -> (
+        try int_of_string v with Failure _ -> failwith "topology: bad nodes")
+      | None -> failwith "topology: missing nodes field"
+    in
+    let origin =
+      match header_field header "origin" with
+      | Some v -> (
+        try Some (int_of_string v)
+        with Failure _ -> failwith "topology: bad origin")
+      | None -> None
+    in
+    let g = Graph.create nodes in
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 3 in
+        if String.trim line <> "" then
+          match String.split_on_char ',' line with
+          | [ u; v; w ] -> (
+            try
+              Graph.add_edge g
+                (int_of_string (String.trim u))
+                (int_of_string (String.trim v))
+                (float_of_string (String.trim w))
+            with
+            | Failure msg -> fail_line lineno msg
+            | Invalid_argument msg -> fail_line lineno msg)
+          | _ -> fail_line lineno "expected 3 comma-separated fields")
+      rest;
+    (g, origin)
+  | _ -> failwith "topology: empty file"
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))
+
+let load_system ~path =
+  let g, origin = load ~path in
+  System.make ?origin g

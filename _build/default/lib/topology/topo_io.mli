@@ -1,0 +1,27 @@
+(** Plain-text topology serialization.
+
+    Format: a header with the node count (and optionally the origin), then
+    one CSV record per undirected edge:
+
+    {v
+    # replica-select topology v1 nodes=20 origin=4
+    u,v,latency_ms
+    0,1,137.2
+    1,4,101.0
+    v}
+
+    Real AS-level measurements (the paper used a Telstra-derived topology)
+    can be converted to this format and loaded with {!load_system}. *)
+
+val save : ?origin:int -> Graph.t -> path:string -> unit
+
+val load : path:string -> Graph.t * int option
+(** The graph plus the origin recorded in the header, if any. Raises
+    [Failure] with a line-numbered message on malformed input. *)
+
+val load_system : path:string -> System.t
+(** {!load} followed by {!System.make} (using the recorded origin, or the
+    highest-degree node). *)
+
+val to_string : ?origin:int -> Graph.t -> string
+val of_string : string -> Graph.t * int option

@@ -1,0 +1,1 @@
+lib/util/vecops.ml: Array Float

@@ -1,0 +1,47 @@
+let dot x y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Vecops.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let axpy a x y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Vecops.axpy: length mismatch";
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. x
+
+let sub_into x y dst =
+  let n = Array.length x in
+  if n <> Array.length y || n <> Array.length dst then
+    invalid_arg "Vecops.sub_into: length mismatch";
+  for i = 0 to n - 1 do
+    dst.(i) <- x.(i) -. y.(i)
+  done
+
+let clamp v ~lo ~hi = if v < lo then lo else if v > hi then hi else v
+
+let approx_equal ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let sum x =
+  let acc = ref 0. and comp = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let y = x.(i) -. !comp in
+    let t = !acc +. y in
+    comp := t -. !acc -. y;
+    acc := t
+  done;
+  !acc

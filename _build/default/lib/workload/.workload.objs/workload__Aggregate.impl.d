@@ -1,0 +1,1 @@
+lib/workload/aggregate.ml: Array Demand Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/workload/aggregate.mli: Demand

@@ -1,0 +1,1 @@
+lib/workload/demand.ml: Array Format Hashtbl List Trace

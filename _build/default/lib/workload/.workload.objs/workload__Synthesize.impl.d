@@ -1,0 +1,1 @@
+lib/workload/synthesize.ml: Array Float Option Trace Util Zipf

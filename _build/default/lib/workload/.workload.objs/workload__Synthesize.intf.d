@@ -1,0 +1,1 @@
+lib/workload/synthesize.mli: Trace Util

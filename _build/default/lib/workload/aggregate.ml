@@ -1,0 +1,123 @@
+type mapping = {
+  demand : Demand.t;
+  class_of_object : int array;
+}
+
+let pattern_key cells =
+  Array.fold_left
+    (fun acc (c : Demand.cell) ->
+      Printf.sprintf "%s;%d,%d,%g" acc c.node c.interval c.count)
+    "" cells
+
+let build_classes (d : Demand.t) class_of_object class_count =
+  (* Sum member weights per class; average member patterns. *)
+  let members = Array.make class_count [] in
+  Array.iteri
+    (fun k cls -> members.(cls) <- k :: members.(cls))
+    class_of_object;
+  let weight = Array.make class_count 0. in
+  Array.iteri
+    (fun cls ks ->
+      weight.(cls) <-
+        List.fold_left (fun acc k -> acc +. d.weight.(k)) 0. ks)
+    members;
+  let average select cls =
+    let ks = members.(cls) in
+    let total_weight = weight.(cls) in
+    if total_weight <= 0. then [||]
+    else begin
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun k ->
+          Array.iter
+            (fun (c : Demand.cell) ->
+              let key = (c.interval, c.node) in
+              let prev =
+                Option.value (Hashtbl.find_opt tbl key) ~default:0.
+              in
+              Hashtbl.replace tbl key (prev +. (c.count *. d.weight.(k))))
+            (select k))
+        ks;
+      let cells =
+        Hashtbl.fold
+          (fun (interval, node) total acc ->
+            ({ Demand.node; interval; count = total /. total_weight } : Demand.cell)
+            :: acc)
+          tbl []
+      in
+      let arr = Array.of_list cells in
+      Array.sort
+        (fun (a : Demand.cell) b ->
+          match compare a.interval b.interval with
+          | 0 -> compare a.node b.node
+          | c -> c)
+        arr;
+      arr
+    end
+  in
+  let reads = Array.init class_count (average (fun k -> d.reads.(k))) in
+  let writes = Array.init class_count (average (fun k -> d.writes.(k))) in
+  let weight = Array.map (fun w -> Float.max w 1.) weight in
+  let demand =
+    Demand.create ~nodes:d.nodes ~intervals:d.intervals
+      ~interval_s:d.interval_s ~weight ~writes ~reads ()
+  in
+  { demand; class_of_object = Array.copy class_of_object }
+
+let exact (d : Demand.t) =
+  let tbl = Hashtbl.create 256 in
+  let class_of_object = Array.make d.objects 0 in
+  let next = ref 0 in
+  for k = 0 to d.objects - 1 do
+    let key = pattern_key d.reads.(k) ^ "|" ^ pattern_key d.writes.(k) in
+    match Hashtbl.find_opt tbl key with
+    | Some cls -> class_of_object.(k) <- cls
+    | None ->
+      Hashtbl.add tbl key !next;
+      class_of_object.(k) <- !next;
+      incr next
+  done;
+  build_classes d class_of_object !next
+
+let by_popularity ~classes (d : Demand.t) =
+  if classes < 1 then invalid_arg "Aggregate.by_popularity: classes must be >= 1";
+  let totals = Array.init d.objects (fun k -> Demand.object_total d k) in
+  let max_total = Array.fold_left Float.max 0. totals in
+  let class_of_object = Array.make d.objects 0 in
+  let empty_class = ref (-1) in
+  let next = ref 0 in
+  let bucket_ids = Hashtbl.create 64 in
+  for k = 0 to d.objects - 1 do
+    if totals.(k) <= 0. then begin
+      if !empty_class < 0 then begin
+        empty_class := !next;
+        incr next
+      end;
+      class_of_object.(k) <- !empty_class
+    end
+    else begin
+      (* Logarithmic bucket index in [0, classes): popular objects (near
+         max_total) land in low buckets with fine resolution. *)
+      let ratio = totals.(k) /. max_total in
+      let idx =
+        if classes = 1 then 0
+        else
+          let b =
+            int_of_float
+              (Float.floor (-.log ratio /. log 2. *. 2.))
+          in
+          min (classes - 1) (max 0 b)
+      in
+      let cls =
+        match Hashtbl.find_opt bucket_ids idx with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          Hashtbl.add bucket_ids idx c;
+          incr next;
+          c
+      in
+      class_of_object.(k) <- cls
+    end
+  done;
+  build_classes d class_of_object !next

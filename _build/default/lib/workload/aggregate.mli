@@ -1,0 +1,32 @@
+(** Object aggregation: shrink the object dimension of a demand matrix.
+
+    MC-PERF's size is O(|N| |I| |K|); the paper runs CPLEX for up to 12
+    hours on K = 1000. To keep lower-bound computation tractable we merge
+    objects into weighted classes:
+
+    - {!exact} merges only objects with {e identical} access patterns. The
+      resulting bound equals the unaggregated bound: the LP is symmetric in
+      identical objects, so averaging an optimal solution across a class
+      yields an equal-cost solution in which the class members share one
+      placement.
+    - {!by_popularity} merges objects with {e similar} patterns (same total
+      count bucket), averaging their patterns. This is an approximation;
+      EXPERIMENTS.md quantifies the deviation on small instances.
+
+    Both return a demand whose [weight] array records class multiplicity
+    and a mapping from original object ids to class ids. *)
+
+type mapping = {
+  demand : Demand.t;
+  class_of_object : int array;  (** original object id -> class id *)
+}
+
+val exact : Demand.t -> mapping
+(** Merge objects with identical read and write patterns. *)
+
+val by_popularity : classes:int -> Demand.t -> mapping
+(** Merge objects into at most [classes] popularity buckets with
+    logarithmically spaced boundaries (heavy-tailed workloads get fine
+    buckets at the head, coarse at the tail). Within a bucket the cell
+    pattern is the per-object average of the members. Objects with no reads
+    form their own empty class. Requires [classes >= 1]. *)

@@ -1,0 +1,103 @@
+type t = {
+  reads : int;
+  writes : int;
+  objects_touched : int;
+  top_object_reads : int;
+  median_object_reads : float;
+  min_object_reads : int;
+  node_share_max : float;
+  node_share_min : float;
+  active_nodes : int;
+  mean_working_set : float;
+  max_working_set : int;
+  cold_miss_fraction : float;
+  worst_user_cold_miss_fraction : float;
+}
+
+let of_trace trace =
+  let nodes = Trace.node_count trace in
+  let objects = Trace.object_count trace in
+  let object_reads = Array.make objects 0 in
+  let node_reads = Array.make nodes 0 in
+  let seen = Hashtbl.create 4096 in
+  let node_first = Array.make nodes 0 in
+  let reads = ref 0 and writes = ref 0 in
+  Trace.iter
+    (fun ~time:_ ~node ~object_id ~kind ->
+      match kind with
+      | Trace.Write -> incr writes
+      | Trace.Read ->
+        incr reads;
+        object_reads.(object_id) <- object_reads.(object_id) + 1;
+        node_reads.(node) <- node_reads.(node) + 1;
+        if not (Hashtbl.mem seen (node, object_id)) then begin
+          Hashtbl.add seen (node, object_id) ();
+          node_first.(node) <- node_first.(node) + 1
+        end)
+    trace;
+  let touched = Array.to_list object_reads |> List.filter (fun c -> c > 0) in
+  let touched_sorted = List.sort compare touched in
+  let objects_touched = List.length touched_sorted in
+  let median =
+    if objects_touched = 0 then 0.
+    else begin
+      let arr = Array.of_list touched_sorted in
+      let n = Array.length arr in
+      if n mod 2 = 1 then float_of_int arr.(n / 2)
+      else float_of_int (arr.((n / 2) - 1) + arr.(n / 2)) /. 2.
+    end
+  in
+  let total_reads = float_of_int (max 1 !reads) in
+  let shares =
+    Array.to_list node_reads
+    |> List.filter (fun c -> c > 0)
+    |> List.map (fun c -> float_of_int c /. total_reads)
+  in
+  let working_sets = Array.make nodes 0 in
+  Hashtbl.iter (fun (n, _) () -> working_sets.(n) <- working_sets.(n) + 1) seen;
+  let active = List.length shares in
+  let worst_cold =
+    let worst = ref 0. in
+    for n = 0 to nodes - 1 do
+      if node_reads.(n) > 0 then
+        worst :=
+          Float.max !worst
+            (float_of_int node_first.(n) /. float_of_int node_reads.(n))
+    done;
+    !worst
+  in
+  {
+    reads = !reads;
+    writes = !writes;
+    objects_touched;
+    top_object_reads = List.fold_left max 0 touched_sorted;
+    median_object_reads = median;
+    min_object_reads =
+      (match touched_sorted with [] -> 0 | c :: _ -> c);
+    node_share_max = List.fold_left Float.max 0. shares;
+    node_share_min =
+      (if shares = [] then 0. else List.fold_left Float.min 1. shares);
+    active_nodes = active;
+    mean_working_set =
+      (if active = 0 then 0.
+       else
+         float_of_int (Hashtbl.length seen) /. float_of_int active);
+    max_working_set = Array.fold_left max 0 working_sets;
+    cold_miss_fraction = float_of_int (Hashtbl.length seen) /. total_reads;
+    worst_user_cold_miss_fraction = worst_cold;
+  }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>reads %d, writes %d, %d objects touched@,\
+     popularity: top %d, median %.1f, min %d reads/object@,\
+     sites: %d active, busiest %.1f%%, quietest %.2f%% of reads@,\
+     working sets: mean %.1f, max %d objects/site@,\
+     cold misses: %.2f%% overall, %.2f%% at the worst site@]"
+    p.reads p.writes p.objects_touched p.top_object_reads
+    p.median_object_reads p.min_object_reads p.active_nodes
+    (100. *. p.node_share_max)
+    (100. *. p.node_share_min)
+    p.mean_working_set p.max_working_set
+    (100. *. p.cold_miss_fraction)
+    (100. *. p.worst_user_cold_miss_fraction)

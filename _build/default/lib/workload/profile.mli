@@ -1,0 +1,34 @@
+(** Trace profiling: the workload statistics the methodology's inputs are
+    judged by.
+
+    The paper characterizes its workloads by total requests, per-object
+    popularity extremes, and how active the sites are; the caching
+    ceiling additionally depends on per-site working sets (a site's first
+    access to an object can never be a cache hit). This module computes
+    those numbers for any trace, so users can compare their own traces
+    against the synthetic WEB/GROUP stand-ins. *)
+
+type t = {
+  reads : int;
+  writes : int;
+  objects_touched : int;  (** objects with at least one read *)
+  top_object_reads : int;
+  median_object_reads : float;
+  min_object_reads : int;  (** among touched objects *)
+  node_share_max : float;  (** busiest site's fraction of all reads *)
+  node_share_min : float;  (** quietest active site's fraction *)
+  active_nodes : int;
+  mean_working_set : float;
+      (** average over sites of distinct objects read by the site *)
+  max_working_set : int;
+  cold_miss_fraction : float;
+      (** per-(site, object) first reads / all reads — a lower bound on
+          any local reactive cache's miss rate *)
+  worst_user_cold_miss_fraction : float;
+      (** the same ratio for the worst single site — an upper bound on
+          LRU's per-user QoS there *)
+}
+
+val of_trace : Trace.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,236 @@
+type spec = {
+  nodes : int;
+  objects : int;
+  total_requests : int;
+  max_object_requests : int;
+  min_object_requests : int;
+  duration_s : float;
+  node_skew : float;
+  locality_h : float;
+  diurnal : bool;
+}
+
+let day_s = 86_400.
+
+let web_spec =
+  {
+    nodes = 20;
+    objects = 1000;
+    total_requests = 300_000;
+    max_object_requests = 36_000;
+    min_object_requests = 1;
+    duration_s = day_s;
+    node_skew = 0.6;
+    locality_h = 3000.;
+    diurnal = true;
+  }
+
+let group_spec =
+  {
+    nodes = 20;
+    objects = 1000;
+    total_requests = 16_000_000;
+    max_object_requests = 36_000;
+    min_object_requests = 8_500;
+    duration_s = day_s;
+    node_skew = 0.6;
+    locality_h = 0.;
+    diurnal = false;
+  }
+
+(* Shrinking a workload cannot preserve all of (objects, total, max, min)
+   simultaneously: objects and total scale linearly (so the per-object mean
+   is preserved), the minimum is kept when it stays below the mean, and the
+   maximum is scaled linearly but kept at least twice the mean so the
+   popularity skew survives. Extremely small factors may still leave the
+   Zipf total slightly short of [total_requests * factor] — see
+   {!Zipf.fit_mandelbrot}'s clamping. *)
+let scale_spec ?object_factor spec ~factor =
+  if factor <= 0. || factor > 1. then
+    invalid_arg "Synthesize.scale_spec: factor must be in (0, 1]";
+  let object_factor = Option.value object_factor ~default:factor in
+  if object_factor <= 0. || object_factor > 1. then
+    invalid_arg "Synthesize.scale_spec: object_factor must be in (0, 1]";
+  let scale_by f x =
+    max 1 (int_of_float (Float.round (float_of_int x *. f)))
+  in
+  let scaled = scale_by factor in
+  let objects = scale_by object_factor spec.objects in
+  let total_requests = scaled spec.total_requests in
+  let mean = total_requests / max 1 objects in
+  let min_object_requests = max 1 (min spec.min_object_requests mean) in
+  let max_object_requests =
+    let upper = total_requests - ((objects - 1) * min_object_requests) in
+    max (scaled spec.max_object_requests) (2 * mean)
+    |> min spec.max_object_requests
+    |> min upper
+  in
+  {
+    spec with
+    objects;
+    total_requests;
+    max_object_requests;
+    min_object_requests;
+    locality_h = spec.locality_h *. factor;
+  }
+
+let node_weights ~rng ~nodes ~skew =
+  if nodes <= 0 then invalid_arg "Synthesize.node_weights: need nodes >= 1";
+  if skew < 0. then invalid_arg "Synthesize.node_weights: negative skew";
+  let ranked =
+    if skew = 0. then Array.make nodes (1. /. float_of_int nodes)
+    else Zipf.frequencies ~n:nodes ~s:skew
+  in
+  let slots = Array.init nodes (fun i -> i) in
+  Util.Prng.shuffle rng slots;
+  let weights = Array.make nodes 0. in
+  Array.iteri (fun rank node -> weights.(node) <- ranked.(rank)) slots;
+  weights
+
+(* Inverse-CDF sampling of a one-period diurnal density
+   f(t) = (1 + 0.8 sin(2 pi t/D - pi/2)) / D via rejection sampling, which
+   avoids inverting the transcendental CDF. *)
+let draw_time rng spec =
+  if not spec.diurnal then Util.Prng.float rng spec.duration_s
+  else begin
+    let rec draw () =
+      let t = Util.Prng.float rng spec.duration_s in
+      let phase = (2. *. Float.pi *. t /. spec.duration_s) -. (Float.pi /. 2.) in
+      let density = 1. +. (0.8 *. sin phase) in
+      if Util.Prng.float rng 1.8 <= density then t else draw ()
+    in
+    draw ()
+  end
+
+(* Pick [size] distinct nodes, biased by activity weight, by shuffling a
+   weighted-expanded candidate order. *)
+let pick_home_subset rng ~weights ~size =
+  let nodes = Array.length weights in
+  if size >= nodes then Array.init nodes (fun n -> n)
+  else begin
+    let chosen = Array.make nodes false in
+    let subset = Array.make size 0 in
+    let filled = ref 0 in
+    while !filled < size do
+      let n = Util.Prng.pick_weighted rng ~weights in
+      if not chosen.(n) then begin
+        chosen.(n) <- true;
+        subset.(!filled) <- n;
+        incr filled
+      end
+    done;
+    subset
+  end
+
+let trace_of_counts ~rng ~spec counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  let weights = node_weights ~rng ~nodes:spec.nodes ~skew:spec.node_skew in
+  let times = Array.make total 0. in
+  let event_nodes = Array.make total 0 in
+  let event_objects = Array.make total 0 in
+  let kinds = Array.make total Trace.Read in
+  let pos = ref 0 in
+  Array.iteri
+    (fun k c ->
+      (* Interest locality: restrict this object's accesses to its home
+         subset; hot objects (c >> locality_h) remain global. *)
+      let node_pool, pool_weights =
+        if spec.locality_h <= 0. then (None, weights)
+        else begin
+          let fc = float_of_int c in
+          let size =
+            max 1
+              (int_of_float
+                 (Float.round
+                    (float_of_int spec.nodes *. fc /. (fc +. spec.locality_h))))
+          in
+          if size >= spec.nodes then (None, weights)
+          else begin
+            let subset = pick_home_subset rng ~weights ~size in
+            let w = Array.map (fun n -> weights.(n)) subset in
+            (Some subset, w)
+          end
+        end
+      in
+      for _ = 1 to c do
+        times.(!pos) <- draw_time rng spec;
+        let idx = Util.Prng.pick_weighted rng ~weights:pool_weights in
+        event_nodes.(!pos) <-
+          (match node_pool with Some subset -> subset.(idx) | None -> idx);
+        event_objects.(!pos) <- k;
+        incr pos
+      done)
+    counts;
+  (* Sort all four arrays by time via an index permutation. *)
+  let order = Array.init total (fun i -> i) in
+  Array.sort (fun i j -> compare times.(i) times.(j)) order;
+  let permute src = Array.map (fun i -> src.(i)) order in
+  Trace.create_unsafe ~nodes:spec.nodes ~objects:spec.objects
+    ~duration_s:spec.duration_s ~times:(permute times)
+    ~event_nodes:(permute event_nodes) ~event_objects:(permute event_objects)
+    ~kinds:(permute kinds)
+
+let web ~rng spec =
+  let m =
+    Zipf.fit_mandelbrot ~n:spec.objects
+      ~total:(float_of_int spec.total_requests)
+      ~max_count:(float_of_int spec.max_object_requests)
+      ~min_count:(float_of_int spec.min_object_requests)
+  in
+  let counts = Zipf.counts m ~n:spec.objects in
+  trace_of_counts ~rng ~spec counts
+
+let group ~rng spec =
+  if spec.objects < 1 then invalid_arg "Synthesize.group: need objects >= 1";
+  let lo = float_of_int spec.min_object_requests in
+  let hi = float_of_int spec.max_object_requests in
+  if lo > hi then invalid_arg "Synthesize.group: min > max";
+  let raw =
+    Array.init spec.objects (fun k ->
+        if k = 0 then hi
+        else if lo = hi then lo
+        else Util.Prng.uniform rng ~lo ~hi)
+  in
+  (* Rescale the non-pinned objects so the total matches, then clamp back
+     into [lo, hi]; one clamping pass is enough in practice because the
+     adjustment factors are mild. *)
+  let target = float_of_int spec.total_requests -. hi in
+  let body_sum = Util.Vecops.sum raw -. hi in
+  let factor = if body_sum > 0. then target /. body_sum else 1. in
+  let counts =
+    Array.mapi
+      (fun k x ->
+        if k = 0 then int_of_float hi
+        else
+          let scaled = Util.Vecops.clamp (x *. factor) ~lo ~hi:(hi -. 1.) in
+          max 1 (int_of_float (Float.round scaled)))
+      raw
+  in
+  trace_of_counts ~rng ~spec counts
+
+let with_writes ~rng ~write_fraction trace =
+  if write_fraction < 0. || write_fraction > 1. then
+    invalid_arg "Synthesize.with_writes: fraction must be in [0, 1]";
+  let n = Trace.length trace in
+  let times = Array.make n 0. in
+  let event_nodes = Array.make n 0 in
+  let event_objects = Array.make n 0 in
+  let kinds = Array.make n Trace.Read in
+  let pos = ref 0 in
+  Trace.iter
+    (fun ~time ~node ~object_id ~kind ->
+      times.(!pos) <- time;
+      event_nodes.(!pos) <- node;
+      event_objects.(!pos) <- object_id;
+      kinds.(!pos) <-
+        (match kind with
+        | Trace.Write -> Trace.Write
+        | Trace.Read ->
+          if Util.Prng.float rng 1. < write_fraction then Trace.Write
+          else Trace.Read);
+      incr pos)
+    trace;
+  Trace.create_unsafe ~nodes:(Trace.node_count trace)
+    ~objects:(Trace.object_count trace)
+    ~duration_s:(Trace.duration_s trace)
+    ~times ~event_nodes ~event_objects ~kinds

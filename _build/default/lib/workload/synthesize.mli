@@ -1,0 +1,71 @@
+(** Synthetic case-study workloads.
+
+    The paper evaluates two one-day workloads over 1000 shared objects on a
+    20-node system:
+
+    - {b WEB}: heavy-tailed Zipf popularity derived from the WorldCup98 web
+      logs — 300K requests, most popular object 36K accesses, least popular
+      1 access.
+    - {b GROUP}: a working group on an active collaborative project — only
+      popular objects, near-uniform popularity, 16M requests, most popular
+      36K accesses, least popular 8.5K.
+
+    The original traces are not redistributable; these generators synthesize
+    workloads with the same published marginals (see DESIGN.md). Request
+    origins follow a skewed node-activity distribution ("some sites are
+    bigger or more active than others"); request times are uniform with an
+    optional diurnal modulation. A [scale] factor shrinks request counts
+    (and the object universe) proportionally for faster experiments. *)
+
+type spec = {
+  nodes : int;
+  objects : int;
+  total_requests : int;
+  max_object_requests : int;
+  min_object_requests : int;
+  duration_s : float;
+  node_skew : float;
+      (** Zipf exponent of per-node activity; 0. = uniform sites. *)
+  locality_h : float;
+      (** Interest locality: an object accessed [c] times is spread over a
+          "home subset" of roughly [nodes * c / (c + locality_h)] sites
+          (weighted towards active ones), so rarely-accessed objects live
+          at few sites — as in real office traces — instead of scattering
+          single accesses across every node. [0.] disables (every object
+          is accessed from everywhere), which makes per-user cold-miss
+          rates unrealistically high for heavy-tailed workloads. *)
+  diurnal : bool;
+      (** When true, request times follow a one-period sinusoidal daily
+          pattern instead of a uniform spread. *)
+}
+
+val web_spec : spec
+(** The paper's WEB workload at full scale. *)
+
+val group_spec : spec
+(** The paper's GROUP workload at full scale. *)
+
+val scale_spec : ?object_factor:float -> spec -> factor:float -> spec
+(** Scale request counts by [factor] in (0, 1] and object counts by
+    [object_factor] (default [factor]); keeps durations. Scaling objects
+    less aggressively than requests ([object_factor > factor]) preserves a
+    heavy tail's character — the per-node working set stays a small
+    fraction of the catalogue, which is what makes storage-constrained
+    placement cheap relative to replica-constrained placement on WEB-like
+    workloads (Figure 1). *)
+
+val node_weights : rng:Util.Prng.t -> nodes:int -> skew:float -> float array
+(** Per-node activity weights, normalized to sum 1, assigned to a random
+    permutation of nodes so the busiest site is not always node 0. *)
+
+val web : rng:Util.Prng.t -> spec -> Trace.t
+(** Zipf–Mandelbrot popularity fitted to the spec's marginals. *)
+
+val group : rng:Util.Prng.t -> spec -> Trace.t
+(** Near-uniform popularity in [min, max] with one object pinned to the
+    spec's maximum, rescaled to the requested total. *)
+
+val with_writes :
+  rng:Util.Prng.t -> write_fraction:float -> Trace.t -> Trace.t
+(** Convert a uniformly chosen fraction of read events into writes — used
+    to exercise the update-cost extension (term (12) of the paper). *)

@@ -1,0 +1,100 @@
+let header_prefix = "# replica-select trace v1"
+
+let to_buffer buf t =
+  Buffer.add_string buf
+    (Printf.sprintf "%s nodes=%d objects=%d duration_s=%.9g\n" header_prefix
+       (Trace.node_count t) (Trace.object_count t) (Trace.duration_s t));
+  Buffer.add_string buf "time_s,node,object,kind\n";
+  Trace.iter
+    (fun ~time ~node ~object_id ~kind ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9g,%d,%d,%c" time node object_id
+           (match kind with Trace.Read -> 'r' | Trace.Write -> 'w'));
+      Buffer.add_char buf '\n')
+    t
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let fail_line lineno msg = failwith (Printf.sprintf "trace line %d: %s" lineno msg)
+
+let parse_header line =
+  let kv key =
+    let marker = key ^ "=" in
+    match String.index_opt line '=' with
+    | None -> fail_line 1 "missing header fields"
+    | Some _ -> (
+      (* Find "key=" and read until the next space or end. *)
+      let rec find i =
+        if i + String.length marker > String.length line then
+          fail_line 1 ("missing header field " ^ key)
+        else if String.sub line i (String.length marker) = marker then
+          i + String.length marker
+        else find (i + 1)
+      in
+      let start = find 0 in
+      let stop =
+        match String.index_from_opt line start ' ' with
+        | Some j -> j
+        | None -> String.length line
+      in
+      String.sub line start (stop - start))
+  in
+  ( int_of_string (kv "nodes"),
+    int_of_string (kv "objects"),
+    float_of_string (kv "duration_s") )
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: _column_names :: rest ->
+    if
+      String.length header < String.length header_prefix
+      || String.sub header 0 (String.length header_prefix) <> header_prefix
+    then failwith "trace: not a replica-select trace file";
+    let nodes, objects, duration_s =
+      try parse_header header
+      with Failure _ | Invalid_argument _ ->
+        failwith "trace: malformed header"
+    in
+    let events = ref [] in
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 3 in
+        if String.trim line <> "" then
+          match String.split_on_char ',' line with
+          | [ time; node; obj; kind ] -> (
+            try
+              let kind =
+                match String.trim kind with
+                | "r" -> Trace.Read
+                | "w" -> Trace.Write
+                | other -> fail_line lineno ("unknown kind " ^ other)
+              in
+              events :=
+                ( float_of_string (String.trim time),
+                  int_of_string (String.trim node),
+                  int_of_string (String.trim obj),
+                  kind )
+                :: !events
+            with Failure msg -> fail_line lineno msg)
+          | _ -> fail_line lineno "expected 4 comma-separated fields")
+      rest;
+    Trace.of_events ~nodes ~objects ~duration_s (List.rev !events)
+  | _ -> failwith "trace: empty file"
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

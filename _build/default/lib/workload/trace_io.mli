@@ -1,0 +1,24 @@
+(** Plain-text trace serialization.
+
+    Format: a header line carrying the trace dimensions, then one CSV
+    record per event in time order:
+
+    {v
+    # replica-select trace v1 nodes=20 objects=1000 duration_s=86400
+    time_s,node,object,kind
+    12.5,3,17,r
+    13.1,0,2,w
+    v}
+
+    Intended for exchanging synthetic workloads between runs and for
+    importing real traces (convert to this format, then
+    {!Workload.Demand.of_trace} buckets them). *)
+
+val save : Trace.t -> path:string -> unit
+(** Writes the trace; overwrites an existing file. *)
+
+val load : path:string -> Trace.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t

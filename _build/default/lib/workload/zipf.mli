@@ -1,0 +1,39 @@
+(** Zipf and Zipf–Mandelbrot popularity laws.
+
+    The WEB workload of the paper is derived from the WorldCup98 trace; the
+    published marginals are: 1000 objects, 300K requests, most popular
+    object 36K accesses, least popular 1 access. A pure power law cannot
+    satisfy all three constraints at once, so we fit the three-parameter
+    Zipf–Mandelbrot law [count(r) = a / (r + q)^s], which can. *)
+
+val harmonic : n:int -> s:float -> float
+(** Generalized harmonic number [sum_{r=1..n} r^{-s}]. Requires [n >= 1]. *)
+
+val frequencies : n:int -> s:float -> float array
+(** Normalized Zipf probabilities for ranks 1..n ([index 0] = rank 1). *)
+
+type mandelbrot = { c1 : float; q : float; s : float }
+(** [count r = c1 * ((1 + q) / (r + q))^s] for rank [r] in 1..n; [c1] is
+    the count at rank 1. Evaluated in log space so that extreme [q]/[s]
+    combinations stay finite. *)
+
+val mandelbrot_count : mandelbrot -> int -> float
+(** Expected access count at a 1-based rank. *)
+
+val fit_mandelbrot :
+  n:int -> total:float -> max_count:float -> min_count:float -> mandelbrot
+(** [fit_mandelbrot ~n ~total ~max_count ~min_count] finds parameters such
+    that rank 1 has [max_count] accesses, rank [n] has [min_count], and the
+    counts sum as close to [total] as the law permits. The max/min
+    marginals are always honored exactly; with those pinned the law can
+    express totals only within an interval (pure power law at one end,
+    geometric decay at the other), so an out-of-interval [total] is clamped
+    to the nearest achievable value — this happens when a workload spec is
+    scaled down aggressively, see {!Synthesize.scale_spec}. Requires
+    [max_count > min_count > 0], [n >= 2], and
+    [n * min_count < total < n * max_count]. *)
+
+val counts : mandelbrot -> n:int -> int array
+(** Integer access counts per rank, rounded with the fractional remainders
+    redistributed so the total is preserved exactly. Every rank gets at
+    least 1. *)

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Bounds Float Hashtbl Ipsolve List Lp Mcperf Option QCheck2 QCheck_alcotest Rounding Topology Util Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bounds Filename Float List Mcperf Printf Replica_select String Sys Topology Workload

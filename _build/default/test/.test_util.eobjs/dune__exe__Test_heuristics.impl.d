@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Bounds Float Heuristics List Mcperf QCheck2 QCheck_alcotest Sim Topology Util Workload

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Lp QCheck2 QCheck_alcotest Util

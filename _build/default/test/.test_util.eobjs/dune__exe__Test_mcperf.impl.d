@@ -1,0 +1,1 @@
+test/test_mcperf.ml: Alcotest Array Float Ipsolve List Lp Mcperf Topology Workload

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Filename List Printf QCheck2 QCheck_alcotest Sys Topology Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Float Fun QCheck2 QCheck_alcotest String Sys Util Workload

@@ -1,0 +1,792 @@
+(* Tests for the deployed heuristics: the LRU cache structure, the
+   event-level cache simulator, the centralized greedy placements, and the
+   minimal-parameter searches. *)
+
+let cell n i c : Workload.Demand.cell = { node = n; interval = i; count = c }
+
+(* --- LRU cache structure ----------------------------------------------- *)
+
+let test_lru_basic () =
+  let c = Heuristics.Lru_cache.create ~capacity:2 in
+  Alcotest.(check int) "empty" 0 (Heuristics.Lru_cache.size c);
+  Alcotest.(check (option int)) "insert 1" None (Heuristics.Lru_cache.insert c 1);
+  Alcotest.(check (option int)) "insert 2" None (Heuristics.Lru_cache.insert c 2);
+  Alcotest.(check (list int)) "order 2,1" [ 2; 1 ] (Heuristics.Lru_cache.contents c);
+  (* Touch 1 -> becomes MRU; inserting 3 evicts 2. *)
+  Alcotest.(check bool) "touch 1" true (Heuristics.Lru_cache.touch c 1);
+  Alcotest.(check (option int)) "insert 3 evicts 2" (Some 2)
+    (Heuristics.Lru_cache.insert c 3);
+  Alcotest.(check (list int)) "order 3,1" [ 3; 1 ] (Heuristics.Lru_cache.contents c);
+  Alcotest.(check bool) "2 gone" false (Heuristics.Lru_cache.mem c 2)
+
+let test_lru_duplicate_insert () =
+  let c = Heuristics.Lru_cache.create ~capacity:2 in
+  ignore (Heuristics.Lru_cache.insert c 1);
+  ignore (Heuristics.Lru_cache.insert c 2);
+  Alcotest.(check (option int)) "reinsert is refresh" None
+    (Heuristics.Lru_cache.insert c 1);
+  Alcotest.(check int) "size stays 2" 2 (Heuristics.Lru_cache.size c);
+  Alcotest.(check (list int)) "1 refreshed" [ 1; 2 ]
+    (Heuristics.Lru_cache.contents c)
+
+let test_lru_zero_capacity () =
+  let c = Heuristics.Lru_cache.create ~capacity:0 in
+  Alcotest.(check (option int)) "cannot retain" (Some 7)
+    (Heuristics.Lru_cache.insert c 7);
+  Alcotest.(check int) "still empty" 0 (Heuristics.Lru_cache.size c)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck2.Test.make ~count:100 ~name:"lru size <= capacity; eviction is LRU"
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 200) (int_range 0 20)))
+    (fun (cap, ops) ->
+      let c = Heuristics.Lru_cache.create ~capacity:cap in
+      (* Reference model: list of keys, most recent first. *)
+      let model = ref [] in
+      List.for_all
+        (fun k ->
+          let evicted = Heuristics.Lru_cache.insert c k in
+          (if List.mem k !model then
+             model := k :: List.filter (fun x -> x <> k) !model
+           else begin
+             model := k :: !model;
+             if List.length !model > cap then begin
+               let rec split acc = function
+                 | [ last ] -> (List.rev acc, last)
+                 | x :: rest -> split (x :: acc) rest
+                 | [] -> assert false
+               in
+               let kept, dropped = split [] !model in
+               model := kept;
+               ignore dropped
+             end
+           end);
+          Heuristics.Lru_cache.size c <= cap
+          && Heuristics.Lru_cache.contents c = !model
+          &&
+          match evicted with
+          | None -> true
+          | Some e -> not (List.mem e !model))
+        ops)
+
+(* --- event-level cache simulation ---------------------------------------- *)
+
+(* Line 0 -- 1 -- 2 -- 3, 100 ms hops, origin 0, Tlat 150: node 3 misses
+   to the origin take 300 ms. *)
+let line_system () =
+  let g =
+    Topology.Graph.of_edges 4 [ (0, 1, 100.); (1, 2, 100.); (2, 3, 100.) ]
+  in
+  Topology.System.make ~origin:0 g
+
+let simple_trace events =
+  Workload.Trace.of_events ~nodes:4 ~objects:3 ~duration_s:4. events
+
+let sim ?(capacity = 2) ?(mode = Heuristics.Event_cache.Local)
+    ?(prefetch = false) trace =
+  Heuristics.Event_cache.simulate ~system:(line_system ()) ~trace ~intervals:4
+    ~costs:Mcperf.Spec.default_costs ~tlat_ms:150. ~capacity ~mode ~prefetch ()
+
+let test_cache_hit_miss_accounting () =
+  let t =
+    simple_trace
+      [
+        (0.1, 3, 0, Workload.Trace.Read);  (* miss -> origin, 300ms *)
+        (0.2, 3, 0, Workload.Trace.Read);  (* hit, 0ms *)
+        (0.3, 3, 1, Workload.Trace.Read);  (* miss *)
+        (0.4, 3, 0, Workload.Trace.Read);  (* hit *)
+      ]
+  in
+  let o = sim t in
+  Alcotest.(check int) "misses" 2 o.Heuristics.Event_cache.misses;
+  Alcotest.(check int) "local hits" 2 o.Heuristics.Event_cache.hits_local;
+  Alcotest.(check int) "insertions" 2 o.Heuristics.Event_cache.insertions;
+  (* QoS of node 3: 2 of 4 reads within 150ms. *)
+  Alcotest.(check (float 1e-9)) "node 3 qos" 0.5 o.Heuristics.Event_cache.qos.(3);
+  (* Provisioned cost: capacity 2 on 3 sites for 4 intervals + 2 fills. *)
+  Alcotest.(check (float 1e-9)) "provisioned" 26.
+    o.Heuristics.Event_cache.provisioned_cost
+
+let test_cache_eviction_under_pressure () =
+  let t =
+    simple_trace
+      [
+        (0.1, 3, 0, Workload.Trace.Read);
+        (0.2, 3, 1, Workload.Trace.Read);
+        (0.3, 3, 2, Workload.Trace.Read);  (* evicts object 0 *)
+        (0.4, 3, 0, Workload.Trace.Read);  (* miss again *)
+      ]
+  in
+  let o = sim t in
+  Alcotest.(check int) "all four miss" 4 o.Heuristics.Event_cache.misses
+
+let test_origin_node_reads_are_free () =
+  let t = simple_trace [ (0.1, 0, 0, Workload.Trace.Read) ] in
+  let o = sim t in
+  Alcotest.(check int) "no miss at origin" 0 o.Heuristics.Event_cache.misses;
+  Alcotest.(check (float 1e-9)) "origin qos" 1. o.Heuristics.Event_cache.qos.(0)
+
+let test_near_origin_miss_is_covered () =
+  (* Node 1 is 100 ms from the origin: even misses are within Tlat. *)
+  let t = simple_trace [ (0.1, 1, 0, Workload.Trace.Read) ] in
+  let o = sim ~capacity:0 t in
+  Alcotest.(check int) "miss counted" 1 o.Heuristics.Event_cache.misses;
+  Alcotest.(check (float 1e-9)) "node 1 qos" 1. o.Heuristics.Event_cache.qos.(1)
+
+let test_cooperative_fetches_from_peer () =
+  (* Node 2 caches object 0; node 3's miss can then be served by node 2
+     (100 ms <= 150) instead of the origin (300 ms). *)
+  let t =
+    simple_trace
+      [
+        (0.1, 2, 0, Workload.Trace.Read);  (* node 2 miss -> caches it *)
+        (0.2, 3, 0, Workload.Trace.Read);  (* coop: remote hit at node 2 *)
+      ]
+  in
+  let local = sim ~mode:Heuristics.Event_cache.Local t in
+  Alcotest.(check (float 1e-9)) "local: node 3 uncovered" 0.
+    local.Heuristics.Event_cache.qos.(3);
+  let coop = sim ~mode:Heuristics.Event_cache.Cooperative t in
+  Alcotest.(check int) "remote hit" 1 coop.Heuristics.Event_cache.hits_remote;
+  Alcotest.(check (float 1e-9)) "coop: node 3 covered" 1.
+    coop.Heuristics.Event_cache.qos.(3)
+
+let test_prefetch_covers_first_access () =
+  (* With the oracle prefetcher, node 3's interval-0 read is preloaded. *)
+  let t = simple_trace [ (0.5, 3, 0, Workload.Trace.Read) ] in
+  let plain = sim t in
+  Alcotest.(check (float 1e-9)) "plain: cold miss" 0.
+    plain.Heuristics.Event_cache.qos.(3);
+  let pf = sim ~prefetch:true t in
+  Alcotest.(check (float 1e-9)) "prefetch: covered" 1.
+    pf.Heuristics.Event_cache.qos.(3);
+  Alcotest.(check int) "prefetch insertion" 1
+    pf.Heuristics.Event_cache.insertions
+
+let test_write_messages () =
+  let t =
+    simple_trace
+      [
+        (0.1, 3, 0, Workload.Trace.Read);  (* node 3 caches object 0 *)
+        (0.2, 1, 0, Workload.Trace.Write);  (* update: 1 cached copy *)
+      ]
+  in
+  let costs = { Mcperf.Spec.default_costs with delta = 1. } in
+  let o =
+    Heuristics.Event_cache.simulate ~system:(line_system ()) ~trace:t
+      ~intervals:4 ~costs ~tlat_ms:150. ~capacity:2
+      ~mode:Heuristics.Event_cache.Local ()
+  in
+  Alcotest.(check (float 1e-9)) "one update message" 1.
+    o.Heuristics.Event_cache.write_messages
+
+
+let test_write_invalidation () =
+  (* Node 3 caches object 0; a write invalidates it, so the next read
+     misses again. Under Update the copy survives. *)
+  let t =
+    simple_trace
+      [
+        (0.1, 3, 0, Workload.Trace.Read);
+        (0.2, 1, 0, Workload.Trace.Write);
+        (0.3, 3, 0, Workload.Trace.Read);
+      ]
+  in
+  let run write_policy =
+    Heuristics.Event_cache.simulate ~system:(line_system ()) ~trace:t
+      ~intervals:4 ~costs:{ Mcperf.Spec.default_costs with delta = 1. }
+      ~tlat_ms:150. ~capacity:2 ~mode:Heuristics.Event_cache.Local
+      ~write_policy ()
+  in
+  let upd = run Heuristics.Event_cache.Update in
+  Alcotest.(check int) "update keeps copy: 1 miss" 1
+    upd.Heuristics.Event_cache.misses;
+  Alcotest.(check (float 1e-9)) "one update message" 1.
+    upd.Heuristics.Event_cache.write_messages;
+  let inv = run Heuristics.Event_cache.Invalidate in
+  Alcotest.(check int) "invalidate: 2 misses" 2
+    inv.Heuristics.Event_cache.misses;
+  Alcotest.(check (float 1e-9)) "one invalidation message" 1.
+    inv.Heuristics.Event_cache.write_messages
+
+let test_lru_remove () =
+  let c = Heuristics.Lru_cache.create ~capacity:3 in
+  ignore (Heuristics.Lru_cache.insert c 1);
+  ignore (Heuristics.Lru_cache.insert c 2);
+  Alcotest.(check bool) "removes present" true (Heuristics.Lru_cache.remove c 1);
+  Alcotest.(check bool) "absent now" false (Heuristics.Lru_cache.mem c 1);
+  Alcotest.(check int) "size" 1 (Heuristics.Lru_cache.size c);
+  Alcotest.(check bool) "removing absent" false
+    (Heuristics.Lru_cache.remove c 9);
+  (* The list structure survives removal of the head/tail. *)
+  ignore (Heuristics.Lru_cache.insert c 3);
+  ignore (Heuristics.Lru_cache.insert c 4);
+  Alcotest.(check (list int)) "order" [ 4; 3; 2 ]
+    (Heuristics.Lru_cache.contents c)
+
+(* --- greedy placements ----------------------------------------------------- *)
+
+let tail_spec ?(fraction = 1.0) () =
+  let demand =
+    Workload.Demand.create ~nodes:4 ~intervals:4 ~interval_s:3600.
+      ~reads:
+        [| [| cell 3 0 10.; cell 3 1 10.; cell 3 2 10.; cell 3 3 10. |] |]
+      ()
+  in
+  Mcperf.Spec.make ~system:(line_system ()) ~demand
+    ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction })
+    ()
+
+let test_greedy_global_covers () =
+  let spec = tail_spec () in
+  let e = Heuristics.Greedy_global.evaluate ~spec ~capacity:1. () in
+  Alcotest.(check bool) "meets 100% goal" true e.Mcperf.Costing.meets_goal;
+  (* One slot on every site (uniform SC): padding makes all 3 sites pay
+     4 intervals each, plus the creation(s). *)
+  Alcotest.(check bool) "cost at least 12" true (e.Mcperf.Costing.total >= 12.)
+
+let test_greedy_global_zero_capacity () =
+  let spec = tail_spec () in
+  let e = Heuristics.Greedy_global.evaluate ~spec ~capacity:0. () in
+  Alcotest.(check bool) "cannot meet goal" false e.Mcperf.Costing.meets_goal;
+  Alcotest.(check (float 1e-9)) "zero cost" 0. e.Mcperf.Costing.total
+
+let test_greedy_replica_covers () =
+  let spec = tail_spec () in
+  let e = Heuristics.Greedy_replica.evaluate ~spec ~replicas:1 () in
+  Alcotest.(check bool) "meets goal" true e.Mcperf.Costing.meets_goal;
+  (* One replica held the full horizon: 4 storage + 1 create; the uniform
+     replica constraint pads nothing else (single object). *)
+  Alcotest.(check (float 1e-9)) "cost" 5. e.Mcperf.Costing.total
+
+let test_greedy_replica_sticks_to_best_node () =
+  (* Two readers (1 and 3) of one object; a replica at node 2 covers both
+     (100 ms each); greedy should prefer it over separate replicas. *)
+  let demand =
+    Workload.Demand.create ~nodes:4 ~intervals:2 ~interval_s:3600.
+      ~reads:[| [| cell 1 0 5.; cell 3 0 5.; cell 1 1 5.; cell 3 1 5. |] |]
+      ()
+  in
+  let spec =
+    Mcperf.Spec.make ~system:(line_system ()) ~demand
+      ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 1. })
+      ()
+  in
+  let perm =
+    Mcperf.Permission.compute spec Mcperf.Classes.replica_constrained_uniform
+  in
+  let placement = Heuristics.Greedy_replica.place ~perm ~replicas:1 () in
+  (* Node 1 is origin-covered (100 ms from node 0), so greedy only needs
+     to serve node 3; it may pick node 2 or 3. *)
+  Alcotest.(check bool) "one replica placed" true
+    (placement.(2).(0) <> 0 || placement.(3).(0) <> 0)
+
+
+(* --- replacement policies ------------------------------------------------ *)
+
+let test_policy_fifo_ignores_recency () =
+  (* Capacity 2; insert 1,2; touch 1; insert 3. FIFO evicts 1 (oldest
+     insertion) even though it was just used; LRU evicts 2. *)
+  let run kind =
+    let c = Heuristics.Policy_cache.create kind ~capacity:2 in
+    ignore (Heuristics.Policy_cache.insert c 1);
+    ignore (Heuristics.Policy_cache.insert c 2);
+    ignore (Heuristics.Policy_cache.touch c 1);
+    Heuristics.Policy_cache.insert c 3
+  in
+  Alcotest.(check (option int)) "fifo evicts 1" (Some 1)
+    (run Heuristics.Policy_cache.Fifo);
+  Alcotest.(check (option int)) "lru evicts 2" (Some 2)
+    (run Heuristics.Policy_cache.Lru)
+
+let test_policy_lfu_keeps_hot () =
+  (* Capacity 2; object 1 accessed three times, object 2 once; inserting 3
+     evicts the cold object 2. *)
+  let c = Heuristics.Policy_cache.create Heuristics.Policy_cache.Lfu ~capacity:2 in
+  ignore (Heuristics.Policy_cache.insert c 1);
+  ignore (Heuristics.Policy_cache.insert c 2);
+  ignore (Heuristics.Policy_cache.touch c 1);
+  ignore (Heuristics.Policy_cache.touch c 1);
+  Alcotest.(check (option int)) "evicts cold" (Some 2)
+    (Heuristics.Policy_cache.insert c 3);
+  Alcotest.(check bool) "hot object kept" true
+    (Heuristics.Policy_cache.mem c 1)
+
+let test_policy_size_never_exceeds_capacity () =
+  List.iter
+    (fun kind ->
+      let c = Heuristics.Policy_cache.create kind ~capacity:3 in
+      let rng = Util.Prng.create ~seed:3 in
+      for _ = 1 to 500 do
+        let k = Util.Prng.int rng 10 in
+        if not (Heuristics.Policy_cache.touch c k) then
+          ignore (Heuristics.Policy_cache.insert c k);
+        Alcotest.(check bool) "size bound" true
+          (Heuristics.Policy_cache.size c <= 3)
+      done)
+    [ Heuristics.Policy_cache.Lru; Heuristics.Policy_cache.Fifo;
+      Heuristics.Policy_cache.Lfu ]
+
+(* --- searches ----------------------------------------------------------------- *)
+
+let test_min_feasible_int () =
+  let calls = ref 0 in
+  let feasible p =
+    incr calls;
+    p >= 13
+  in
+  Alcotest.(check (option int)) "finds 13" (Some 13)
+    (Sim.Search.min_feasible_int ~lo:0 ~hi:100 ~feasible);
+  Alcotest.(check bool) "logarithmic" true (!calls <= 12);
+  Alcotest.(check (option int)) "none" None
+    (Sim.Search.min_feasible_int ~lo:0 ~hi:10 ~feasible:(fun _ -> false));
+  Alcotest.(check (option int)) "lo immediately" (Some 5)
+    (Sim.Search.min_feasible_int ~lo:5 ~hi:10 ~feasible:(fun _ -> true))
+
+let test_min_feasible_float () =
+  match
+    Sim.Search.min_feasible_float ~lo:0. ~hi:100. ~tol:1e-3
+      ~feasible:(fun x -> x >= Float.pi)
+  with
+  | Some v ->
+    Alcotest.(check bool) "close to pi" true
+      (v >= Float.pi && v < Float.pi +. 1e-2)
+  | None -> Alcotest.fail "expected a value"
+
+(* --- runner ---------------------------------------------------------------------- *)
+
+let trace_for_tail_spec () =
+  (* Event-level version of the tail demand: node 3 reads object 0 ten
+     times in each of four intervals (duration 4 h, 1 h intervals). *)
+  let events = ref [] in
+  for i = 0 to 3 do
+    for r = 0 to 9 do
+      events :=
+        ( (float_of_int i *. 3600.) +. (float_of_int r *. 60.),
+          3,
+          0,
+          Workload.Trace.Read )
+        :: !events
+    done
+  done;
+  Workload.Trace.of_events ~nodes:4 ~objects:1 ~duration_s:14400. !events
+
+let test_policy_runner_entrypoint () =
+  (* All policies cost at least the LRU-class bound; on this simple trace
+     they find the same minimal capacity. *)
+  let spec = tail_spec ~fraction:0.9 () in
+  let trace = trace_for_tail_spec () in
+  List.iter
+    (fun policy ->
+      match Sim.Runner.policy_caching ~policy ~spec ~trace () with
+      | Some d ->
+        Alcotest.(check int)
+          (Heuristics.Policy_cache.kind_name policy ^ " capacity")
+          1 d.Sim.Runner.parameter
+      | None -> Alcotest.fail "policy caching should be feasible at 90%")
+    [ Heuristics.Policy_cache.Lru; Heuristics.Policy_cache.Fifo;
+      Heuristics.Policy_cache.Lfu ]
+
+let test_runner_lru_infeasible_at_100 () =
+  (* The first access is always a cold miss 300 ms from the origin, so no
+     capacity reaches 100%. *)
+  let spec = tail_spec () in
+  let trace = trace_for_tail_spec () in
+  Alcotest.(check bool) "infeasible" true
+    (Sim.Runner.lru_caching ~spec ~trace () = None)
+
+let test_runner_lru_feasible_at_90 () =
+  let spec = tail_spec ~fraction:0.9 () in
+  let trace = trace_for_tail_spec () in
+  match Sim.Runner.lru_caching ~spec ~trace () with
+  | None -> Alcotest.fail "expected feasible"
+  | Some d ->
+    Alcotest.(check int) "capacity 1" 1 d.Sim.Runner.parameter;
+    (* 39/40 covered = 0.975 >= 0.9. *)
+    Alcotest.(check bool) "qos" true (d.Sim.Runner.worst_qos >= 0.9);
+    (* Cost: capacity 1 * 3 sites * 4 intervals + 1 fill = 13. *)
+    Alcotest.(check (float 1e-9)) "cost" 13. d.Sim.Runner.cost
+
+let test_runner_prefetch_feasible_at_100 () =
+  let spec = tail_spec () in
+  let trace = trace_for_tail_spec () in
+  match Sim.Runner.caching_with_prefetch ~spec ~trace () with
+  | None -> Alcotest.fail "prefetching should reach 100%"
+  | Some d -> Alcotest.(check bool) "qos 1" true (d.Sim.Runner.worst_qos >= 1.)
+
+let test_runner_greedy_cheaper_than_caching () =
+  (* The paper's headline: the right class beats caching. Here the
+     replica-constrained greedy (5) beats LRU (13) at 90%. *)
+  let spec = tail_spec ~fraction:0.9 () in
+  let trace = trace_for_tail_spec () in
+  match (Sim.Runner.greedy_replica ~spec (), Sim.Runner.lru_caching ~spec ~trace ()) with
+  | Some gr, Some lru ->
+    Alcotest.(check bool) "greedy wins" true (gr.Sim.Runner.cost < lru.Sim.Runner.cost)
+  | _ -> Alcotest.fail "both should be feasible"
+
+let test_runner_costs_at_least_class_bound () =
+  (* Deployed heuristics can never beat their class's lower bound. *)
+  let spec = tail_spec ~fraction:0.75 () in
+  let trace = trace_for_tail_spec () in
+  let bound cls =
+    let r = Bounds.Pipeline.compute spec cls in
+    r.Bounds.Pipeline.lower_bound
+  in
+  (match Sim.Runner.greedy_replica ~spec () with
+  | Some d ->
+    Alcotest.(check bool) "greedy-replica >= RC bound" true
+      (d.Sim.Runner.cost
+      >= bound Mcperf.Classes.replica_constrained_uniform -. 1e-6)
+  | None -> Alcotest.fail "greedy-replica infeasible");
+  (match Sim.Runner.greedy_global ~spec () with
+  | Some d ->
+    Alcotest.(check bool) "greedy-global >= SC bound" true
+      (d.Sim.Runner.cost >= bound Mcperf.Classes.storage_constrained -. 1e-6)
+  | None -> Alcotest.fail "greedy-global infeasible");
+  match Sim.Runner.lru_caching ~spec ~trace () with
+  | Some d ->
+    Alcotest.(check bool) "lru >= caching bound" true
+      (d.Sim.Runner.cost >= bound Mcperf.Classes.caching -. 1e-6)
+  | None -> Alcotest.fail "lru infeasible"
+
+
+
+let test_hierarchical_no_intra_cluster_duplication () =
+  (* With a 350 ms radius the whole line is one cluster; after node 2
+     caches object 0, node 3's read is served by node 2 without creating
+     a second copy. Plain cooperative caching duplicates. *)
+  let t =
+    simple_trace
+      [
+        (0.1, 2, 0, Workload.Trace.Read);
+        (0.2, 3, 0, Workload.Trace.Read);
+        (0.3, 3, 0, Workload.Trace.Read);
+      ]
+  in
+  let coop = sim ~mode:Heuristics.Event_cache.Cooperative t in
+  Alcotest.(check int) "coop duplicates" 2 coop.Heuristics.Event_cache.insertions;
+  let hier =
+    sim ~mode:(Heuristics.Event_cache.Hierarchical { cluster_radius_ms = 350. }) t
+  in
+  Alcotest.(check int) "hierarchical keeps one copy" 1
+    hier.Heuristics.Event_cache.insertions;
+  (* All three reads are served within the threshold either way. *)
+  Alcotest.(check (float 1e-9)) "node 3 covered" 1.
+    hier.Heuristics.Event_cache.qos.(3)
+
+let test_hierarchical_cross_cluster_caches_locally () =
+  (* With a 50 ms radius every node is its own cluster: hierarchical mode
+     degenerates to cooperative (fetch + local insert). *)
+  let t =
+    simple_trace
+      [ (0.1, 2, 0, Workload.Trace.Read); (0.2, 3, 0, Workload.Trace.Read) ]
+  in
+  let hier =
+    sim ~mode:(Heuristics.Event_cache.Hierarchical { cluster_radius_ms = 50. }) t
+  in
+  Alcotest.(check int) "both cache" 2 hier.Heuristics.Event_cache.insertions
+
+let test_placement_baselines () =
+  let spec = tail_spec () in
+  let results =
+    Heuristics.Placement_baselines.compare_strategies
+      ~rng:(Util.Prng.create ~seed:5) ~spec ~replicas:1 ()
+  in
+  Alcotest.(check int) "three strategies" 3 (List.length results);
+  let cost st =
+    let _, (e : Mcperf.Costing.evaluation) =
+      List.find (fun (s, _) -> s = st) results
+    in
+    e.Mcperf.Costing.total
+  in
+  (* Greedy is never worse than hotspot or random here (single reader:
+     greedy picks a covering node directly). *)
+  Alcotest.(check bool) "greedy <= hotspot" true
+    (cost Heuristics.Placement_baselines.Greedy
+    <= cost Heuristics.Placement_baselines.Hotspot +. 1e-9);
+  (* Hotspot places at node 3 itself (the only demand source): covers. *)
+  let _, hotspot_eval =
+    List.find
+      (fun (s, _) -> s = Heuristics.Placement_baselines.Hotspot)
+      results
+  in
+  Alcotest.(check bool) "hotspot meets goal" true
+    hotspot_eval.Mcperf.Costing.meets_goal
+
+let test_placement_baselines_respect_support () =
+  (* Whatever the strategy, replicas only land on nodes with store
+     support. *)
+  let spec = tail_spec () in
+  let perm =
+    Mcperf.Permission.compute spec Mcperf.Classes.replica_constrained_uniform
+  in
+  List.iter
+    (fun strategy ->
+      let placement =
+        Heuristics.Placement_baselines.place
+          ~rng:(Util.Prng.create ~seed:11) ~perm ~strategy ~replicas:3 ()
+      in
+      Array.iteri
+        (fun m per_obj ->
+          Array.iteri
+            (fun k mask ->
+              if mask <> 0 then
+                Alcotest.(check bool) "support" true
+                  (perm.Mcperf.Permission.store_mask.(m).(k) <> 0))
+            per_obj)
+        placement)
+    [ Heuristics.Placement_baselines.Random;
+      Heuristics.Placement_baselines.Hotspot;
+      Heuristics.Placement_baselines.Greedy ]
+
+(* --- conservation and capacity properties --------------------------------- *)
+
+let random_cache_scenario seed =
+  let rng = Util.Prng.create ~seed in
+  let nodes = 3 + Util.Prng.int rng 4 in
+  let g =
+    Topology.Generate.as_like ~rng ~nodes
+      ~latency:Topology.Generate.default_hop_latency ()
+  in
+  let sys = Topology.System.make g in
+  let objects = 2 + Util.Prng.int rng 6 in
+  let n_events = 20 + Util.Prng.int rng 200 in
+  let events =
+    List.init n_events (fun _ ->
+        ( Util.Prng.float rng 100.,
+          Util.Prng.int rng nodes,
+          Util.Prng.int rng objects,
+          Workload.Trace.Read ))
+  in
+  let trace = Workload.Trace.of_events ~nodes ~objects ~duration_s:100. events in
+  (sys, trace)
+
+let prop_cache_conserves_events =
+  QCheck2.Test.make ~count:50
+    ~name:"cache sim: hits + misses = non-origin reads, for all policies/modes"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let sys, trace = random_cache_scenario seed in
+      let origin_reads = ref 0 in
+      Workload.Trace.iter
+        (fun ~time:_ ~node ~object_id:_ ~kind:_ ->
+          if node = sys.Topology.System.origin then incr origin_reads)
+        trace;
+      let expected = Workload.Trace.length trace - !origin_reads in
+      List.for_all
+        (fun (mode, policy, prefetch) ->
+          let o =
+            Heuristics.Event_cache.simulate ~system:sys ~trace ~intervals:5
+              ~costs:Mcperf.Spec.default_costs ~tlat_ms:150.
+              ~capacity:(1 + seed mod 4) ~mode ~prefetch ~policy ()
+          in
+          o.Heuristics.Event_cache.hits_local
+          + o.Heuristics.Event_cache.hits_remote
+          + o.Heuristics.Event_cache.misses
+          = expected
+          && Array.for_all
+               (fun q -> q >= 0. && q <= 1.)
+               o.Heuristics.Event_cache.qos)
+        [
+          (Heuristics.Event_cache.Local, Heuristics.Policy_cache.Lru, false);
+          (Heuristics.Event_cache.Cooperative, Heuristics.Policy_cache.Lru, false);
+          (Heuristics.Event_cache.Local, Heuristics.Policy_cache.Fifo, false);
+          (Heuristics.Event_cache.Cooperative, Heuristics.Policy_cache.Lfu, false);
+          (Heuristics.Event_cache.Local, Heuristics.Policy_cache.Lru, true);
+        ])
+
+let prop_greedy_global_respects_capacity =
+  QCheck2.Test.make ~count:40
+    ~name:"greedy global placement never exceeds the per-node capacity"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Util.Prng.create ~seed:(seed + 13) in
+      let nodes = 4 + Util.Prng.int rng 3 in
+      let g =
+        Topology.Generate.as_like ~rng ~nodes
+          ~latency:Topology.Generate.default_hop_latency ()
+      in
+      let sys = Topology.System.make g in
+      let objects = 3 + Util.Prng.int rng 5 in
+      let intervals = 3 + Util.Prng.int rng 3 in
+      let events =
+        List.init (50 + Util.Prng.int rng 100) (fun _ ->
+            ( Util.Prng.float rng 100.,
+              Util.Prng.int rng nodes,
+              Util.Prng.int rng objects,
+              Workload.Trace.Read ))
+      in
+      let trace =
+        Workload.Trace.of_events ~nodes ~objects ~duration_s:100. events
+      in
+      let demand = Workload.Demand.of_trace ~intervals trace in
+      let spec =
+        Mcperf.Spec.make ~system:sys ~demand
+          ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 0.9 })
+          ()
+      in
+      let capacity = float_of_int (1 + Util.Prng.int rng 3) in
+      let perm =
+        Mcperf.Permission.compute spec Mcperf.Classes.storage_constrained
+      in
+      let placement = Heuristics.Greedy_global.place ~perm ~capacity () in
+      let ok = ref true in
+      for i = 0 to intervals - 1 do
+        for m = 0 to nodes - 1 do
+          let used = ref 0. in
+          for k = 0 to objects - 1 do
+            if placement.(m).(k) land (1 lsl i) <> 0 then
+              used := !used +. demand.Workload.Demand.weight.(k)
+          done;
+          if !used > capacity +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_costing_components_sum =
+  QCheck2.Test.make ~count:40
+    ~name:"costing: total equals the sum of its components"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Util.Prng.create ~seed:(seed + 29) in
+      let nodes = 4 + Util.Prng.int rng 3 in
+      let g =
+        Topology.Generate.as_like ~rng ~nodes
+          ~latency:Topology.Generate.default_hop_latency ()
+      in
+      let sys = Topology.System.make g in
+      let objects = 2 + Util.Prng.int rng 4 in
+      let intervals = 3 + Util.Prng.int rng 3 in
+      let events =
+        List.init (30 + Util.Prng.int rng 60) (fun _ ->
+            ( Util.Prng.float rng 50.,
+              Util.Prng.int rng nodes,
+              Util.Prng.int rng objects,
+              (if Util.Prng.bool rng then Workload.Trace.Read
+               else Workload.Trace.Write) ))
+      in
+      (* Ensure at least one read. *)
+      let events = (1., 0, 0, Workload.Trace.Read) :: events in
+      let trace =
+        Workload.Trace.of_events ~nodes ~objects ~duration_s:50. events
+      in
+      let demand = Workload.Demand.of_trace ~intervals trace in
+      let costs =
+        {
+          Mcperf.Spec.alpha = 1.;
+          beta = 0.5;
+          gamma = 0.01;
+          delta = 0.2;
+          zeta = 3.;
+        }
+      in
+      let spec =
+        Mcperf.Spec.make ~system:sys ~demand ~costs
+          ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 0.9 })
+          ()
+      in
+      let cls = Mcperf.Classes.storage_constrained in
+      let perm = Mcperf.Permission.compute spec cls in
+      (* Random legal placement inside the store masks. *)
+      let placement = Mcperf.Costing.empty_placement spec in
+      for m = 0 to nodes - 1 do
+        for k = 0 to objects - 1 do
+          let mask = perm.Mcperf.Permission.store_mask.(m).(k) in
+          if mask <> 0 && Util.Prng.bool rng then
+            (* Keep a suffix of the support: always creation-legal. *)
+            placement.(m).(k) <- mask
+        done
+      done;
+      let e = Mcperf.Costing.evaluate perm placement in
+      let parts =
+        e.Mcperf.Costing.storage +. e.Mcperf.Costing.creation
+        +. e.Mcperf.Costing.sc_padding +. e.Mcperf.Costing.rc_padding
+        +. e.Mcperf.Costing.write_cost +. e.Mcperf.Costing.penalty
+        +. e.Mcperf.Costing.open_cost
+      in
+      Float.abs (parts -. e.Mcperf.Costing.total)
+      <= 1e-9 *. (1. +. Float.abs e.Mcperf.Costing.total)
+      && Array.for_all (fun q -> q >= -1e-9 && q <= 1. +. 1e-9) e.Mcperf.Costing.qos)
+
+let () =
+  Alcotest.run "heuristics"
+    [
+      ( "lru-cache",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basic;
+          Alcotest.test_case "duplicate insert" `Quick test_lru_duplicate_insert;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "remove" `Quick test_lru_remove;
+          QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+        ] );
+      ( "event-cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick
+            test_cache_hit_miss_accounting;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction_under_pressure;
+          Alcotest.test_case "origin free" `Quick test_origin_node_reads_are_free;
+          Alcotest.test_case "near-origin miss covered" `Quick
+            test_near_origin_miss_is_covered;
+          Alcotest.test_case "cooperative peer fetch" `Quick
+            test_cooperative_fetches_from_peer;
+          Alcotest.test_case "prefetch" `Quick test_prefetch_covers_first_access;
+          Alcotest.test_case "write messages" `Quick test_write_messages;
+          Alcotest.test_case "write invalidation" `Quick
+            test_write_invalidation;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "global covers" `Quick test_greedy_global_covers;
+          Alcotest.test_case "global zero capacity" `Quick
+            test_greedy_global_zero_capacity;
+          Alcotest.test_case "replica covers" `Quick test_greedy_replica_covers;
+          Alcotest.test_case "replica placement choice" `Quick
+            test_greedy_replica_sticks_to_best_node;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "no intra-cluster duplication" `Quick
+            test_hierarchical_no_intra_cluster_duplication;
+          Alcotest.test_case "cross-cluster caches" `Quick
+            test_hierarchical_cross_cluster_caches_locally;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "strategies compared" `Quick
+            test_placement_baselines;
+          Alcotest.test_case "respect store support" `Quick
+            test_placement_baselines_respect_support;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "fifo vs lru" `Quick test_policy_fifo_ignores_recency;
+          Alcotest.test_case "lfu keeps hot" `Quick test_policy_lfu_keeps_hot;
+          Alcotest.test_case "size bound" `Quick
+            test_policy_size_never_exceeds_capacity;
+          Alcotest.test_case "runner entrypoint" `Quick
+            test_policy_runner_entrypoint;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "int" `Quick test_min_feasible_int;
+          Alcotest.test_case "float" `Quick test_min_feasible_float;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_cache_conserves_events;
+          QCheck_alcotest.to_alcotest prop_greedy_global_respects_capacity;
+          QCheck_alcotest.to_alcotest prop_costing_components_sum;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "lru infeasible at 100%" `Quick
+            test_runner_lru_infeasible_at_100;
+          Alcotest.test_case "lru feasible at 90%" `Quick
+            test_runner_lru_feasible_at_90;
+          Alcotest.test_case "prefetch reaches 100%" `Quick
+            test_runner_prefetch_feasible_at_100;
+          Alcotest.test_case "right class beats caching" `Quick
+            test_runner_greedy_cheaper_than_caching;
+          Alcotest.test_case "heuristics respect bounds" `Quick
+            test_runner_costs_at_least_class_bound;
+        ] );
+    ]
