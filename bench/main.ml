@@ -154,6 +154,90 @@ let substrate_tests =
              ignore (Mcperf.Permission.compute spec Mcperf.Classes.caching)));
     ]
 
+(* --- sweep: sequential vs parallel figure-2 sweep ------------------------- *)
+
+(* `main.exe sweep` times the Figure-2 bound-and-heuristic sweep twice —
+   jobs=1 and jobs=4 — verifies the outputs are identical, and records the
+   measured speedup in BENCH_sweep.json. Run on a multi-core box this
+   shows the worker pool's gain; on a single-core container the two times
+   coincide (the JSON records the detected core count so the number can
+   be judged in context). *)
+
+let sweep_classes_fixture =
+  [
+    ("General lower bound", Mcperf.Classes.general);
+    ("Storage constrained", Mcperf.Classes.storage_constrained);
+    ("Replica constrained", Mcperf.Classes.replica_constrained_uniform);
+    ("Decentral local routing", Mcperf.Classes.decentralized_local_routing);
+  ]
+
+let run_sweep ~jobs =
+  let cs = Lazy.force web in
+  let points = [ 0.95; 0.99; 0.999; 0.9999; 0.99999 ] in
+  let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  let sim_spec q = CS.qos_spec cs ~fraction:q ~for_bounds:false () in
+  let t0 = Unix.gettimeofday () in
+  let bounds =
+    Bounds.Pipeline.sweep_classes ~jobs bound_spec ~fractions:points
+      sweep_classes_fixture
+  in
+  let deployed =
+    Util.Parallel.map_values ~jobs
+      ~f:(fun q -> Sim.Runner.greedy_global ~spec:(sim_spec q) ())
+      points
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Strip the wall-clock fields: everything left must be identical across
+     jobs settings. *)
+  let signature =
+    ( List.map
+        (fun (label, cells) ->
+          ( label,
+            List.map
+              (fun (q, (r : Bounds.Pipeline.t)) ->
+                (q, r.Bounds.Pipeline.feasible, r.Bounds.Pipeline.lower_bound,
+                 r.Bounds.Pipeline.lp_iterations))
+              cells ))
+        bounds.Bounds.Pipeline.per_class,
+      List.map
+        (Option.map (fun (d : Sim.Runner.deployed) ->
+             (d.Sim.Runner.parameter, d.Sim.Runner.cost)))
+        deployed )
+  in
+  (elapsed, signature)
+
+let sweep_benchmark () =
+  let cores = Util.Parallel.available_cores () in
+  let tasks = (List.length sweep_classes_fixture * 5) + 5 in
+  Printf.printf "sweep benchmark: %d tasks, %d detected core(s)\n%!" tasks cores;
+  let seq_s, seq_sig = run_sweep ~jobs:1 in
+  Printf.printf "jobs=1: %.2fs\n%!" seq_s;
+  let par_jobs = 4 in
+  let par_s, par_sig = run_sweep ~jobs:par_jobs in
+  Printf.printf "jobs=%d: %.2fs\n%!" par_jobs par_s;
+  if seq_sig <> par_sig then
+    failwith "sweep benchmark: parallel and sequential results differ";
+  let speedup = if par_s > 0. then seq_s /. par_s else 1. in
+  Printf.printf "identical results; speedup %.2fx\n%!" speedup;
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "fig2-style sweep (bounds %d classes x 5 points + greedy-global 5 points)",
+  "detected_cores": %d,
+  "tasks": %d,
+  "sequential_jobs": 1,
+  "sequential_s": %.3f,
+  "parallel_jobs": %d,
+  "parallel_s": %.3f,
+  "speedup": %.3f,
+  "results_identical": true
+}
+|}
+    (List.length sweep_classes_fixture)
+    cores tasks seq_s par_jobs par_s speedup;
+  close_out oc;
+  Printf.printf "wrote BENCH_sweep.json\n%!"
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let benchmark test =
@@ -194,9 +278,11 @@ let print_results results =
     rows
 
 let () =
-  List.iter
-    (fun test ->
-      let results = benchmark test in
-      print_results results;
-      print_newline ())
-    [ substrate_tests; fig1_tests; fig2_tests; fig3_tests; scale_tests ]
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "sweep" then sweep_benchmark ()
+  else
+    List.iter
+      (fun test ->
+        let results = benchmark test in
+        print_results results;
+        print_newline ())
+      [ substrate_tests; fig1_tests; fig2_tests; fig3_tests; scale_tests ]

@@ -33,10 +33,23 @@ let cost_of_result (r : Bounds.Pipeline.t) =
   if r.Bounds.Pipeline.feasible then Some r.Bounds.Pipeline.lower_bound
   else None
 
-let sweep_series ?placeable ~label spec points cls =
-  let results = Bounds.Pipeline.sweep_qos ?placeable spec points cls in
-  Report.series_of ~label
-    (List.map (fun (q, r) -> (q, cost_of_result r)) results)
+(* One parallel batch for a whole figure: every (class, point) cell is an
+   independent task, so a figure's bound grid saturates the worker pool
+   instead of sweeping class by class. *)
+let sweep_figure ?placeable ~jobs spec points classes =
+  let sweep =
+    Bounds.Pipeline.sweep_classes ~jobs ?placeable spec ~fractions:points
+      classes
+  in
+  let series =
+    List.map
+      (fun (label, results) ->
+        Report.series_of ~label
+          (List.map (fun (q, r) -> (q, cost_of_result r)) results))
+      sweep.Bounds.Pipeline.per_class
+  in
+  (series, Report.timing_of_stats sweep.Bounds.Pipeline.stats,
+   sweep.Bounds.Pipeline.elapsed_s)
 
 (* --- Figure 1 ----------------------------------------------------------- *)
 
@@ -53,16 +66,16 @@ let fig1_classes =
         Mcperf.Classes.cooperative_caching );
   ]
 
-let fig1 ?csv_dir ~quick ~scale ~seed workload =
+let fig1 ?csv_dir ~quick ~scale ~seed ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
   let points = qos_sweep quick in
-  let series =
-    List.map
-      (fun (label, cls) ->
-        Logs.app (fun f -> f "fig1 %s: %s ..." (CS.workload_name workload) label);
-        sweep_series ~label spec points cls)
-      fig1_classes
+  Logs.app (fun f ->
+      f "fig1 %s: %d classes x %d points, jobs=%d ..."
+        (CS.workload_name workload)
+        (List.length fig1_classes) (List.length points) jobs);
+  let series, timing, elapsed_s =
+    sweep_figure ~jobs spec points fig1_classes
   in
   Report.print_figure
     ~title:
@@ -70,6 +83,9 @@ let fig1 ?csv_dir ~quick ~scale ~seed workload =
          "Figure 1 (%s): lower bound per heuristic class vs QoS goal"
          (CS.workload_name workload))
     ~xlabel:"QoS" series;
+  Report.print_timing
+    ~title:(Printf.sprintf "fig1 %s" (CS.workload_name workload))
+    ~jobs ~elapsed_s timing;
   maybe_write_csv ~csv_dir
     ~name:("fig1-" ^ String.lowercase_ascii (CS.workload_name workload))
     series;
@@ -77,16 +93,40 @@ let fig1 ?csv_dir ~quick ~scale ~seed workload =
 
 (* --- Figure 2 ----------------------------------------------------------- *)
 
-let deployed_series ~label points run =
-  Report.series_of ~label
-    (List.map
-       (fun q ->
-         ( q,
-           Option.map (fun (d : Sim.Runner.deployed) -> d.Sim.Runner.cost)
-             (run q) ))
-       points)
+(* Deployed-heuristic sweeps: one task per goal point. Each point's
+   minimal-parameter search is itself monotone-deterministic, so parallel
+   and sequential sweeps agree; the raw per-point outcomes are returned so
+   callers can derive ratios without re-simulating. *)
+let deployed_sweep ~jobs ~label points run =
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Util.Parallel.map ~jobs ~f:run points in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let raw =
+    List.map2 (fun q (o : _ Util.Parallel.result) -> (q, o.Util.Parallel.value))
+      points outcomes
+  in
+  let series =
+    Report.series_of ~label
+      (List.map
+         (fun (q, d) ->
+           (q, Option.map (fun (d : Sim.Runner.deployed) -> d.Sim.Runner.cost) d))
+         raw)
+  in
+  let timing =
+    List.map2
+      (fun q (o : _ Util.Parallel.result) ->
+        {
+          Report.task = label;
+          x = q;
+          wall_s = o.Util.Parallel.wall_s;
+          solver = "sim";
+          iterations = 0;
+        })
+      points outcomes
+  in
+  (series, raw, timing, elapsed_s)
 
-let fig2 ?csv_dir ~quick ~scale ~seed workload =
+let fig2 ?csv_dir ~quick ~scale ~seed ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
@@ -103,34 +143,41 @@ let fig2 ?csv_dir ~quick ~scale ~seed workload =
         fun q -> Sim.Runner.greedy_replica ~spec:(sim_spec q) () )
   in
   Logs.app (fun f -> f "fig2 %s: class bound ..." (CS.workload_name workload));
-  let bound_series =
-    sweep_series
-      ~label:
-        (match workload with
-        | CS.Web -> "Storage constrained bound"
-        | CS.Group -> "Replica constrained bound")
-      bound_spec points chosen_cls
+  let bound_label =
+    match workload with
+    | CS.Web -> "Storage constrained bound"
+    | CS.Group -> "Replica constrained bound"
+  in
+  let bound_series, bound_timing, bound_elapsed =
+    sweep_figure ~jobs bound_spec points [ (bound_label, chosen_cls) ]
   in
   Logs.app (fun f -> f "fig2 %s: %s ..." (CS.workload_name workload) chosen_label);
-  let chosen_series = deployed_series ~label:chosen_label points run_chosen in
+  let chosen_series, chosen_raw, chosen_timing, chosen_elapsed =
+    deployed_sweep ~jobs ~label:chosen_label points run_chosen
+  in
   Logs.app (fun f -> f "fig2 %s: LRU caching ..." (CS.workload_name workload));
-  let lru_series =
-    deployed_series ~label:"LRU caching" points (fun q ->
+  let lru_series, lru_raw, lru_timing, lru_elapsed =
+    deployed_sweep ~jobs ~label:"LRU caching" points (fun q ->
         Sim.Runner.lru_caching ~spec:(sim_spec q) ~trace:cs.CS.trace ())
   in
-  let series = [ bound_series; chosen_series; lru_series ] in
+  let series = List.concat [ bound_series; [ chosen_series; lru_series ] ] in
   Report.print_figure
     ~title:
       (Printf.sprintf
          "Figure 2 (%s): deployed heuristic cost vs its class bound"
          (CS.workload_name workload))
     ~xlabel:"QoS" series;
+  Report.print_timing
+    ~title:(Printf.sprintf "fig2 %s" (CS.workload_name workload))
+    ~jobs
+    ~elapsed_s:(bound_elapsed +. chosen_elapsed +. lru_elapsed)
+    (bound_timing @ chosen_timing @ lru_timing);
   (* The introduction's headline claim: cost ratio of the default heuristic
      (LRU) to the methodology's choice, at the goals both can meet. *)
   let ratios =
     List.filter_map
       (fun q ->
-        match (run_chosen q, Sim.Runner.lru_caching ~spec:(sim_spec q) ~trace:cs.CS.trace ()) with
+        match (List.assoc q chosen_raw, List.assoc q lru_raw) with
         | Some c, Some l when c.Sim.Runner.cost > 0. ->
           Some (q, l.Sim.Runner.cost /. c.Sim.Runner.cost)
         | _ -> None)
@@ -159,7 +206,7 @@ let fig3_classes =
       Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
   ]
 
-let fig3 ?csv_dir ~quick ~scale ~seed ~zeta workload =
+let fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   (* Phase 1: decide where to deploy nodes. The planning goal must be one
@@ -189,20 +236,20 @@ let fig3 ?csv_dir ~quick ~scale ~seed ~zeta workload =
       Workload.Trace.remap_nodes cs.CS.trace
         ~mapping:plan.Methodology.assignment
     in
-    let bound_series =
-      List.map
-        (fun (label, cls) ->
-          Logs.app (fun f -> f "fig3 %s: %s ..." (CS.workload_name workload) label);
-          sweep_series ~placeable ~label bound_spec points cls)
-        fig3_classes
+    Logs.app (fun f ->
+        f "fig3 %s: %d classes x %d points, jobs=%d ..."
+          (CS.workload_name workload)
+          (List.length fig3_classes) (List.length points) jobs);
+    let bound_series, bound_timing, bound_elapsed =
+      sweep_figure ~placeable ~jobs bound_spec points fig3_classes
     in
-    let deployed =
+    let deployed, _, deployed_timing, deployed_elapsed =
       match workload with
       | CS.Web ->
-        deployed_series ~label:"Greedy global heuristic" points (fun q ->
+        deployed_sweep ~jobs ~label:"Greedy global heuristic" points (fun q ->
             Sim.Runner.greedy_global ~placeable ~spec:(sim_spec q) ())
       | CS.Group ->
-        deployed_series ~label:"LRU caching" points (fun q ->
+        deployed_sweep ~jobs ~label:"LRU caching" points (fun q ->
             Sim.Runner.lru_caching ~placeable ~spec:(sim_spec q) ~trace ())
     in
     let series = bound_series @ [ deployed ] in
@@ -213,6 +260,11 @@ let fig3 ?csv_dir ~quick ~scale ~seed ~zeta workload =
            (CS.workload_name workload)
            (List.length plan.Methodology.open_nodes))
       ~xlabel:"QoS" series;
+    Report.print_timing
+      ~title:(Printf.sprintf "fig3 %s" (CS.workload_name workload))
+      ~jobs
+      ~elapsed_s:(bound_elapsed +. deployed_elapsed)
+      (bound_timing @ deployed_timing);
     maybe_write_csv ~csv_dir
       ~name:("fig3-" ^ String.lowercase_ascii (CS.workload_name workload))
       series;
@@ -519,6 +571,15 @@ let zeta_t =
     value & opt float 10_000.
     & info [ "zeta" ] ~docv:"COST" ~doc:"Node-opening cost for fig3 phase 1.")
 
+let jobs_t =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker processes for the sweep layers. 0 (the default) \
+           auto-detects the processor count from /proc/cpuinfo; 1 forces \
+           the sequential path. Results are identical at every setting.")
+
 let csv_t =
   Arg.(
     value
@@ -534,36 +595,41 @@ let workload_t =
     value & opt wconv [ CS.Web; CS.Group ]
     & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc:"web, group or both.")
 
+let resolve_jobs jobs = if jobs <= 0 then Util.Parallel.default_jobs () else jobs
+
 let run_figure f =
-  let run verbose quick scale seed zeta csv_dir workloads =
+  let run verbose quick scale seed zeta csv_dir jobs workloads =
     setup_logs verbose;
-    List.iter (fun w -> ignore (f ?csv_dir ~quick ~scale ~seed ~zeta w)) workloads
+    let jobs = resolve_jobs jobs in
+    List.iter
+      (fun w -> ignore (f ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w))
+      workloads
   in
   Term.(
     const run $ verbose_t $ quick_t $ scale_t $ seed_t $ zeta_t $ csv_t
-    $ workload_t)
+    $ jobs_t $ workload_t)
 
 let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Lower bounds per class vs QoS (Figure 1).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ w ->
-         fig1 ?csv_dir ~quick ~scale ~seed w))
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
+         fig1 ?csv_dir ~quick ~scale ~seed ~jobs w))
 
 let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc:"Deployed heuristics vs class bounds (Figure 2).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ w ->
-         fig2 ?csv_dir ~quick ~scale ~seed w))
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
+         fig2 ?csv_dir ~quick ~scale ~seed ~jobs w))
 
 let fig3_cmd =
   Cmd.v (Cmd.info "fig3" ~doc:"Deployment scenario bounds (Figure 3).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta w ->
-         fig3 ?csv_dir ~quick ~scale ~seed ~zeta w))
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w ->
+         fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w))
 
 let select_cmd =
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the Section 6.1 selection methodology and print the ranking.")
-    (run_figure (fun ?csv_dir:_ ~quick:_ ~scale ~seed ~zeta:_ w ->
+    (run_figure (fun ?csv_dir:_ ~quick:_ ~scale ~seed ~zeta:_ ~jobs:_ w ->
          selection ~scale ~seed w;
          []))
 
@@ -624,10 +690,10 @@ let scale_cmd =
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (fig1, fig2, fig3, scale).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta w ->
-         ignore (fig1 ?csv_dir ~quick ~scale ~seed w);
-         ignore (fig2 ?csv_dir ~quick ~scale ~seed w);
-         ignore (fig3 ?csv_dir ~quick ~scale ~seed ~zeta w);
+    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w ->
+         ignore (fig1 ?csv_dir ~quick ~scale ~seed ~jobs w);
+         ignore (fig2 ?csv_dir ~quick ~scale ~seed ~jobs w);
+         ignore (fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w);
          selection ~scale ~seed w;
          if w = CS.Web then scale_experiment ~seed ();
          []))

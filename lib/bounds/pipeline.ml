@@ -152,6 +152,73 @@ let pp ppf t =
       | Some g -> Printf.sprintf "  gap %5.1f%%" (100. *. g)
       | None -> "")
 
+type task_stat = {
+  label : string;
+  x : float;
+  wall_s : float;
+  iterations : int;
+  solved_exactly : bool;
+}
+
+type sweep = {
+  per_class : (string * (float * t) list) list;
+  stats : task_stat list;
+  jobs : int;
+  elapsed_s : float;
+}
+
+let sweep_classes ?(jobs = 1) ?solver ?placeable spec ~fractions classes =
+  let tlat_ms =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
+    | Mcperf.Spec.Avg_latency _ ->
+      invalid_arg "Pipeline.sweep_classes: requires a QoS goal"
+  in
+  let cells =
+    List.concat_map
+      (fun (label, cls) ->
+        List.map (fun fraction -> (label, cls, fraction)) fractions)
+      classes
+  in
+  let solve (_, cls, fraction) =
+    let spec =
+      { spec with Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction } }
+    in
+    compute ?solver ?placeable spec cls
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Util.Parallel.map ~jobs ~f:solve cells in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let stats =
+    List.map2
+      (fun (label, _, fraction) (o : _ Util.Parallel.result) ->
+        {
+          label;
+          x = fraction;
+          wall_s = o.Util.Parallel.wall_s;
+          iterations = o.Util.Parallel.value.lp_iterations;
+          solved_exactly = o.Util.Parallel.value.exact;
+        })
+      cells outcomes
+  in
+  let tagged =
+    List.map2
+      (fun (label, _, fraction) (o : _ Util.Parallel.result) ->
+        (label, fraction, o.Util.Parallel.value))
+      cells outcomes
+  in
+  let per_class =
+    List.map
+      (fun (label, _) ->
+        ( label,
+          List.filter_map
+            (fun (l, fraction, r) ->
+              if String.equal l label then Some (fraction, r) else None)
+            tagged ))
+      classes
+  in
+  { per_class; stats; jobs = (if jobs <= 1 then 1 else jobs); elapsed_s }
+
 let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
   let tlat_ms =
     match spec.Mcperf.Spec.goal with

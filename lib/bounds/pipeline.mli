@@ -83,3 +83,41 @@ val sweep_qos :
     starts each point from the previous solution, which typically cuts
     iteration counts by an order of magnitude. Requires a QoS-goal
     spec. *)
+
+(** {2 Parallel class x goal-point sweeps}
+
+    The figure sweeps evaluate every heuristic class at every QoS point —
+    an embarrassingly parallel grid. {!sweep_classes} runs one task per
+    (class, point) cell through {!Util.Parallel}. Cells are solved
+    independently (no cross-point warm starting), so a cell's result is a
+    pure function of [(spec, class, point)] and the sweep output is
+    byte-identical at every [jobs] value. *)
+
+type task_stat = {
+  label : string;  (** the class's display label *)
+  x : float;  (** the swept QoS fraction *)
+  wall_s : float;  (** cell wall-clock inside its worker *)
+  iterations : int;  (** first-order solver iterations (0 for simplex) *)
+  solved_exactly : bool;
+}
+
+type sweep = {
+  per_class : (string * (float * t) list) list;
+      (** one series per input class, fractions in input order *)
+  stats : task_stat list;  (** one entry per cell, in task order *)
+  jobs : int;  (** worker count actually used *)
+  elapsed_s : float;  (** whole-sweep wall-clock in the parent *)
+}
+
+val sweep_classes :
+  ?jobs:int ->
+  ?solver:solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  fractions:float list ->
+  (string * Mcperf.Classes.t) list ->
+  sweep
+(** [sweep_classes spec ~fractions classes] computes {!compute} for every
+    (class, fraction) cell, fanned out over [jobs] worker processes
+    (default 1 = sequential; {!Util.Parallel.default_jobs} is a good
+    explicit choice). Requires a QoS-goal spec. *)

@@ -86,6 +86,46 @@ let print_deployment ?(oc = stdout) (d : Methodology.deployment) =
              d.Methodology.assignment)));
   flush oc
 
+type timing_row = {
+  task : string;
+  x : float;
+  wall_s : float;
+  solver : string;
+  iterations : int;
+}
+
+let timing_of_stats stats =
+  List.map
+    (fun (s : Bounds.Pipeline.task_stat) ->
+      {
+        task = s.Bounds.Pipeline.label;
+        x = s.Bounds.Pipeline.x;
+        wall_s = s.Bounds.Pipeline.wall_s;
+        solver = (if s.Bounds.Pipeline.solved_exactly then "simplex" else "pdhg");
+        iterations = s.Bounds.Pipeline.iterations;
+      })
+    stats
+
+let print_timing ?(oc = stdout) ~title ~jobs ~elapsed_s rows =
+  Printf.fprintf oc "\n--- sweep timing: %s ---\n" title;
+  let col_width =
+    List.fold_left (fun acc r -> max acc (String.length r.task)) 12 rows + 2
+  in
+  Printf.fprintf oc "%-*s %-10s %10s %10s  %s\n" col_width "task" "x"
+    "wall(s)" "iters" "solver";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "%-*s %-10.5g %10.3f %10d  %s\n" col_width r.task r.x
+        r.wall_s r.iterations r.solver)
+    rows;
+  let total = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
+  Printf.fprintf oc
+    "%d tasks  task-wall %.2fs  elapsed %.2fs  speedup %.2fx  jobs %d\n"
+    (List.length rows) total elapsed_s
+    (if elapsed_s > 0. then total /. elapsed_s else 1.)
+    jobs;
+  flush oc
+
 let csv_of_figure series =
   let xs = xs_of series in
   let buf = Buffer.create 256 in

@@ -24,3 +24,32 @@ val print_deployment : ?oc:out_channel -> Methodology.deployment -> unit
 
 val csv_of_figure : series list -> string
 (** Machine-readable dump (one line per x value). *)
+
+(** {2 Sweep timing}
+
+    Every parallel-sweep task reports its own wall-clock (and solver
+    iteration count, for LP cells); the driver aggregates them into a
+    per-sweep table so a designer can see where the compute budget went
+    and what the worker pool bought. *)
+
+type timing_row = {
+  task : string;  (** class label or heuristic name *)
+  x : float;  (** the swept goal point *)
+  wall_s : float;  (** task wall-clock inside its worker *)
+  solver : string;  (** ["simplex"], ["pdhg"], ["sim"], ... *)
+  iterations : int;  (** 0 when not iteration-based *)
+}
+
+val timing_of_stats : Bounds.Pipeline.task_stat list -> timing_row list
+(** Adapt the bound sweep's per-cell stats to timing rows. *)
+
+val print_timing :
+  ?oc:out_channel ->
+  title:string ->
+  jobs:int ->
+  elapsed_s:float ->
+  timing_row list ->
+  unit
+(** Aligned table of the rows followed by a summary line: task count,
+    summed task wall-clock, parent-side elapsed wall-clock, the implied
+    speedup (sum / elapsed), and the worker count. *)

@@ -31,14 +31,15 @@ let cache_meets spec (o : Heuristics.Event_cache.outcome) =
   | _, `Avg tavg ->
     Array.for_all (fun l -> l <= tavg +. 1e-9) o.Heuristics.Event_cache.avg_latency
 
-let cache_heuristic ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace () =
+let cache_heuristic ?jobs ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace
+    () =
   let objects = Workload.Trace.object_count trace in
   let outcome_at c =
     cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity:c ~mode
       ~prefetch ()
   in
   let feasible c = cache_meets spec (outcome_at c) in
-  match Search.min_feasible_int ~lo:0 ~hi:objects ~feasible with
+  match Search.min_feasible_int ?jobs ~lo:0 ~hi:objects feasible with
   | None -> None
   | Some capacity ->
     let o = outcome_at capacity in
@@ -51,36 +52,36 @@ let cache_heuristic ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace () =
         detail = Cache o;
       }
 
-let lru_caching ?placeable ~spec ~trace () =
-  cache_heuristic ?placeable ~name:"lru-caching"
+let lru_caching ?jobs ?placeable ~spec ~trace () =
+  cache_heuristic ?jobs ?placeable ~name:"lru-caching"
     ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
 
-let cooperative_caching ?placeable ~spec ~trace () =
-  cache_heuristic ?placeable ~name:"cooperative-caching"
+let cooperative_caching ?jobs ?placeable ~spec ~trace () =
+  cache_heuristic ?jobs ?placeable ~name:"cooperative-caching"
     ~mode:Heuristics.Event_cache.Cooperative ~prefetch:false ~spec ~trace ()
 
-let caching_with_prefetch ?placeable ~spec ~trace () =
-  cache_heuristic ?placeable ~name:"caching-prefetch"
+let caching_with_prefetch ?jobs ?placeable ~spec ~trace () =
+  cache_heuristic ?jobs ?placeable ~name:"caching-prefetch"
     ~mode:Heuristics.Event_cache.Local ~prefetch:true ~spec ~trace ()
 
-let cooperative_caching_with_prefetch ?placeable ~spec ~trace () =
-  cache_heuristic ?placeable ~name:"cooperative-caching-prefetch"
+let cooperative_caching_with_prefetch ?jobs ?placeable ~spec ~trace () =
+  cache_heuristic ?jobs ?placeable ~name:"cooperative-caching-prefetch"
     ~mode:Heuristics.Event_cache.Cooperative ~prefetch:true ~spec ~trace ()
 
-let hierarchical_caching ?placeable ?(cluster_radius_ms = 150.) ~spec ~trace
-    () =
-  cache_heuristic ?placeable ~name:"hierarchical-caching"
+let hierarchical_caching ?jobs ?placeable ?(cluster_radius_ms = 150.) ~spec
+    ~trace () =
+  cache_heuristic ?jobs ?placeable ~name:"hierarchical-caching"
     ~mode:(Heuristics.Event_cache.Hierarchical { cluster_radius_ms })
     ~prefetch:false ~spec ~trace ()
 
-let policy_caching ?placeable ~policy ~spec ~trace () =
-  cache_heuristic ?placeable ~policy
+let policy_caching ?jobs ?placeable ~policy ~spec ~trace () =
+  cache_heuristic ?jobs ?placeable ~policy
     ~name:(Heuristics.Policy_cache.kind_name policy ^ "-caching")
     ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
 
 let placement_meets (e : Mcperf.Costing.evaluation) = e.Mcperf.Costing.meets_goal
 
-let greedy_global ?placeable ~spec () =
+let greedy_global ?jobs ?placeable ~spec () =
   let total_weight =
     Util.Vecops.sum spec.Mcperf.Spec.demand.Workload.Demand.weight
   in
@@ -90,7 +91,7 @@ let greedy_global ?placeable ~spec () =
       ~capacity:(float_of_int c) ()
   in
   let feasible c = placement_meets (eval_at c) in
-  match Search.min_feasible_int ~lo:0 ~hi ~feasible with
+  match Search.min_feasible_int ?jobs ~lo:0 ~hi feasible with
   | None -> None
   | Some capacity ->
     let e = eval_at capacity in
@@ -103,13 +104,13 @@ let greedy_global ?placeable ~spec () =
         detail = Placement e;
       }
 
-let greedy_replica ?placeable ~spec () =
+let greedy_replica ?jobs ?placeable ~spec () =
   let hi = Mcperf.Spec.node_count spec - 1 in
   let eval_at r =
     Heuristics.Greedy_replica.evaluate ?placeable ~spec ~replicas:r ()
   in
   let feasible r = placement_meets (eval_at r) in
-  match Search.min_feasible_int ~lo:0 ~hi ~feasible with
+  match Search.min_feasible_int ?jobs ~lo:0 ~hi feasible with
   | None -> None
   | Some replicas ->
     let e = eval_at replicas in

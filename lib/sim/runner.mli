@@ -6,7 +6,13 @@
     trace; the centralized greedy heuristics place at interval granularity
     on the bucketed demand and are costed by {!Mcperf.Costing} under their
     class, so their costs are directly comparable to the class lower
-    bounds. *)
+    bounds.
+
+    Every search takes an optional [jobs] (default 1): with [jobs > 1] the
+    minimal-parameter search probes several candidate parameters
+    concurrently via {!Search} and {!Util.Parallel}. Feasibility is
+    monotone in the parameter, so the chosen parameter — and hence the
+    reported deployment — is identical at every [jobs] value. *)
 
 type detail =
   | Cache of Heuristics.Event_cache.outcome
@@ -21,6 +27,7 @@ type deployed = {
 }
 
 val lru_caching :
+  ?jobs:int ->
   ?placeable:bool array ->
   spec:Mcperf.Spec.t ->
   trace:Workload.Trace.t ->
@@ -31,6 +38,7 @@ val lru_caching :
     the threshold). [placeable] limits cache sites (Section 6.2). *)
 
 val cooperative_caching :
+  ?jobs:int ->
   ?placeable:bool array ->
   spec:Mcperf.Spec.t ->
   trace:Workload.Trace.t ->
@@ -38,6 +46,7 @@ val cooperative_caching :
   deployed option
 
 val caching_with_prefetch :
+  ?jobs:int ->
   ?placeable:bool array ->
   spec:Mcperf.Spec.t ->
   trace:Workload.Trace.t ->
@@ -46,6 +55,7 @@ val caching_with_prefetch :
 (** Oracle-prefetching LRU (the proactive caching class). *)
 
 val cooperative_caching_with_prefetch :
+  ?jobs:int ->
   ?placeable:bool array ->
   spec:Mcperf.Spec.t ->
   trace:Workload.Trace.t ->
@@ -53,6 +63,7 @@ val cooperative_caching_with_prefetch :
   deployed option
 
 val hierarchical_caching :
+  ?jobs:int ->
   ?placeable:bool array ->
   ?cluster_radius_ms:float ->
   spec:Mcperf.Spec.t ->
@@ -63,6 +74,7 @@ val hierarchical_caching :
     the given radius share one logical cache. Default radius 150 ms. *)
 
 val policy_caching :
+  ?jobs:int ->
   ?placeable:bool array ->
   policy:Heuristics.Policy_cache.kind ->
   spec:Mcperf.Spec.t ->
@@ -73,11 +85,19 @@ val policy_caching :
     LFU) — same heuristic class, different distance from its bound. *)
 
 val greedy_global :
-  ?placeable:bool array -> spec:Mcperf.Spec.t -> unit -> deployed option
+  ?jobs:int ->
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  unit ->
+  deployed option
 (** Storage-constrained greedy placement with minimal uniform capacity. *)
 
 val greedy_replica :
-  ?placeable:bool array -> spec:Mcperf.Spec.t -> unit -> deployed option
+  ?jobs:int ->
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  unit ->
+  deployed option
 (** Replica-constrained greedy placement with minimal uniform replication
     factor. *)
 

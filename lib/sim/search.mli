@@ -5,14 +5,25 @@
     that meets the performance goal (storage cost grows with the knob).
     Feasibility is monotone for these families (LRU contents satisfy the
     inclusion property; the greedy placements only grow with their
-    budget), so binary search applies. *)
+    budget), so binary search applies.
 
-val min_feasible_int : lo:int -> hi:int -> feasible:(int -> bool) -> int option
-(** Smallest [p] in [\[lo, hi\]] with [feasible p], assuming monotonicity
+    With [jobs > 1] the bisection becomes a [jobs]-section: each round
+    probes up to [jobs] evenly spaced interior points concurrently
+    (through {!Util.Parallel}) and narrows the bracket to the segment
+    where feasibility flips. For a monotone predicate the answer is
+    identical to plain bisection — only the probe schedule changes — so
+    parallel and sequential searches return the same parameter. *)
+
+val min_feasible_int :
+  ?jobs:int -> lo:int -> hi:int -> (int -> bool) -> int option
+(** [min_feasible_int ~lo ~hi feasible] is the smallest [p] in
+    [\[lo, hi\]] with [feasible p], assuming monotonicity
     ([feasible p] implies [feasible (p+1)]). [None] when even [hi] fails.
-    [feasible] is invoked O(log (hi - lo)) times. Requires [lo <= hi]. *)
+    [feasible] is invoked O(log (hi - lo)) times ([jobs] probes per round
+    when parallel). [jobs] defaults to 1 (sequential). Requires
+    [lo <= hi]. *)
 
 val min_feasible_float :
-  lo:float -> hi:float -> tol:float -> feasible:(float -> bool) -> float option
-(** Continuous counterpart, bisecting until the bracket is narrower than
+  ?jobs:int -> lo:float -> hi:float -> tol:float -> (float -> bool) -> float option
+(** Continuous counterpart, narrowing until the bracket is tighter than
     [tol] and returning the feasible end. *)

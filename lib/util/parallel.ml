@@ -1,0 +1,262 @@
+type 'a result = { value : 'a; wall_s : float }
+
+exception Task_failed of { index : int; message : string }
+exception Task_timeout of { index : int; timeout_s : float }
+
+let fork_available = Sys.unix
+
+let available_cores () =
+  let from_cpuinfo () =
+    let ic = open_in "/proc/cpuinfo" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let count = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if
+               String.length line >= 9
+               && String.sub line 0 9 = "processor"
+             then incr count
+           done
+         with End_of_file -> ());
+        !count)
+  in
+  let from_getconf () =
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+    Fun.protect
+      ~finally:(fun () -> ignore (Unix.close_process_in ic))
+      (fun () -> int_of_string (String.trim (input_line ic)))
+  in
+  let attempt f = try f () with _ -> 0 in
+  let n = attempt from_cpuinfo in
+  let n = if n > 0 then n else attempt from_getconf in
+  max 1 n
+
+let default_jobs () = available_cores ()
+
+(* --- sequential fallback ------------------------------------------------ *)
+
+let sequential ~f tasks =
+  List.map
+    (fun task ->
+      let t0 = Unix.gettimeofday () in
+      let value = f task in
+      { value; wall_s = Unix.gettimeofday () -. t0 })
+    tasks
+
+(* --- worker pool --------------------------------------------------------- *)
+
+type worker = {
+  pid : int;
+  req_fd : Unix.file_descr;  (** parent's write end, also behind [req_oc] *)
+  req_oc : out_channel;
+  resp_fd : Unix.file_descr;
+  resp_ic : in_channel;
+  mutable task : int option;  (** index in flight *)
+  mutable deadline : float;
+  mutable alive : bool;
+}
+
+(* One response per dispatched request, so the parent's buffered [resp_ic]
+   is empty whenever it selects on [resp_fd]; readability of the raw fd is
+   therefore an accurate "a full response is coming" signal. *)
+type 'b response = int * ('b, string) Stdlib.result * float
+
+let spawn ~inherited ~tasks ~f =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* Child: drop every parent-side fd of earlier workers so that a
+       worker crash shows up as EOF in the parent (no stray write-end
+       copies keep the pipe open), then serve indices until EOF. *)
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) inherited;
+    Unix.close req_w;
+    Unix.close resp_r;
+    let ic = Unix.in_channel_of_descr req_r in
+    let oc = Unix.out_channel_of_descr resp_w in
+    let rec serve () =
+      match (Marshal.from_channel ic : int) with
+      | exception (End_of_file | Failure _) -> ()
+      | index ->
+        let t0 = Unix.gettimeofday () in
+        let res =
+          try Ok (f tasks.(index))
+          with e -> Error (Printexc.to_string e)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        (Marshal.to_channel oc (index, res, wall : _ response) [];
+         flush oc);
+        serve ()
+    in
+    (try serve () with _ -> ());
+    (* [Unix._exit]: skip at_exit/flushing so the child cannot replay the
+       parent's buffered stdout. *)
+    (try flush oc with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    {
+      pid;
+      req_fd = req_w;
+      req_oc = Unix.out_channel_of_descr req_w;
+      resp_fd = resp_r;
+      resp_ic = Unix.in_channel_of_descr resp_r;
+      task = None;
+      deadline = infinity;
+      alive = true;
+    }
+
+let reap w ~kill =
+  if w.alive then begin
+    w.alive <- false;
+    if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try close_out_noerr w.req_oc with _ -> ());
+    (try close_in_noerr w.resp_ic with _ -> ());
+    (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+  end
+
+let run_pool ~jobs ~timeout_s ~f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  let next = ref 0 in
+  let run_inline index =
+    (* Crash fallback and end-of-pool path: compute in the parent. *)
+    let t0 = Unix.gettimeofday () in
+    let value = f tasks.(index) in
+    results.(index) <- Some { value; wall_s = Unix.gettimeofday () -. t0 };
+    incr completed
+  in
+  let inherited = ref [] in
+  let workers =
+    Array.init (min jobs n) (fun _ ->
+        let w = spawn ~inherited:!inherited ~tasks ~f in
+        inherited := w.req_fd :: w.resp_fd :: !inherited;
+        w)
+  in
+  let cleanup ~kill = Array.iter (fun w -> reap w ~kill) workers in
+  let dispatch w =
+    if w.alive && w.task = None && !next < n then begin
+      let index = !next in
+      match
+        Marshal.to_channel w.req_oc (index : int) [];
+        flush w.req_oc
+      with
+      | () ->
+        incr next;
+        w.task <- Some index;
+        w.deadline <-
+          (match timeout_s with
+          | Some t -> Unix.gettimeofday () +. t
+          | None -> infinity)
+      | exception Sys_error _ ->
+        (* The worker died before we could feed it; it never received the
+           task, so just retire it. *)
+        reap w ~kill:false
+    end
+  in
+  let on_crash w =
+    let pending = w.task in
+    w.task <- None;
+    reap w ~kill:false;
+    match pending with Some index -> run_inline index | None -> ()
+  in
+  let on_response w =
+    match (Marshal.from_channel w.resp_ic : _ response) with
+    | exception (End_of_file | Failure _) -> on_crash w
+    | index, res, wall ->
+      w.task <- None;
+      w.deadline <- infinity;
+      (match res with
+      | Ok value ->
+        results.(index) <- Some { value; wall_s = wall };
+        incr completed
+      | Error message ->
+        cleanup ~kill:true;
+        raise (Task_failed { index; message }))
+  in
+  let finally_cleanup body =
+    match body () with
+    | () -> cleanup ~kill:false
+    | exception e ->
+      cleanup ~kill:true;
+      raise e
+  in
+  (* A dead worker turns the next dispatch into EPIPE; take the error, not
+     the signal. *)
+  let prev_sigpipe =
+    if Sys.os_type = "Unix" then
+      Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match prev_sigpipe with
+      | Some b -> Sys.set_signal Sys.sigpipe b
+      | None -> ())
+    (fun () ->
+      finally_cleanup (fun () ->
+          while !completed < n do
+            Array.iter dispatch workers;
+            let in_flight =
+              Array.to_list workers
+              |> List.filter (fun w -> w.alive && w.task <> None)
+            in
+            if in_flight = [] then
+              (* Every worker is gone: drain the rest sequentially. *)
+              while !completed < n do
+                run_inline !next;
+                incr next
+              done
+            else begin
+              let now = Unix.gettimeofday () in
+              let horizon =
+                List.fold_left
+                  (fun acc w -> Float.min acc w.deadline)
+                  infinity in_flight
+              in
+              let select_timeout =
+                if horizon = infinity then -1. else Float.max 0. (horizon -. now)
+              in
+              let readable, _, _ =
+                Unix.select (List.map (fun w -> w.resp_fd) in_flight) [] []
+                  select_timeout
+              in
+              if readable = [] then begin
+                let now = Unix.gettimeofday () in
+                List.iter
+                  (fun w ->
+                    if w.deadline <= now then begin
+                      let index = Option.value w.task ~default:(-1) in
+                      reap w ~kill:true;
+                      cleanup ~kill:true;
+                      raise
+                        (Task_timeout
+                           {
+                             index;
+                             timeout_s = Option.value timeout_s ~default:0.;
+                           })
+                    end)
+                  in_flight
+              end
+              else
+                List.iter
+                  (fun w -> if List.mem w.resp_fd readable then on_response w)
+                  in_flight
+            end
+          done));
+  Array.map Option.get results
+
+let map ?jobs ?timeout_s ~f tasks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let arr = Array.of_list tasks in
+  if (not fork_available) || jobs <= 1 || Array.length arr <= 1 then
+    sequential ~f tasks
+  else Array.to_list (run_pool ~jobs ~timeout_s ~f arr)
+
+let map_values ?jobs ?timeout_s ~f tasks =
+  List.map (fun r -> r.value) (map ?jobs ?timeout_s ~f tasks)

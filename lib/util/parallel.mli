@@ -1,0 +1,57 @@
+(** Process-level parallel map for the sweep layers.
+
+    The methodology's sweeps (heuristic class x goal point, bisection
+    probes over resource parameters) are embarrassingly parallel but
+    CPU-bound, so parallelism is process-level: [map] forks a pool of
+    workers, streams task {e indices} to them over pipes (the task array
+    itself is inherited through [fork], so only indices and results are
+    [Marshal]-framed), and collects results {e in task order} regardless
+    of completion order — callers observe exactly the sequential result
+    list.
+
+    Failure semantics:
+
+    - a task that raises in a worker surfaces as {!Task_failed} in the
+      parent (the worker itself survives and keeps serving tasks);
+    - a worker that dies (segfault, [kill], [_exit]) is detected by EOF
+      on its result pipe; its in-flight task is recomputed in the parent
+      and the pool keeps going with the remaining workers;
+    - a task that exceeds [timeout_s] kills its worker and raises
+      {!Task_timeout};
+    - when [fork] is unavailable (non-Unix), [jobs <= 1], or there are
+      fewer than two tasks, [map] degrades to a plain sequential map
+      ([timeout_s] is then ignored — there is nothing to preempt).
+
+    Results must be marshallable (no closures, no custom blocks beyond
+    the stdlib's); everything the sweep layers return — floats, arrays,
+    records of those — qualifies. *)
+
+type 'a result = {
+  value : 'a;
+  wall_s : float;  (** task wall-clock, measured inside the worker *)
+}
+
+exception Task_failed of { index : int; message : string }
+(** Task [index] raised in a worker; [message] is the printed exception. *)
+
+exception Task_timeout of { index : int; timeout_s : float }
+
+val available_cores : unit -> int
+(** Processor count from [/proc/cpuinfo] (fallback: [getconf
+    _NPROCESSORS_ONLN]; 1 when neither is readable). *)
+
+val default_jobs : unit -> int
+(** [available_cores], floored at 1 — the [--jobs 0] auto value. *)
+
+val fork_available : bool
+(** Whether the process-pool path can run at all (Unix only). *)
+
+val map :
+  ?jobs:int -> ?timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b result list
+(** [map ~jobs ~f tasks] is [List.map f tasks] with per-task wall-clock
+    timing, computed by up to [jobs] worker processes. [jobs] defaults to
+    {!default_jobs}[ ()]. Result order always matches task order. *)
+
+val map_values :
+  ?jobs:int -> ?timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b list
+(** {!map} without the timing wrapper. *)

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Full local gate: build everything, then run the whole test suite
+# (unit, property, differential, and golden round-trip tests).
+set -e
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

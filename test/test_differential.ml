@@ -1,0 +1,275 @@
+(* Differential tests for the LP stack, plus parallel-sweep determinism.
+
+   The methodology's conclusions are only as good as the agreement between
+   its bound producers: the exact simplex, the first-order PDHG solver,
+   and the weak-duality certificate. This suite cross-checks them on two
+   families of PRNG-seeded instances:
+
+   - random dense LPs (feasible by construction: every row is satisfied
+     with slack at a random interior point of the box);
+   - random small MC-PERF instances drawn from the case-study generator
+     across seeds, workloads, node counts and heuristic classes.
+
+   Invariants: PDHG's certified bound must agree with the simplex optimum
+   within tolerance, and no certificate value may ever exceed the simplex
+   optimum (weak duality — the property the paper's methodology rests
+   on). The determinism section then checks that the parallel sweep
+   engine returns byte-identical reports at every jobs setting. *)
+
+module CS = Replica_select.Case_study
+module Report = Replica_select.Report
+
+let instances = 50
+
+(* Relative tolerances calibrated against the solvers: PDHG at rel_tol
+   1e-8 closes the gap to ~1e-9 on the dense family and ~2e-6 on the
+   MC-PERF family (where it occasionally stops on the tolerance plateau
+   short of full convergence); weak duality is exact up to rounding. *)
+let agree_tol = 1e-4
+let duality_tol = 1e-9
+
+let tight_pdhg =
+  {
+    Lp.Pdhg.default_options with
+    max_iters = 100_000;
+    rel_tol = 1e-8;
+    check_every = 25;
+  }
+
+(* --- random dense LPs --------------------------------------------------- *)
+
+let random_dense_lp rng =
+  let open Lp.Problem in
+  let nvars = 3 + Util.Prng.int rng 6 in
+  let b = Builder.create () in
+  let hi = Array.init nvars (fun _ -> 1. +. Util.Prng.float rng 9.) in
+  for j = 0 to nvars - 1 do
+    ignore
+      (Builder.add_var b ~lo:0. ~hi:hi.(j)
+         ~obj:(Util.Prng.float rng 2. -. 1.)
+         ())
+  done;
+  (* Interior point certifying feasibility; rows get slack around it. *)
+  let xstar =
+    Array.init nvars (fun j -> hi.(j) *. (0.2 +. Util.Prng.float rng 0.6))
+  in
+  let nrows = nvars + Util.Prng.int rng nvars in
+  for _ = 1 to nrows do
+    let coeffs = ref [] and dot = ref 0. in
+    for j = 0 to nvars - 1 do
+      if Util.Prng.float rng 1. < 0.5 then begin
+        let c = Util.Prng.float rng 4. -. 2. in
+        coeffs := (j, c) :: !coeffs;
+        dot := !dot +. (c *. xstar.(j))
+      end
+    done;
+    if !coeffs = [] then begin
+      let j = Util.Prng.int rng nvars in
+      coeffs := [ (j, 1.) ];
+      dot := xstar.(j)
+    end;
+    let slack = 0.1 +. Util.Prng.float rng 1. in
+    if Util.Prng.float rng 1. < 0.5 then
+      Builder.add_row b Ge ~rhs:(!dot -. slack) !coeffs
+    else Builder.add_row b Le ~rhs:(!dot +. slack) !coeffs
+  done;
+  Builder.build b
+
+let check_against_simplex ~what ~index problem =
+  match Lp.Simplex.solve problem with
+  | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+    Alcotest.failf "%s %d: simplex did not return an optimum" what index
+  | Lp.Simplex.Optimal { objective = opt; _ } ->
+    let out = Lp.Pdhg.solve ~options:tight_pdhg problem in
+    let scale = 1. +. Float.abs opt in
+    let gap = (opt -. out.Lp.Pdhg.best_bound) /. scale in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %d: pdhg agrees (gap %.3e)" what index gap)
+      true (gap <= agree_tol);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %d: pdhg bound below optimum" what index)
+      true
+      (out.Lp.Pdhg.best_bound -. opt <= duality_tol *. scale);
+    (* Recomputing the certificate from the best dual iterate must again
+       stay below the optimum: weak duality holds for ANY multiplier. *)
+    let cert =
+      Lp.Certificate.dual_bound
+        (Lp.Problem.normalize_ge problem)
+        ~y:out.Lp.Pdhg.best_y
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %d: certificate below optimum" what index)
+      true
+      (cert -. opt <= duality_tol *. scale)
+
+let test_dense_lps () =
+  let rng = Util.Prng.create ~seed:77 in
+  for index = 1 to instances do
+    check_against_simplex ~what:"dense LP" ~index (random_dense_lp rng)
+  done
+
+(* --- random small MC-PERF instances ------------------------------------- *)
+
+let mcperf_classes =
+  [|
+    Mcperf.Classes.general;
+    Mcperf.Classes.storage_constrained;
+    Mcperf.Classes.replica_constrained_uniform;
+    Mcperf.Classes.decentralized_local_routing;
+    Mcperf.Classes.cooperative_caching;
+  |]
+
+let test_mcperf_instances () =
+  let solved = ref 0 in
+  for seed = 0 to instances - 1 do
+    let workload = if seed mod 2 = 0 then CS.Web else CS.Group in
+    let nodes = 4 + (seed mod 3) in
+    let cs =
+      CS.make ~seed:(1000 + seed) ~nodes ~scale:0.002 ~intervals:4 workload
+    in
+    let fraction = if seed mod 3 = 0 then 0.9 else 0.95 in
+    let spec = CS.qos_spec cs ~fraction ~for_bounds:true () in
+    let cls = mcperf_classes.(seed mod Array.length mcperf_classes) in
+    let perm = Mcperf.Permission.compute spec cls in
+    (* Goal-infeasible draws (caching above its cold-miss ceiling) carry
+       no LP to compare; the oracle's verdict is itself part of the
+       pipeline and is exercised by test_bounds. *)
+    if Mcperf.Permission.feasible perm then begin
+      incr solved;
+      let model = Mcperf.Model.build perm in
+      check_against_simplex ~what:"mcperf" ~index:seed
+        model.Mcperf.Model.problem
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough feasible instances (%d)" !solved)
+    true (!solved >= 35)
+
+(* --- parallel-sweep determinism ------------------------------------------ *)
+
+(* The quickstart scenario: six sites, a Zipf workload, a 99% QoS goal. *)
+let quickstart_spec () =
+  let graph =
+    Topology.Graph.of_edges 6
+      [
+        (0, 1, 120.);
+        (0, 2, 140.);
+        (0, 3, 180.);
+        (3, 4, 110.);
+        (4, 5, 130.);
+        (1, 2, 100.);
+      ]
+  in
+  let system = Topology.System.make graph in
+  let rng = Util.Prng.create ~seed:42 in
+  let trace =
+    Workload.Synthesize.web ~rng
+      {
+        Workload.Synthesize.web_spec with
+        nodes = 6;
+        objects = 40;
+        total_requests = 5_000;
+        max_object_requests = 600;
+        min_object_requests = 1;
+      }
+  in
+  let demand = Workload.Demand.of_trace ~intervals:12 trace in
+  let spec =
+    Mcperf.Spec.make ~system ~demand
+      ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 0.99 })
+      ()
+  in
+  (spec, trace)
+
+let sweep_fixture =
+  [
+    ("general", Mcperf.Classes.general);
+    ("storage-constrained", Mcperf.Classes.storage_constrained);
+    ("replica-constrained", Mcperf.Classes.replica_constrained_uniform);
+  ]
+
+let figure_of (sweep : Bounds.Pipeline.sweep) =
+  List.map
+    (fun (label, cells) ->
+      Report.series_of ~label
+        (List.map
+           (fun (q, (r : Bounds.Pipeline.t)) ->
+             ( q,
+               if r.Bounds.Pipeline.feasible then
+                 Some r.Bounds.Pipeline.lower_bound
+               else None ))
+           cells))
+    sweep.Bounds.Pipeline.per_class
+
+let strip_walls (sweep : Bounds.Pipeline.sweep) =
+  ( sweep.Bounds.Pipeline.per_class,
+    List.map
+      (fun (s : Bounds.Pipeline.task_stat) ->
+        (s.Bounds.Pipeline.label, s.Bounds.Pipeline.x,
+         s.Bounds.Pipeline.iterations, s.Bounds.Pipeline.solved_exactly))
+      sweep.Bounds.Pipeline.stats )
+
+let test_sweep_determinism () =
+  let spec, _ = quickstart_spec () in
+  let fractions = [ 0.95; 0.99; 0.999 ] in
+  let seq = Bounds.Pipeline.sweep_classes ~jobs:1 spec ~fractions sweep_fixture in
+  let par = Bounds.Pipeline.sweep_classes ~jobs:4 spec ~fractions sweep_fixture in
+  (* The rendered report must be byte-identical, and so must everything
+     under it except the wall-clock fields. *)
+  Alcotest.(check string)
+    "csv report byte-identical"
+    (Report.csv_of_figure (figure_of seq))
+    (Report.csv_of_figure (figure_of par));
+  Alcotest.(check bool)
+    "results identical (incl. iterations and placements)" true
+    (strip_walls seq = strip_walls par)
+
+let test_runner_determinism () =
+  let spec, trace = quickstart_spec () in
+  let stripped = Option.map (fun (d : Sim.Runner.deployed) ->
+      (d.Sim.Runner.name, d.Sim.Runner.parameter, d.Sim.Runner.cost,
+       d.Sim.Runner.worst_qos))
+  in
+  Alcotest.(check bool)
+    "greedy-global same at jobs=1/3" true
+    (stripped (Sim.Runner.greedy_global ~spec ())
+    = stripped (Sim.Runner.greedy_global ~jobs:3 ~spec ()));
+  Alcotest.(check bool)
+    "greedy-replica same at jobs=1/3" true
+    (stripped (Sim.Runner.greedy_replica ~spec ())
+    = stripped (Sim.Runner.greedy_replica ~jobs:3 ~spec ()));
+  Alcotest.(check bool)
+    "lru-caching same at jobs=1/4" true
+    (stripped (Sim.Runner.lru_caching ~spec ~trace ())
+    = stripped (Sim.Runner.lru_caching ~jobs:4 ~spec ~trace ()))
+
+let prop_search_jobs_equivalent =
+  QCheck2.Test.make ~count:200
+    ~name:"k-section search equals bisection on monotone predicates"
+    QCheck2.Gen.(
+      tup3 (int_range 0 500) (int_range 0 500) (int_range 2 8))
+    (fun (threshold, hi, jobs) ->
+      let feasible p = p >= threshold in
+      Sim.Search.min_feasible_int ~lo:0 ~hi feasible
+      = Sim.Search.min_feasible_int ~jobs ~lo:0 ~hi feasible)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "lp-stack",
+        [
+          Alcotest.test_case "random dense LPs: simplex vs pdhg vs certificate"
+            `Quick test_dense_lps;
+          Alcotest.test_case
+            "random MC-PERF instances: simplex vs pdhg vs certificate" `Quick
+            test_mcperf_instances;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel sweep byte-identical to sequential"
+            `Quick test_sweep_determinism;
+          Alcotest.test_case "parallel runner searches identical" `Quick
+            test_runner_determinism;
+          QCheck_alcotest.to_alcotest prop_search_jobs_equivalent;
+        ] );
+    ]

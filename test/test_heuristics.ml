@@ -335,17 +335,17 @@ let test_min_feasible_int () =
     p >= 13
   in
   Alcotest.(check (option int)) "finds 13" (Some 13)
-    (Sim.Search.min_feasible_int ~lo:0 ~hi:100 ~feasible);
+    (Sim.Search.min_feasible_int ~lo:0 ~hi:100 feasible);
   Alcotest.(check bool) "logarithmic" true (!calls <= 12);
   Alcotest.(check (option int)) "none" None
-    (Sim.Search.min_feasible_int ~lo:0 ~hi:10 ~feasible:(fun _ -> false));
+    (Sim.Search.min_feasible_int ~lo:0 ~hi:10 (fun _ -> false));
   Alcotest.(check (option int)) "lo immediately" (Some 5)
-    (Sim.Search.min_feasible_int ~lo:5 ~hi:10 ~feasible:(fun _ -> true))
+    (Sim.Search.min_feasible_int ~lo:5 ~hi:10 (fun _ -> true))
 
 let test_min_feasible_float () =
   match
-    Sim.Search.min_feasible_float ~lo:0. ~hi:100. ~tol:1e-3
-      ~feasible:(fun x -> x >= Float.pi)
+    Sim.Search.min_feasible_float ~lo:0. ~hi:100. ~tol:1e-3 (fun x ->
+        x >= Float.pi)
   with
   | Some v ->
     Alcotest.(check bool) "close to pi" true

@@ -130,6 +130,114 @@ let prop_pqueue_matches_sort =
       let popped = drain [] in
       popped = List.sort compare floats)
 
+(* Interleaved pushes and pops against a sorted-list reference model:
+   peek/pop must always return the model's minimum, and the multiset
+   of priorities pushed must round-trip through the heap exactly. *)
+let prop_pqueue_model =
+  QCheck2.Test.make ~count:100
+    ~name:"pqueue matches a sorted-list model under interleaved ops"
+    QCheck2.Gen.(
+      list_size (int_range 0 100)
+        (oneof [ map Option.some (float_range (-100.) 100.); return None ]))
+    (fun ops ->
+      let h = Util.Pqueue.create () in
+      let model = ref [] (* sorted ascending *) in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun op ->
+          match op with
+          | Some p ->
+            Util.Pqueue.push h p ();
+            model := List.sort compare (p :: !model)
+          | None -> (
+            check
+              (Option.map fst (Util.Pqueue.peek_min h)
+              = (match !model with [] -> None | p :: _ -> Some p));
+            match (Util.Pqueue.pop_min h, !model) with
+            | None, [] -> ()
+            | Some (p, ()), m :: rest ->
+              check (p = m);
+              model := rest
+            | None, _ :: _ | Some _, [] -> check false))
+        ops;
+      check (Util.Pqueue.length h = List.length !model);
+      let rec drain acc =
+        match Util.Pqueue.pop_min h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      check (drain [] = !model);
+      !ok)
+
+(* --- parallel map ------------------------------------------------------- *)
+
+let test_parallel_order_preserved () =
+  let inputs = List.init 20 Fun.id in
+  let expected = List.map (fun i -> i * i) inputs in
+  Alcotest.(check (list int))
+    "jobs=1 (sequential path)" expected
+    (Util.Parallel.map_values ~jobs:1 ~f:(fun i -> i * i) inputs);
+  Alcotest.(check (list int))
+    "jobs=3 (worker pool)" expected
+    (Util.Parallel.map_values ~jobs:3 ~f:(fun i -> i * i) inputs);
+  Alcotest.(check (list int))
+    "more workers than tasks" [ 4; 9 ]
+    (Util.Parallel.map_values ~jobs:8 ~f:(fun i -> i * i) [ 2; 3 ])
+
+let test_parallel_empty_and_single () =
+  Alcotest.(check (list int))
+    "empty" []
+    (Util.Parallel.map_values ~jobs:4 ~f:Fun.id []);
+  Alcotest.(check (list string))
+    "single task" [ "x!" ]
+    (Util.Parallel.map_values ~jobs:4 ~f:(fun s -> s ^ "!") [ "x" ])
+
+let test_parallel_task_failure () =
+  match
+    Util.Parallel.map_values ~jobs:3
+      ~f:(fun i -> if i = 2 then failwith "boom" else i)
+      [ 0; 1; 2; 3 ]
+  with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Util.Parallel.Task_failed { index; message } ->
+    Alcotest.(check int) "failing task index" 2 index;
+    let contains ~needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      "message carries the exception" true
+      (contains ~needle:"boom" message)
+
+let test_parallel_worker_crash_fallback () =
+  if Util.Parallel.fork_available then begin
+    (* A worker that dies without replying (here: [_exit] mid-task) must
+       be detected via EOF on its pipe; the parent then recomputes the
+       lost task inline, so the caller still sees every result. *)
+    let parent = Unix.getpid () in
+    let f i =
+      if i = 1 && Unix.getpid () <> parent then Unix._exit 7 else i * 10
+    in
+    Alcotest.(check (list int))
+      "crashed worker's task recomputed inline" [ 0; 10; 20; 30 ]
+      (Util.Parallel.map_values ~jobs:2 ~f [ 0; 1; 2; 3 ])
+  end
+
+let test_parallel_timeout () =
+  if Util.Parallel.fork_available then
+    match
+      Util.Parallel.map_values ~jobs:2 ~timeout_s:0.3
+        ~f:(fun i ->
+          if i = 1 then Unix.sleepf 30.;
+          i)
+        [ 0; 1; 2 ]
+    with
+    | _ -> Alcotest.fail "expected Task_timeout"
+    | exception Util.Parallel.Task_timeout { index; _ } ->
+      Alcotest.(check int) "timed-out task index" 1 index
+
 (* --- vector ops -------------------------------------------------------- *)
 
 let test_vecops () =
@@ -196,6 +304,20 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
           QCheck_alcotest.to_alcotest prop_pqueue_matches_sort;
+          QCheck_alcotest.to_alcotest prop_pqueue_model;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "order preserved" `Quick
+            test_parallel_order_preserved;
+          Alcotest.test_case "empty and single" `Quick
+            test_parallel_empty_and_single;
+          Alcotest.test_case "task failure propagates" `Quick
+            test_parallel_task_failure;
+          Alcotest.test_case "worker crash falls back inline" `Quick
+            test_parallel_worker_crash_fallback;
+          Alcotest.test_case "timeout kills stuck worker" `Quick
+            test_parallel_timeout;
         ] );
       ( "vecops",
         [

@@ -377,6 +377,61 @@ let prop_aggregate_preserves_totals =
       && Float.abs (Workload.Demand.total_reads pop.demand -. total)
          < 1e-6 *. total)
 
+let prop_zipf_frequencies_normalized_monotone =
+  QCheck2.Test.make ~count:200
+    ~name:"zipf frequencies are a monotone probability distribution"
+    QCheck2.Gen.(tup2 (int_range 1 200) (float_range 0. 3.))
+    (fun (n, s) ->
+      let f = Workload.Zipf.frequencies ~n ~s in
+      let sum = Array.fold_left ( +. ) 0. f in
+      Array.length f = n
+      && Float.abs (sum -. 1.) < 1e-9
+      && Array.for_all (fun p -> p > 0.) f
+      && (let mono = ref true in
+          for i = 0 to n - 2 do
+            if f.(i) < f.(i + 1) then mono := false
+          done;
+          !mono))
+
+let prop_zipf_fit_and_counts =
+  QCheck2.Test.make ~count:100
+    ~name:"mandelbrot fit honors marginals; integer counts preserve total"
+    QCheck2.Gen.(
+      tup4 (int_range 2 300) (float_range 1. 5.) (float_range 2. 10_000.)
+        (float_range 0.05 0.95))
+    (fun (n, min_count, spread, t) ->
+      let max_count = min_count +. spread in
+      let nf = float_of_int n in
+      (* Any total strictly between the degenerate end points is a legal
+         request (out-of-reach totals are clamped by the fitter). *)
+      let total =
+        (nf *. min_count) +. (t *. nf *. (max_count -. min_count))
+      in
+      let m = Workload.Zipf.fit_mandelbrot ~n ~total ~max_count ~min_count in
+      let head = Workload.Zipf.mandelbrot_count m 1 in
+      let tail = Workload.Zipf.mandelbrot_count m n in
+      let raw_total = ref 0. in
+      let mono = ref true and prev = ref infinity in
+      for r = 1 to n do
+        let c = Workload.Zipf.mandelbrot_count m r in
+        raw_total := !raw_total +. c;
+        if c > !prev +. 1e-9 then mono := false;
+        prev := c
+      done;
+      let counts = Workload.Zipf.counts m ~n in
+      let count_total = float_of_int (Array.fold_left ( + ) 0 counts) in
+      Float.abs (head -. max_count) < 1e-6 *. max_count
+      (* The tail marginal is found by root-finding; in the clamped
+         near-flat regime it is honored to ~0.5% relative. *)
+      && Float.abs (tail -. min_count) < 1e-2 *. min_count
+      && !mono
+      && Array.length counts = n
+      && Array.for_all (fun c -> c >= 1) counts
+      (* min_count >= 1 keeps every floor positive, so the largest-
+         fractional-part redistribution lands on the law's rounded
+         total (up to the rounding knife-edge of the float sum). *)
+      && Float.abs (count_total -. !raw_total) <= 0.5 +. 1e-9 *. !raw_total)
+
 let () =
   Alcotest.run "workload"
     [
@@ -390,6 +445,8 @@ let () =
             test_counts_preserve_total_and_shape;
           Alcotest.test_case "rejects impossible fit" `Quick
             test_fit_rejects_impossible;
+          QCheck_alcotest.to_alcotest prop_zipf_frequencies_normalized_monotone;
+          QCheck_alcotest.to_alcotest prop_zipf_fit_and_counts;
         ] );
       ( "trace",
         [
