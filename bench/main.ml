@@ -238,6 +238,187 @@ let sweep_benchmark () =
   close_out oc;
   Printf.printf "wrote BENCH_sweep.json\n%!"
 
+(* --- lp: the LP-substrate performance evidence ---------------------------- *)
+
+(* `main.exe lp` measures the fast-LP substrate end to end and writes
+   BENCH_lp.json:
+
+   - fused vs reference PDHG iteration throughput (same recurrence, same
+     iterates — the bound delta is reported and must sit within 1e-9);
+   - sparse matvec throughput in GFLOP-equivalents (2*nnz flops/product);
+   - per-stage timings of one pipeline cell (permission analysis, model
+     build, incremental rhs patch, presolve, prepare, prepared reuse);
+   - the fig2-style sweep wall-clock against the sequential baseline
+     recorded in BENCH_sweep.json by the previous revision — read before
+     `main.exe sweep` overwrites it — with the jobs=1/jobs=4 identity
+     check re-run on today's code. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let read_baseline_sequential_s () =
+  match open_in "BENCH_sweep.json" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let key = "\"sequential_s\":" in
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length s then None
+      else if String.sub s i klen = key then begin
+        let j = ref (i + klen) in
+        let buf = Buffer.create 16 in
+        while
+          !j < String.length s
+          && (match s.[!j] with
+             | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
+             | _ -> false)
+        do
+          if s.[!j] <> ' ' then Buffer.add_char buf s.[!j];
+          incr j
+        done;
+        float_of_string_opt (Buffer.contents buf)
+      end
+      else find (i + 1)
+    in
+    find 0
+
+let lp_benchmark () =
+  let cs = Lazy.force web in
+  (* The storage-constrained class is the sweep's dominant cost: its QoS
+     cells run tens of thousands of PDHG iterations. *)
+  let cls = Mcperf.Classes.storage_constrained in
+  let spec = CS.qos_spec cs ~fraction:0.99 ~for_bounds:true () in
+  let perm_s, perm = time (fun () -> Mcperf.Permission.compute spec cls) in
+  let build_s, model = time (fun () -> Mcperf.Model.build perm) in
+  let problem = model.Mcperf.Model.problem in
+  let vars = Lp.Problem.nvars problem
+  and rows = Lp.Problem.nrows problem
+  and nnz = Lp.Problem.nnz problem in
+  Printf.printf "lp benchmark: %d vars, %d rows, %d nnz\n%!" vars rows nnz;
+  let patch_s, patched =
+    time (fun () -> Mcperf.Model.with_fraction model 0.999)
+  in
+  let presolve_s, _ = time (fun () -> Lp.Presolve.run problem) in
+  let prepare_s, prep = time (fun () -> Lp.Pdhg.prepare problem) in
+  let reuse_s, _ =
+    time (fun () ->
+        Lp.Pdhg.prepare ~reuse:prep patched.Mcperf.Model.problem)
+  in
+  (* Fixed-budget solves: rel_tol 0 disables early convergence so both
+     paths execute exactly [iters] iterations of the same recurrence. *)
+  let iters = 4_000 in
+  let options =
+    { Lp.Pdhg.default_options with max_iters = iters; rel_tol = 0. }
+  in
+  let fused_s, fused = time (fun () -> Lp.Pdhg.solve ~options problem) in
+  let ref_s, reference =
+    time (fun () -> Lp.Pdhg.solve_reference ~options problem)
+  in
+  let bound_delta =
+    Float.abs (fused.Lp.Pdhg.best_bound -. reference.Lp.Pdhg.best_bound)
+  in
+  Printf.printf
+    "pdhg %d iters: fused %.3fs (%.0f it/s), reference %.3fs (%.0f it/s), \
+     %.2fx, bound delta %.3e\n\
+     %!"
+    iters fused_s
+    (float_of_int iters /. fused_s)
+    ref_s
+    (float_of_int iters /. ref_s)
+    (ref_s /. fused_s) bound_delta;
+  (* Matvec throughput: a dense-equivalent flop count of 2*nnz per
+     product (one multiply + one add per stored coefficient). *)
+  let a = Lp.Problem.constraint_matrix (Lp.Problem.normalize_ge problem) in
+  let x = Array.make vars 1. and y = Array.make rows 0. in
+  let reps = 2_000 in
+  let mul_s, () =
+    time (fun () ->
+        for _ = 1 to reps do
+          Lp.Sparse.mul a x y
+        done)
+  in
+  let mul_t_s, () =
+    time (fun () ->
+        for _ = 1 to reps do
+          Lp.Sparse.mul_t a y x
+        done)
+  in
+  let gflops s = float_of_int (2 * nnz * reps) /. s /. 1e9 in
+  Printf.printf "matvec: mul %.3f GFLOP-equiv/s, mul_t %.3f GFLOP-equiv/s\n%!"
+    (gflops mul_s) (gflops mul_t_s);
+  (* End-to-end: the same fig2-style sweep the PR-1 baseline measured. *)
+  let baseline = read_baseline_sequential_s () in
+  (match baseline with
+  | Some b -> Printf.printf "baseline sequential_s from BENCH_sweep.json: %.3f\n%!" b
+  | None -> Printf.printf "no BENCH_sweep.json baseline found\n%!");
+  let seq_s, seq_sig = run_sweep ~jobs:1 in
+  let par_s, par_sig = run_sweep ~jobs:4 in
+  let results_identical = seq_sig = par_sig in
+  if not results_identical then
+    failwith "lp benchmark: parallel and sequential sweep results differ";
+  let speedup =
+    match baseline with Some b when seq_s > 0. -> b /. seq_s | _ -> 1.
+  in
+  Printf.printf "sweep jobs=1: %.2fs (baseline speedup %.2fx), jobs=4: %.2fs\n%!"
+    seq_s speedup par_s;
+  let oc = open_out "BENCH_lp.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "LP substrate: fused PDHG kernels, presolve wiring, incremental models",
+  "fixture": "web nodes=10 scale=0.02 intervals=12, storage-constrained class",
+  "model": { "vars": %d, "rows": %d, "nnz": %d },
+  "stage_timings_s": {
+    "permission": %.6f,
+    "model_build": %.6f,
+    "with_fraction_patch": %.6f,
+    "presolve": %.6f,
+    "prepare": %.6f,
+    "prepare_reused": %.6f
+  },
+  "pdhg": {
+    "iterations_timed": %d,
+    "fused_s": %.3f,
+    "fused_iters_per_s": %.0f,
+    "reference_s": %.3f,
+    "reference_iters_per_s": %.0f,
+    "per_iteration_speedup": %.3f,
+    "bound_delta_vs_reference": %.3e,
+    "bounds_within_1e-9": %b
+  },
+  "matvec": {
+    "flops_per_product": %d,
+    "mul_gflops_equiv": %.3f,
+    "mul_t_gflops_equiv": %.3f
+  },
+  "sweep": {
+    "baseline_sequential_s": %s,
+    "baseline_source": "BENCH_sweep.json (previous revision, jobs=1)",
+    "sequential_s": %.3f,
+    "end_to_end_speedup": %.3f,
+    "parallel_jobs4_s": %.3f,
+    "results_identical": %b
+  }
+}
+|}
+    vars rows nnz perm_s build_s patch_s presolve_s prepare_s reuse_s iters
+    fused_s
+    (float_of_int iters /. fused_s)
+    ref_s
+    (float_of_int iters /. ref_s)
+    (ref_s /. fused_s) bound_delta
+    (bound_delta <= 1e-9)
+    (2 * nnz) (gflops mul_s) (gflops mul_t_s)
+    (match baseline with
+    | Some b -> Printf.sprintf "%.3f" b
+    | None -> "null")
+    seq_s speedup par_s results_identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_lp.json\n%!"
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let benchmark test =
@@ -279,6 +460,7 @@ let print_results results =
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "sweep" then sweep_benchmark ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "lp" then lp_benchmark ()
   else
     List.iter
       (fun test ->

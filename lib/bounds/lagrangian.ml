@@ -20,7 +20,18 @@ type subproblem = {
   problem : Lp.Problem.t;
   covered_cells : (int * int * float) array;
       (* (covered var, cell node, weighted reads) *)
-  size : int;
+  size : int;  (* original variable count; drives the solver choice *)
+  pre : Lp.Presolve.result;
+      (* objective-independent reduction, computed once and valid for
+         every lambda *)
+  restored0 : float array;
+      (* the reduced-space origin lifted back: fixed variables at their
+         values, everything else 0 — the per-lambda offset of the
+         eliminated variables is [dot objective restored0] *)
+  mutable prep : Lp.Pdhg.prepared option;
+      (* PDHG image of [pre.reduced], built on first use and reused for
+         every lambda (the objective is shared in place, and neither the
+         matrix nor the rhs ever changes) *)
 }
 
 let build_subproblem (perm : Mcperf.Permission.t) k =
@@ -113,10 +124,25 @@ let build_subproblem (perm : Mcperf.Permission.t) k =
     end
   | Mcperf.Classes.Rc_none | Mcperf.Classes.Rc_uniform -> ());
   let problem = Lp.Problem.Builder.build b in
+  (* Presolve once, with the objective-dependent rule disabled: the
+     pricing loop rewrites the covered coefficients in place between
+     solves, so only constraint-driven reductions may be frozen. *)
+  let pre = Lp.Presolve.run ~fix_unreferenced_vars:false problem in
+  (match pre.Lp.Presolve.status with
+  | `Infeasible ->
+    invalid_arg "Lagrangian: subproblem should be feasible and bounded"
+  | `Unchanged | `Reduced -> ());
+  let restored0 =
+    pre.Lp.Presolve.restore
+      (Array.make (Lp.Problem.nvars pre.Lp.Presolve.reduced) 0.)
+  in
   {
     problem;
     covered_cells = Array.of_list !covered;
     size = Lp.Problem.nvars problem;
+    pre;
+    restored0;
+    prep = None;
   }
 
 let simplex_size_limit = 200
@@ -127,39 +153,69 @@ let simplex_size_limit = 200
    subgradient. *)
 let solve_sub sub ~coverage_acc ~exact_count ~bounded_count =
   if Lp.Problem.nvars sub.problem = 0 then 0.
-  else if sub.size <= simplex_size_limit then begin
-    match Lp.Simplex.solve sub.problem with
-    | Lp.Simplex.Optimal { x; objective } ->
-      incr exact_count;
-      Array.iter
-        (fun (cv, n, rw) -> coverage_acc.(n) <- coverage_acc.(n) +. (rw *. x.(cv)))
-        sub.covered_cells;
-      objective
-    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
-      invalid_arg "Lagrangian: subproblem should be feasible and bounded"
-  end
   else begin
-    incr bounded_count;
-    let out =
-      Lp.Pdhg.solve
-        ~options:
-          { Lp.Pdhg.default_options with max_iters = 1_500; rel_tol = 1e-6 }
-        sub.problem
+    let pre = sub.pre in
+    let red = pre.Lp.Presolve.reduced in
+    let off =
+      Util.Vecops.dot sub.problem.Lp.Problem.objective sub.restored0
     in
-    Array.iter
-      (fun (cv, n, rw) ->
-        coverage_acc.(n) <- coverage_acc.(n) +. (rw *. out.Lp.Pdhg.x.(cv)))
-      sub.covered_cells;
-    out.Lp.Pdhg.best_bound
+    let record x =
+      Array.iter
+        (fun (cv, n, rw) ->
+          coverage_acc.(n) <- coverage_acc.(n) +. (rw *. x.(cv)))
+        sub.covered_cells
+    in
+    if Lp.Problem.nvars red = 0 then begin
+      (* Every variable was fixed by the constraints alone: the feasible
+         set is the single point [restored0], whatever the objective. *)
+      incr exact_count;
+      record sub.restored0;
+      off
+    end
+    else if sub.size <= simplex_size_limit then begin
+      match Lp.Simplex.solve red with
+      | Lp.Simplex.Optimal { x; objective } ->
+        incr exact_count;
+        record (pre.Lp.Presolve.restore x);
+        objective +. off
+      | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+        invalid_arg "Lagrangian: subproblem should be feasible and bounded"
+    end
+    else begin
+      incr bounded_count;
+      let prep =
+        match sub.prep with
+        | Some p -> p
+        | None ->
+          let p = Lp.Pdhg.prepare red in
+          sub.prep <- Some p;
+          p
+      in
+      let out =
+        Lp.Pdhg.solve_prepared
+          ~options:
+            { Lp.Pdhg.default_options with max_iters = 1_500; rel_tol = 1e-6 }
+          prep
+      in
+      record (pre.Lp.Presolve.restore out.Lp.Pdhg.x);
+      out.Lp.Pdhg.best_bound +. off
+    end
   end
 
 (* The builder assigns objective coefficients at construction; rewriting
    them per lambda mutates the (non-private-to-us) objective array in
-   place, which is safe because we own these problems. *)
+   place, which is safe because we own these problems. The reduced
+   problem's objective is kept in sync through [var_map]; eliminated
+   covered variables surface through the [restored0] offset instead. *)
 let set_lambda_objective sub lambda =
+  let red = sub.pre.Lp.Presolve.reduced in
+  let var_map = sub.pre.Lp.Presolve.var_map in
   Array.iter
     (fun (cv, n, rw) ->
-      sub.problem.Lp.Problem.objective.(cv) <- -.(lambda.(n) *. rw))
+      let c = -.(lambda.(n) *. rw) in
+      sub.problem.Lp.Problem.objective.(cv) <- c;
+      let rj = var_map.(cv) in
+      if rj >= 0 then red.Lp.Problem.objective.(rj) <- c)
     sub.covered_cells
 
 let bound ?(iterations = 60) ?(step_scale = 1.0) spec cls =

@@ -39,6 +39,127 @@ let infeasible_result cls worst_qos =
     max_feasible_qos = worst_qos;
   }
 
+(* --- shared LP-relaxation solve ----------------------------------------- *)
+
+(* One solve of a model's LP relaxation, used by [compute] and both sweep
+   drivers: presolve, pick the solver on the *original* dimensions (so the
+   choice is stable across reductions), solve the reduced problem, and map
+   the point and the certified bound back through [restore]/[offset].
+   [reuse] threads a prepared PDHG image across structurally identical
+   sweep models; [warm] carries reduced-space iterates between consecutive
+   QoS fractions. *)
+type relaxation = {
+  outcome : (float array * float * bool * int) option;
+      (* original-space x, certified bound (presolve offset folded in),
+         solved exactly, LP iterations; [None] when the LP is infeasible *)
+  prep : Lp.Pdhg.prepared option;  (* for the next cell's [reuse] *)
+  warm : (float array * float array) option;  (* reduced-space iterates *)
+}
+
+let no_solution = { outcome = None; prep = None; warm = None }
+
+let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
+  let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
+  let pre = Lp.Presolve.run problem in
+  match pre.Lp.Presolve.status with
+  | `Infeasible -> no_solution
+  | `Unchanged | `Reduced ->
+    let red = pre.Lp.Presolve.reduced in
+    if Lp.Problem.nvars red = 0 then
+      (* Presolve solved the whole LP: the fixed assignment is the unique
+         feasible point, hence optimal. *)
+      {
+        outcome =
+          Some (pre.Lp.Presolve.restore [||], pre.Lp.Presolve.offset, true, 0);
+        prep = None;
+        warm = None;
+      }
+    else begin
+      let use_simplex =
+        match solver with
+        | Exact_simplex -> true
+        | First_order _ -> false
+        | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
+      in
+      if use_simplex then
+        match Lp.Simplex.solve red with
+        | Lp.Simplex.Optimal { x; objective } ->
+          {
+            outcome =
+              Some
+                ( pre.Lp.Presolve.restore x,
+                  objective +. pre.Lp.Presolve.offset,
+                  true,
+                  0 );
+            prep = None;
+            warm = None;
+          }
+        | Lp.Simplex.Infeasible -> no_solution
+        | Lp.Simplex.Unbounded ->
+          invalid_arg "Bounds.Pipeline: unbounded MC-PERF relaxation"
+      else begin
+        let options =
+          match solver with
+          | First_order o -> o
+          | Auto | Exact_simplex -> default_pdhg_options
+        in
+        let prep = Lp.Pdhg.prepare ?reuse red in
+        let x0, y0 =
+          match warm with
+          | Some (x0, y0)
+            when Array.length x0 = Lp.Problem.nvars red
+                 && Array.length y0 = Lp.Problem.nrows red ->
+            (Some x0, Some y0)
+          | Some _ | None -> (None, None)
+        in
+        let out = Lp.Pdhg.solve_prepared ~options ?x0 ?y0 prep in
+        {
+          outcome =
+            Some
+              ( pre.Lp.Presolve.restore out.Lp.Pdhg.x,
+                out.Lp.Pdhg.best_bound +. pre.Lp.Presolve.offset,
+                false,
+                out.Lp.Pdhg.iterations );
+          prep = Some prep;
+          warm = Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
+        }
+      end
+    end
+
+(* Turn a feasible relaxation outcome into a pipeline result: round the
+   fractional point, evaluate the integral placement, report the gap. *)
+let finish ~round model cls worst_qos (x, bound, exact, iterations) =
+  let problem = model.Mcperf.Model.problem in
+  let lower_bound = bound +. model.Mcperf.Model.objective_offset in
+  let rounded =
+    match round model ~x with
+    | Ok r -> Some r
+    | Error msg ->
+      Log.warn (fun f ->
+          f "rounding failed for class %s: %s" cls.Mcperf.Classes.name msg);
+      None
+  in
+  let gap =
+    match rounded with
+    | Some r when r.Rounding.Round.evaluation.Mcperf.Costing.total > 0. ->
+      Some
+        ((r.Rounding.Round.evaluation.Mcperf.Costing.total -. lower_bound)
+        /. r.Rounding.Round.evaluation.Mcperf.Costing.total)
+    | Some _ | None -> None
+  in
+  {
+    class_name = cls.Mcperf.Classes.name;
+    feasible = true;
+    lower_bound;
+    rounded;
+    gap;
+    exact;
+    lp_iterations = iterations;
+    vars = Lp.Problem.nvars problem;
+    rows = Lp.Problem.nrows problem;
+    max_feasible_qos = worst_qos;
+  }
+
 let compute ?(solver = Auto) ?placeable spec cls =
   let perm = Mcperf.Permission.compute ?placeable spec cls in
   let worst_qos =
@@ -51,77 +172,19 @@ let compute ?(solver = Auto) ?placeable spec cls =
     infeasible_result cls worst_qos
   else begin
     let model = Mcperf.Model.build perm in
-    let problem = model.Mcperf.Model.problem in
-    let offset = model.Mcperf.Model.objective_offset in
-    let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
     Log.info (fun f ->
         f "class %s: %a" cls.Mcperf.Classes.name Mcperf.Model.pp_stats model);
-    let use_simplex =
-      match solver with
-      | Exact_simplex -> true
-      | First_order _ -> false
-      | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
+    let round =
+      match spec.Mcperf.Spec.goal with
+      | Mcperf.Spec.Qos _ -> Rounding.Round.round
+      | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
     in
-    let lp_result =
-      if use_simplex then
-        match Lp.Simplex.solve problem with
-        | Lp.Simplex.Optimal { x; objective } -> Some (x, objective, true, 0)
-        | Lp.Simplex.Infeasible -> None
-        | Lp.Simplex.Unbounded ->
-          invalid_arg "Bounds.compute: unbounded MC-PERF relaxation"
-      else begin
-        let options =
-          match solver with
-          | First_order o -> o
-          | Auto | Exact_simplex -> default_pdhg_options
-        in
-        let out = Lp.Pdhg.solve ~options problem in
-        Some
-          ( out.Lp.Pdhg.x,
-            out.Lp.Pdhg.best_bound,
-            false,
-            out.Lp.Pdhg.iterations )
-      end
-    in
-    match lp_result with
+    let r = solve_relaxation ~solver model.Mcperf.Model.problem in
+    match r.outcome with
     | None ->
       (* The LP disagreed with the coverage oracle: conservative report. *)
       infeasible_result cls worst_qos
-    | Some (x, bound, exact, iterations) ->
-      let lower_bound = bound +. offset in
-      let round =
-        match spec.Mcperf.Spec.goal with
-        | Mcperf.Spec.Qos _ -> Rounding.Round.round
-        | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
-      in
-      let rounded =
-        match round model ~x with
-        | Ok r -> Some r
-        | Error msg ->
-          Log.warn (fun f ->
-              f "rounding failed for class %s: %s" cls.Mcperf.Classes.name msg);
-          None
-      in
-      let gap =
-        match rounded with
-        | Some r when r.Rounding.Round.evaluation.Mcperf.Costing.total > 0. ->
-          Some
-            ((r.Rounding.Round.evaluation.Mcperf.Costing.total -. lower_bound)
-            /. r.Rounding.Round.evaluation.Mcperf.Costing.total)
-        | Some _ | None -> None
-      in
-      {
-        class_name = cls.Mcperf.Classes.name;
-        feasible = true;
-        lower_bound;
-        rounded;
-        gap;
-        exact;
-        lp_iterations = iterations;
-        vars;
-        rows;
-        max_feasible_qos = worst_qos;
-      }
+    | Some sol -> finish ~round model cls worst_qos sol
   end
 
 let compare_classes ?solver ?placeable spec classes =
@@ -167,7 +230,8 @@ type sweep = {
   elapsed_s : float;
 }
 
-let sweep_classes ?(jobs = 1) ?solver ?placeable spec ~fractions classes =
+let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable spec ~fractions
+    classes =
   let tlat_ms =
     match spec.Mcperf.Spec.goal with
     | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
@@ -180,11 +244,57 @@ let sweep_classes ?(jobs = 1) ?solver ?placeable spec ~fractions classes =
         List.map (fun fraction -> (label, cls, fraction)) fractions)
       classes
   in
-  let solve (_, cls, fraction) =
+  (* Per-process incremental state: the first cell of a class builds the
+     model; subsequent cells of the same class (in the same worker) patch
+     only the QoS rhs and reuse the prepared constraint matrix. Because a
+     patched model is value-identical to a fresh build at its fraction,
+     and every cell starts the solver cold, the results do not depend on
+     which cell seeded the cache — the sweep stays deterministic at any
+     [jobs]. *)
+  let model_cache : (string, Mcperf.Model.t * float) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let prep_cache : (string, Lp.Pdhg.prepared) Hashtbl.t = Hashtbl.create 8 in
+  let solve (label, cls, fraction) =
     let spec =
       { spec with Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction } }
     in
-    compute ?solver ?placeable spec cls
+    let cached = Hashtbl.find_opt model_cache label in
+    let perm, worst_qos =
+      match cached with
+      | Some (base, worst_qos) ->
+        ( Mcperf.Permission.with_fraction base.Mcperf.Model.permission
+            fraction,
+          worst_qos )
+      | None ->
+        let perm = Mcperf.Permission.compute ?placeable spec cls in
+        let worst_qos =
+          Array.fold_left Float.min 1.
+            (Mcperf.Permission.max_feasible_qos perm)
+        in
+        (perm, worst_qos)
+    in
+    if not (Mcperf.Permission.feasible perm) then
+      infeasible_result cls worst_qos
+    else begin
+      let model =
+        match cached with
+        | Some (base, _) -> Mcperf.Model.with_fraction base fraction
+        | None ->
+          let m = Mcperf.Model.build perm in
+          Hashtbl.replace model_cache label (m, worst_qos);
+          m
+      in
+      let reuse = Hashtbl.find_opt prep_cache label in
+      let r = solve_relaxation ~solver ?reuse model.Mcperf.Model.problem in
+      (match r.prep with
+      | Some p -> Hashtbl.replace prep_cache label p
+      | None -> ());
+      match r.outcome with
+      | None -> infeasible_result cls worst_qos
+      | Some sol ->
+        finish ~round:Rounding.Round.round model cls worst_qos sol
+    end
   in
   let t0 = Unix.gettimeofday () in
   let outcomes = Util.Parallel.map ~jobs ~f:solve cells in
@@ -226,6 +336,8 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
     | Mcperf.Spec.Avg_latency _ ->
       invalid_arg "Pipeline.sweep_qos: requires a QoS goal"
   in
+  let base = ref None in
+  let prep = ref None in
   let warm = ref None in
   List.map
     (fun fraction ->
@@ -235,89 +347,35 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
           Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction };
         }
       in
-      let perm = Mcperf.Permission.compute ?placeable spec cls in
+      let perm =
+        match !base with
+        | Some (m : Mcperf.Model.t) ->
+          Mcperf.Permission.with_fraction m.Mcperf.Model.permission fraction
+        | None -> Mcperf.Permission.compute ?placeable spec cls
+      in
       let worst_qos =
         Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos perm)
       in
       if not (Mcperf.Permission.feasible perm) then
         (fraction, infeasible_result cls worst_qos)
       else begin
-        let model = Mcperf.Model.build perm in
-        let problem = model.Mcperf.Model.problem in
-        let offset = model.Mcperf.Model.objective_offset in
-        let vars = Lp.Problem.nvars problem
-        and rows = Lp.Problem.nrows problem in
-        let use_simplex =
-          match solver with
-          | Exact_simplex -> true
-          | First_order _ -> false
-          | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
+        let model =
+          match !base with
+          | Some m -> Mcperf.Model.with_fraction m fraction
+          | None ->
+            let m = Mcperf.Model.build perm in
+            base := Some m;
+            m
         in
-        let lp_result =
-          if use_simplex then
-            match Lp.Simplex.solve problem with
-            | Lp.Simplex.Optimal { x; objective } ->
-              Some (x, objective, true, 0)
-            | Lp.Simplex.Infeasible -> None
-            | Lp.Simplex.Unbounded ->
-              invalid_arg "Pipeline.sweep_qos: unbounded relaxation"
-          else begin
-            let options =
-              match solver with
-              | First_order o -> o
-              | Auto | Exact_simplex -> default_pdhg_options
-            in
-            let x0, y0 =
-              match !warm with
-              | Some (x0, y0)
-                when Array.length x0 = vars && Array.length y0 = rows ->
-                (Some x0, Some y0)
-              | Some _ | None -> (None, None)
-            in
-            let out = Lp.Pdhg.solve ~options ?x0 ?y0 problem in
-            warm := Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
-            Some
-              ( out.Lp.Pdhg.x,
-                out.Lp.Pdhg.best_bound,
-                false,
-                out.Lp.Pdhg.iterations )
-          end
+        let r =
+          solve_relaxation ~solver ?reuse:!prep ?warm:!warm
+            model.Mcperf.Model.problem
         in
-        match lp_result with
+        (match r.prep with Some p -> prep := Some p | None -> ());
+        (match r.warm with Some w -> warm := Some w | None -> ());
+        match r.outcome with
         | None -> (fraction, infeasible_result cls worst_qos)
-        | Some (x, bound, exact, iterations) ->
-          let lower_bound = bound +. offset in
-          let rounded =
-            match Rounding.Round.round model ~x with
-            | Ok r -> Some r
-            | Error msg ->
-              Log.warn (fun f ->
-                  f "rounding failed for class %s at %.5f: %s"
-                    cls.Mcperf.Classes.name fraction msg);
-              None
-          in
-          let gap =
-            match rounded with
-            | Some r
-              when r.Rounding.Round.evaluation.Mcperf.Costing.total > 0. ->
-              Some
-                ((r.Rounding.Round.evaluation.Mcperf.Costing.total
-                 -. lower_bound)
-                /. r.Rounding.Round.evaluation.Mcperf.Costing.total)
-            | Some _ | None -> None
-          in
-          ( fraction,
-            {
-              class_name = cls.Mcperf.Classes.name;
-              feasible = true;
-              lower_bound;
-              rounded;
-              gap;
-              exact;
-              lp_iterations = iterations;
-              vars;
-              rows;
-              max_feasible_qos = worst_qos;
-            } )
+        | Some sol ->
+          (fraction, finish ~round:Rounding.Round.round model cls worst_qos sol)
       end)
     fractions

@@ -37,11 +37,33 @@ let solve ?(max_nodes = 100_000) ?integer_vars ?(integrality_tol = 1e-6) p =
     if !nodes >= max_nodes then truncated := true
     else begin
       incr nodes;
-      match Lp.Simplex.solve problem with
-      | Lp.Simplex.Infeasible -> ()
-      | Lp.Simplex.Unbounded ->
-        invalid_arg "Branch_bound.solve: unbounded relaxation"
-      | Lp.Simplex.Optimal { x; objective } ->
+      (* Presolve the node first: branching fixes bounds, which cascades
+         through the singleton-row rules — many nodes collapse to nothing
+         (pruned) or to a single point before the simplex ever runs. The
+         reductions are exact, so the restored optimum is the node's true
+         relaxation optimum. *)
+      let pre = Lp.Presolve.run problem in
+      let relaxation =
+        match pre.Lp.Presolve.status with
+        | `Infeasible -> None
+        | `Unchanged | `Reduced ->
+          let red = pre.Lp.Presolve.reduced in
+          if Lp.Problem.nvars red = 0 then
+            Some (pre.Lp.Presolve.restore [||], pre.Lp.Presolve.offset)
+          else begin
+            match Lp.Simplex.solve red with
+            | Lp.Simplex.Infeasible -> None
+            | Lp.Simplex.Unbounded ->
+              invalid_arg "Branch_bound.solve: unbounded relaxation"
+            | Lp.Simplex.Optimal { x; objective } ->
+              Some
+                ( pre.Lp.Presolve.restore x,
+                  objective +. pre.Lp.Presolve.offset )
+          end
+      in
+      match relaxation with
+      | None -> ()
+      | Some (x, objective) ->
         if better objective then begin
           match most_fractional x with
           | None ->

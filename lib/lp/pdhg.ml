@@ -30,31 +30,100 @@ let src = Logs.Src.create "lp.pdhg" ~doc:"first-order LP solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let solve ?(options = default_options) ?x0 ?y0 problem =
-  let p = Problem.normalize_ge problem in
-  let n = Problem.nvars p and m = Problem.nrows p in
+(* --- prepared problems --------------------------------------------------- *)
+
+type prepared = {
+  source : Problem.t;
+  norm : Problem.t;  (* Ge-normalized view of [source] *)
+  a : Sparse.t;
+  b : float array;
+  is_eq : bool array;
+  tau : float array;
+  sigma : float array;
+}
+
+let validate_bounds (p : Problem.t) =
   Array.iteri
     (fun j l ->
       if not (Float.is_finite l && Float.is_finite p.upper.(j)) then
         invalid_arg "Pdhg.solve: all variable bounds must be finite")
-    p.lower;
-  let a = Problem.constraint_matrix p in
-  let b = Problem.rhs_vector p in
+    p.lower
+
+(* Structural match for matrix reuse: the rows must carry the very same
+   coefficient arrays (physical equality — the cheap check that holds for
+   rhs-patched problems and for problems whose objective was rewritten in
+   place) under the same kinds and box bounds. The rhs may differ freely:
+   it only enters [b]. *)
+let reusable r (p : Problem.t) =
+  let s = r.source in
+  Problem.nvars p = Problem.nvars s
+  && Problem.nrows p = Problem.nrows s
+  && p.lower == s.lower && p.upper == s.upper
+  &&
+  let rec rows_match i =
+    i >= Array.length p.rows
+    || (p.rows.(i).kind = s.rows.(i).kind
+        && p.rows.(i).coeffs == s.rows.(i).coeffs
+        && rows_match (i + 1))
+  in
+  rows_match 0
+
+let prepare ?reuse p =
+  validate_bounds p;
+  let norm = Problem.normalize_ge p in
+  match reuse with
+  | Some r when reusable r p ->
+    { r with source = p; norm; b = Problem.rhs_vector norm }
+  | Some _ | None ->
+    let a = Problem.constraint_matrix norm in
+    let b = Problem.rhs_vector norm in
+    let is_eq =
+      Array.map (fun (r : Problem.row) -> r.kind = Problem.Eq) norm.rows
+    in
+    (* Diagonal preconditioners: tau_j = 1 / sum_i |A_ij|, sigma_i =
+       1 / sum_j |A_ij| (alpha = 1), which satisfies the Pock-Chambolle
+       convergence condition. Empty rows/columns get a neutral step. *)
+    let tau =
+      Array.map (fun s -> if s > 0. then 1. /. s else 1.) (Sparse.col_abs_sums a)
+    in
+    let sigma =
+      Array.map (fun s -> if s > 0. then 1. /. s else 1.) (Sparse.row_abs_sums a)
+    in
+    { source = p; norm; a; b; is_eq; tau; sigma }
+
+let prepared_problem r = r.norm
+
+(* --- fused solver -------------------------------------------------------- *)
+
+(* The iteration streams each vector once per step:
+
+     pass 1 (length n): primal step + box projection, extrapolation to
+       x_bar, and the ergodic-average accumulation — fused;
+     pass 2:            y <- A x_bar  (CSR matvec);
+     pass 3 (length m): dual ascent + cone projection + average — fused;
+     pass 4:            aty <- A^T y (CSC matvec).
+
+   The reference implementation below ([solve_reference]) runs the same
+   recurrence as separate passes; the differential tests pin the two
+   together. Keeping the per-element arithmetic in the same order and
+   association makes the fused path bit-identical, not merely close. *)
+
+let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
+  let p = pr.norm in
+  let n = Problem.nvars p and m = Problem.nrows p in
+  let a = pr.a in
+  let b = pr.b in
   let c = p.objective in
-  (* Diagonal preconditioners: tau_j = 1 / sum_i |A_ij|, sigma_i =
-     1 / sum_j |A_ij| (alpha = 1), which satisfies the Pock-Chambolle
-     convergence condition. Empty rows/columns get a neutral step. *)
-  let col_sums = Sparse.col_abs_sums a in
-  let row_sums = Sparse.row_abs_sums a in
-  let tau = Array.map (fun s -> if s > 0. then 1. /. s else 1.) col_sums in
-  let sigma = Array.map (fun s -> if s > 0. then 1. /. s else 1.) row_sums in
+  let lower = p.lower and upper = p.upper in
+  let tau = pr.tau and sigma = pr.sigma in
+  let is_eq = pr.is_eq in
   let x =
     match x0 with
-    | None -> Array.copy p.lower
+    | None -> Array.copy lower
     | Some x0 ->
       if Array.length x0 <> n then invalid_arg "Pdhg.solve: x0 dimension";
       Array.mapi
-        (fun j v -> Util.Vecops.clamp v ~lo:p.lower.(j) ~hi:p.upper.(j))
+        (fun j v -> Util.Vecops.clamp v ~lo:lower.(j) ~hi:upper.(j))
         x0
   in
   let y =
@@ -64,7 +133,6 @@ let solve ?(options = default_options) ?x0 ?y0 problem =
       if Array.length y0 <> m then invalid_arg "Pdhg.solve: y0 dimension";
       Array.copy y0
   in
-  let x_prev = Array.make n 0. in
   let aty = Array.make n 0. in
   let ax_bar = Array.make m 0. in
   let x_bar = Array.make n 0. in
@@ -74,7 +142,6 @@ let solve ?(options = default_options) ?x0 ?y0 problem =
   let x_sum = Array.make n 0. in
   let y_sum = Array.make m 0. in
   let since_restart = ref 0 in
-  let is_eq = Array.map (fun (r : Problem.row) -> r.kind = Problem.Eq) p.rows in
   let best_bound = ref neg_infinity in
   let best_y = ref (Array.copy y) in
   let iterations = ref 0 in
@@ -83,28 +150,36 @@ let solve ?(options = default_options) ?x0 ?y0 problem =
   (try
      for iter = 1 to options.max_iters do
        iterations := iter;
-       Array.blit x 0 x_prev 0 n;
-       (* Primal step with box projection. *)
+       (* Fused primal pass: projected preconditioned step, extrapolation
+          and average accumulation in one stream over the variables. *)
        for j = 0 to n - 1 do
-         let g = c.(j) -. aty.(j) in
-         x.(j) <-
-           Util.Vecops.clamp
-             (x.(j) -. (tau.(j) *. g))
-             ~lo:p.lower.(j) ~hi:p.upper.(j)
-       done;
-       (* Extrapolated point. *)
-       for j = 0 to n - 1 do
-         x_bar.(j) <- (2. *. x.(j)) -. x_prev.(j)
+         let xj = Array.unsafe_get x j in
+         let g = Array.unsafe_get c j -. Array.unsafe_get aty j in
+         let v = xj -. (Array.unsafe_get tau j *. g) in
+         let l = Array.unsafe_get lower j and h = Array.unsafe_get upper j in
+         let xn = if v < l then l else if v > h then h else v in
+         Array.unsafe_set x j xn;
+         Array.unsafe_set x_bar j ((2. *. xn) -. xj);
+         Array.unsafe_set x_sum j (Array.unsafe_get x_sum j +. xn)
        done;
        Sparse.mul a x_bar ax_bar;
-       (* Dual step: ascend on b - A x_bar; project Ge duals to >= 0. *)
+       (* Fused dual pass: ascend on b - A x_bar, project Ge duals to
+          >= 0, accumulate the average. *)
        for i = 0 to m - 1 do
-         let yi = y.(i) +. (sigma.(i) *. (b.(i) -. ax_bar.(i))) in
-         y.(i) <- (if is_eq.(i) then yi else Float.max 0. yi)
+         let yi =
+           Array.unsafe_get y i
+           +. (Array.unsafe_get sigma i
+               *. (Array.unsafe_get b i -. Array.unsafe_get ax_bar i))
+         in
+         let yi =
+           if Array.unsafe_get is_eq i then yi
+           else if yi > 0. then yi
+           else 0.
+         in
+         Array.unsafe_set y i yi;
+         Array.unsafe_set y_sum i (Array.unsafe_get y_sum i +. yi)
        done;
        Sparse.mul_t a y aty;
-       Util.Vecops.axpy 1. x x_sum;
-       Util.Vecops.axpy 1. y y_sum;
        incr since_restart;
        if options.restart_every > 0 && !since_restart >= options.restart_every
        then begin
@@ -147,6 +222,129 @@ let solve ?(options = default_options) ?x0 ?y0 problem =
      done
    with Exit -> ());
   (* Final checkpoint in case the loop ended between checks. *)
+  let final_bound = Certificate.dual_bound p ~y in
+  if final_bound > !best_bound then begin
+    best_bound := final_bound;
+    best_y := Array.copy y
+  end;
+  {
+    x;
+    y;
+    best_bound = !best_bound;
+    best_y = !best_y;
+    primal_objective = Util.Vecops.dot c x;
+    primal_infeasibility = Problem.max_violation p x;
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let solve ?options ?x0 ?y0 problem =
+  solve_prepared ?options ?x0 ?y0 (prepare problem)
+
+(* --- reference implementation -------------------------------------------- *)
+
+(* The pre-fusion iteration, kept as the oracle for the differential
+   tests: one pass per conceptual step (copy, primal, extrapolate, matvec,
+   dual, matvec, two average accumulations). Any divergence between this
+   and [solve_prepared] beyond float-noise is a kernel bug. *)
+
+let solve_reference ?(options = default_options) ?x0 ?y0 problem =
+  let pr = prepare problem in
+  let p = pr.norm in
+  let n = Problem.nvars p and m = Problem.nrows p in
+  let a = pr.a in
+  let b = pr.b in
+  let c = p.objective in
+  let tau = pr.tau and sigma = pr.sigma in
+  let is_eq = pr.is_eq in
+  let x =
+    match x0 with
+    | None -> Array.copy p.lower
+    | Some x0 ->
+      if Array.length x0 <> n then invalid_arg "Pdhg.solve: x0 dimension";
+      Array.mapi
+        (fun j v -> Util.Vecops.clamp v ~lo:p.lower.(j) ~hi:p.upper.(j))
+        x0
+  in
+  let y =
+    match y0 with
+    | None -> Array.make m 0.
+    | Some y0 ->
+      if Array.length y0 <> m then invalid_arg "Pdhg.solve: y0 dimension";
+      Array.copy y0
+  in
+  let x_prev = Array.make n 0. in
+  let aty = Array.make n 0. in
+  let ax_bar = Array.make m 0. in
+  let x_bar = Array.make n 0. in
+  let x_sum = Array.make n 0. in
+  let y_sum = Array.make m 0. in
+  let since_restart = ref 0 in
+  let best_bound = ref neg_infinity in
+  let best_y = ref (Array.copy y) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  Sparse.mul_t a y aty;
+  (try
+     for iter = 1 to options.max_iters do
+       iterations := iter;
+       Array.blit x 0 x_prev 0 n;
+       (* Primal step with box projection. *)
+       for j = 0 to n - 1 do
+         let g = c.(j) -. aty.(j) in
+         x.(j) <-
+           Util.Vecops.clamp
+             (x.(j) -. (tau.(j) *. g))
+             ~lo:p.lower.(j) ~hi:p.upper.(j)
+       done;
+       (* Extrapolated point. *)
+       Util.Vecops.axpby_into 2. x (-1.) x_prev x_bar;
+       Sparse.mul a x_bar ax_bar;
+       (* Dual step: ascend on b - A x_bar; project Ge duals to >= 0. *)
+       for i = 0 to m - 1 do
+         let yi = y.(i) +. (sigma.(i) *. (b.(i) -. ax_bar.(i))) in
+         y.(i) <- (if is_eq.(i) then yi else Float.max 0. yi)
+       done;
+       Sparse.mul_t a y aty;
+       Util.Vecops.axpy 1. x x_sum;
+       Util.Vecops.axpy 1. y y_sum;
+       incr since_restart;
+       if options.restart_every > 0 && !since_restart >= options.restart_every
+       then begin
+         let inv = 1. /. float_of_int !since_restart in
+         for j = 0 to n - 1 do
+           x.(j) <- x_sum.(j) *. inv;
+           x_sum.(j) <- 0.
+         done;
+         for i = 0 to m - 1 do
+           let avg = y_sum.(i) *. inv in
+           y.(i) <- (if is_eq.(i) then avg else Float.max 0. avg);
+           y_sum.(i) <- 0.
+         done;
+         since_restart := 0;
+         Sparse.mul_t a y aty
+       end;
+       if iter mod options.check_every = 0 then begin
+         let bound = Certificate.dual_bound p ~y in
+         if bound > !best_bound then begin
+           best_bound := bound;
+           best_y := Array.copy y
+         end;
+         let pobj = Util.Vecops.dot c x in
+         let pinf = Problem.max_violation p x in
+         let scale = 1. +. Float.abs pobj +. Float.abs !best_bound in
+         let gap = Float.abs (pobj -. !best_bound) /. scale in
+         if
+           Float.is_finite !best_bound
+           && gap < options.rel_tol
+           && pinf < options.rel_tol *. (1. +. Util.Vecops.norm_inf b)
+         then begin
+           converged := true;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
   let final_bound = Certificate.dual_bound p ~y in
   if final_bound > !best_bound then begin
     best_bound := final_bound;

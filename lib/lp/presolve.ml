@@ -2,10 +2,13 @@ type result = {
   reduced : Problem.t;
   offset : float;
   restore : float array -> float array;
+  var_map : int array;
   status : [ `Reduced | `Infeasible | `Unchanged ];
   fixed_vars : int;
   dropped_rows : int;
 }
+
+let identity_map n = Array.init n (fun j -> j)
 
 let fix_tol = 1e-12
 let feas_tol = 1e-9
@@ -114,7 +117,7 @@ let fix_unreferenced st (p : Problem.t) rows =
     appears;
   !changed
 
-let run ?(max_passes = 10) (p : Problem.t) =
+let run ?(max_passes = 10) ?(fix_unreferenced_vars = true) (p : Problem.t) =
   let n = Problem.nvars p in
   let st =
     {
@@ -134,7 +137,9 @@ let run ?(max_passes = 10) (p : Problem.t) =
     incr passes;
     let live, rows_changed = row_pass st !rows in
     rows := live;
-    let vars_changed = fix_unreferenced st p live in
+    let vars_changed =
+      fix_unreferenced_vars && fix_unreferenced st p live
+    in
     continue_passes := rows_changed || vars_changed
   done;
   if st.infeasible then
@@ -142,6 +147,7 @@ let run ?(max_passes = 10) (p : Problem.t) =
       reduced = p;
       offset = 0.;
       restore = Fun.id;
+      var_map = identity_map n;
       status = `Infeasible;
       fixed_vars = 0;
       dropped_rows = 0;
@@ -158,6 +164,7 @@ let run ?(max_passes = 10) (p : Problem.t) =
         reduced = p;
         offset = 0.;
         restore = Fun.id;
+        var_map = identity_map n;
         status = `Unchanged;
         fixed_vars = 0;
         dropped_rows = 0;
@@ -200,6 +207,7 @@ let run ?(max_passes = 10) (p : Problem.t) =
         reduced;
         offset = !offset;
         restore;
+        var_map = new_index;
         status = `Reduced;
         fixed_vars;
         dropped_rows;

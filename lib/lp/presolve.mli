@@ -19,12 +19,15 @@ type result = {
           values *)
   restore : float array -> float array;
       (** lift a reduced solution vector back to the original space *)
+  var_map : int array;
+      (** original variable index -> reduced index, or [-1] when the
+          variable was eliminated (the identity when nothing changed) *)
   status : [ `Reduced | `Infeasible | `Unchanged ];
   fixed_vars : int;  (** variables eliminated *)
   dropped_rows : int;  (** rows eliminated *)
 }
 
-val run : ?max_passes:int -> Problem.t -> result
+val run : ?max_passes:int -> ?fix_unreferenced_vars:bool -> Problem.t -> result
 (** [run p] applies, to fixpoint (at most [max_passes], default 10):
 
     - bound-fixed variables ([lo = hi]) are substituted out;
@@ -37,4 +40,12 @@ val run : ?max_passes:int -> Problem.t -> result
       finite; otherwise the variable is kept).
 
     Rows whose coefficients all vanish after substitution are validated
-    against their rhs like empty rows. *)
+    against their rhs like empty rows.
+
+    [fix_unreferenced_vars] (default [true]) controls the last rule — the
+    only one that inspects the objective. With it disabled the reduction
+    is valid for {e any} objective over the same constraint structure,
+    which lets callers that rewrite objective coefficients in place
+    between solves (the Lagrangian pricing loop) presolve once and reuse
+    the reduction; the per-objective offset of the eliminated variables is
+    [dot objective (restore zeros)]. *)

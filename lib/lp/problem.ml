@@ -123,6 +123,17 @@ let with_var_bounds t j ~lo ~hi =
   upper.(j) <- hi;
   { t with lower; upper }
 
+let with_rhs t updates =
+  let nrows = Array.length t.rows in
+  let rows = Array.copy t.rows in
+  List.iter
+    (fun (i, rhs) ->
+      if i < 0 || i >= nrows then
+        invalid_arg "Lp.with_rhs: row index out of range";
+      rows.(i) <- { (rows.(i)) with rhs })
+    updates;
+  { t with rows }
+
 let normalize_ge t =
   let flip r =
     match r.kind with

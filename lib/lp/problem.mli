@@ -59,6 +59,13 @@ val with_var_bounds : t -> int -> lo:float -> hi:float -> t
 (** Functional update of one variable's box bounds (rows and objective are
     shared with the original). Used by the branch-and-bound solver. *)
 
+val with_rhs : t -> (int * float) list -> t
+(** [with_rhs t updates] replaces the rhs of the listed rows (functional
+    update; every untouched row — and every coefficient array — is shared
+    with the original, so {!Pdhg.prepare}'s matrix reuse applies to the
+    result). Used by the incremental QoS-sweep models, where only the
+    T_qos rows change between cells. *)
+
 val normalize_ge : t -> t
 (** Rewrite every [Le] row as a [Ge] row (negating coefficients and rhs).
     [Eq] rows are kept. The solvers and the dual certificate assume this

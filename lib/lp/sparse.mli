@@ -13,8 +13,12 @@ val nnz : t -> int
 
 val of_row_list : rows:int -> cols:int -> (int * float) list array -> t
 (** [of_row_list ~rows ~cols per_row] builds from per-row [(col, coeff)]
-    lists. Duplicate column entries within a row are summed; explicit zeros
-    are dropped. Column indices must be in range. *)
+    lists. Duplicate column entries within a row are summed; entries whose
+    sum is zero are dropped. Column indices must be in range and every
+    coefficient finite — a NaN or infinite coefficient raises
+    [Invalid_argument] instead of silently producing a matrix on which the
+    solvers cannot converge. Construction is a chain of counting sorts:
+    linear in the entry count, no hashing or comparison sorts. *)
 
 val mul : t -> float array -> float array -> unit
 (** [mul a x y] computes [y <- A x]. Requires [length x = cols],

@@ -15,6 +15,8 @@ type t = {
   objective_offset : float;
   node_totals : float array;
   always_covered : float array;
+  qos_rows : int array;
+  qos_has_terms : bool array;
 }
 
 let pack ~intervals ~objects ~node ~interval ~object_id =
@@ -126,6 +128,8 @@ let build (perm : Permission.t) =
   let node_totals = Workload.Demand.node_read_totals demand in
   let always_covered = Array.make nodes 0. in
   let objective_offset = ref 0. in
+  let qos_rows = ref [||] in
+  let qos_has_terms = ref [||] in
   (match spec.Spec.goal with
   | Spec.Qos { tlat_ms; fraction } ->
     let qos_terms = Array.make nodes [] in
@@ -186,16 +190,25 @@ let build (perm : Permission.t) =
        the node has coverage options, even when trivially satisfied, so
        the model's shape is identical across QoS sweeps (enabling PDHG
        warm starts). *)
+    let row_of = Array.make nodes (-1) in
+    let has_terms = Array.make nodes false in
     for n = 0 to nodes - 1 do
       let rhs = (fraction *. node_totals.(n)) -. always_covered.(n) in
-      if qos_terms.(n) <> [] then
+      if qos_terms.(n) <> [] then begin
+        has_terms.(n) <- true;
+        row_of.(n) <- Lp.Problem.Builder.row_count b;
         Lp.Problem.Builder.add_row b Lp.Problem.Ge ~rhs qos_terms.(n)
-      else if rhs > 1e-9 then
+      end
+      else if rhs > 1e-9 then begin
         (* No coverage options at all: encode the (infeasible) requirement
            explicitly so the LP reports infeasibility rather than silently
            dropping the user. *)
+        row_of.(n) <- Lp.Problem.Builder.row_count b;
         Lp.Problem.Builder.add_row b Lp.Problem.Ge ~rhs []
-    done
+      end
+    done;
+    qos_rows := row_of;
+    qos_has_terms := has_terms
   | Spec.Avg_latency { tavg_ms } ->
     (* Constraints (7)-(10) with route variables restricted to nodes that
        can possibly hold the object (plus the origin, which always can). *)
@@ -362,7 +375,38 @@ let build (perm : Permission.t) =
     objective_offset = !objective_offset;
     node_totals;
     always_covered;
+    qos_rows = !qos_rows;
+    qos_has_terms = !qos_has_terms;
   }
+
+(* Only the QoS rows (2) read the target fraction — every variable, every
+   other row and the objective are fraction-invariant — so re-targeting a
+   built model is an rhs patch on those rows. The rhs expression below is
+   the same as in [build] (same operations, same order), so the patched
+   problem is value-identical to a fresh build at the new fraction. The
+   one shape-dependent case is a node with no coverage options, whose
+   explicit infeasibility row exists only when its requirement is
+   positive; if re-targeting flips that condition we fall back to a full
+   rebuild. *)
+let with_fraction t fraction =
+  let perm = Permission.with_fraction t.permission fraction in
+  let nodes = Array.length t.node_totals in
+  let shape_ok = ref true in
+  let patches = ref [] in
+  for n = 0 to nodes - 1 do
+    let rhs = (fraction *. t.node_totals.(n)) -. t.always_covered.(n) in
+    if t.qos_has_terms.(n) then patches := (t.qos_rows.(n), rhs) :: !patches
+    else begin
+      let emitted = t.qos_rows.(n) >= 0 in
+      if emitted <> (rhs > 1e-9) then shape_ok := false
+      else if emitted then patches := (t.qos_rows.(n), rhs) :: !patches
+    end
+  done;
+  if not !shape_ok then build perm
+  else
+    { t with
+      permission = perm;
+      problem = Lp.Problem.with_rhs t.problem !patches }
 
 let store_var t ~node ~interval ~object_id =
   let spec = t.permission.Permission.spec in

@@ -170,6 +170,18 @@ let compute ?placeable (spec : Spec.t) (cls : Classes.t) =
   in
   { spec; cls; placeable; reach; know; origin_covered; create_mask; store_mask }
 
+(* The reach matrix depends on the goal only through [tlat_ms], and the
+   masks never read the target fraction, so re-targeting a QoS analysis is
+   a pure record update — [compute] at the new fraction would rebuild the
+   exact same matrices. *)
+let with_fraction t fraction =
+  match t.spec.Spec.goal with
+  | Spec.Qos { tlat_ms; _ } ->
+    { t with
+      spec = { t.spec with goal = Spec.Qos { tlat_ms; fraction } } }
+  | Spec.Avg_latency _ ->
+    invalid_arg "Permission.with_fraction: requires a QoS goal"
+
 let create_allowed t ~node ~interval ~object_id =
   t.create_mask.(node).(object_id) land (1 lsl interval) <> 0
 

@@ -44,6 +44,13 @@ val compute : ?placeable:bool array -> Spec.t -> Classes.t -> t
     outside it get empty create/store masks. Defaults to every node. The
     origin is never placeable regardless. *)
 
+val with_fraction : t -> float -> t
+(** [with_fraction t f] re-targets a QoS analysis at fraction [f] without
+    recomputing anything: the reach matrix depends only on the latency
+    threshold and the masks never read the fraction, so the result equals
+    [compute] at the new goal (the matrices are shared, not rebuilt).
+    Raises [Invalid_argument] on an average-latency analysis. *)
+
 val create_allowed : t -> node:int -> interval:int -> object_id:int -> bool
 val store_possible : t -> node:int -> interval:int -> object_id:int -> bool
 

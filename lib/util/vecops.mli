@@ -7,8 +7,16 @@
 val dot : float array -> float array -> float
 (** Inner product. Requires equal lengths. *)
 
+val dot2 : float array -> float array -> float array -> float * float
+(** [dot2 x y z] returns [(dot x y, dot x z)], streaming [x] once. *)
+
 val axpy : float -> float array -> float array -> unit
 (** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val axpby_into :
+  float -> float array -> float -> float array -> float array -> unit
+(** [axpby_into a x b y dst] writes [a*x + b*y] into [dst] in one pass.
+    [dst] may alias [x] or [y]. *)
 
 val scale : float -> float array -> unit
 (** In-place multiply by a scalar. *)
@@ -24,6 +32,22 @@ val sub_into : float array -> float array -> float array -> unit
 
 val clamp : float -> lo:float -> hi:float -> float
 (** Clamp a scalar into an interval. *)
+
+val clamp_into : float array -> lo:float array -> hi:float array -> unit
+(** In-place box projection: [x.(i) <- clamp x.(i) lo.(i) hi.(i)]. *)
+
+val step_clamp_into :
+  float array ->
+  float array ->
+  float array ->
+  lo:float array ->
+  hi:float array ->
+  float array ->
+  unit
+(** [step_clamp_into x g step ~lo ~hi dst] performs the clamped gradient
+    update [dst.(i) <- clamp (x.(i) - step.(i) * g.(i))] in one pass —
+    the projected (preconditioned) descent step of the first-order
+    solvers. [dst] may alias [x]. *)
 
 val approx_equal : ?eps:float -> float -> float -> bool
 (** Absolute-plus-relative comparison used throughout the tests:

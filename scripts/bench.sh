@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Performance evidence refresh: run the LP-substrate benchmark (which
+# reads the *previous* BENCH_sweep.json as its end-to-end baseline) and
+# then the sweep benchmark (which overwrites it), in that order, and
+# append a timestamped summary row to BENCH_LOG.tsv so regressions are
+# visible across revisions.
+set -e
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+./_build/default/bench/main.exe lp
+./_build/default/bench/main.exe sweep
+
+# One summary row: pull the headline numbers out of the two JSON files.
+json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
+  sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
+}
+
+log=BENCH_LOG.tsv
+if [ ! -f "$log" ]; then
+  printf 'timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\n' \
+    > "$log"
+fi
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  "$commit" \
+  "$(json_num BENCH_lp.json fused_iters_per_s)" \
+  "$(json_num BENCH_lp.json per_iteration_speedup)" \
+  "$(json_num BENCH_lp.json sequential_s)" \
+  "$(json_num BENCH_lp.json end_to_end_speedup)" \
+  "$(json_num BENCH_sweep.json parallel_s)" \
+  >> "$log"
+echo "appended to $log:"
+tail -n 1 "$log"

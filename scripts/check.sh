@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Full local gate: build everything, then run the whole test suite
-# (unit, property, differential, and golden round-trip tests).
+# Full local gate: build everything (including the benchmark executable,
+# so bench-only breakage fails here and not at measurement time), then
+# run the whole test suite (unit, property, differential, and golden
+# round-trip tests).
 set -e
 cd "$(dirname "$0")/.."
 dune build
+dune build bench/main.exe
 dune runtest

@@ -82,6 +82,27 @@ let check_against_simplex ~what ~index problem =
   | Lp.Simplex.Optimal { objective = opt; _ } ->
     let out = Lp.Pdhg.solve ~options:tight_pdhg problem in
     let scale = 1. +. Float.abs opt in
+    (* The fused iteration must track the pre-fusion reference exactly:
+       both run the same recurrence with the same operation order, so
+       their iterates agree far below the 1e-9 budget. *)
+    let ref_out = Lp.Pdhg.solve_reference ~options:tight_pdhg problem in
+    Alcotest.(check int)
+      (Printf.sprintf "%s %d: fused/reference same iteration count" what index)
+      ref_out.Lp.Pdhg.iterations out.Lp.Pdhg.iterations;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %d: fused matches reference bound" what index)
+      true
+      (Float.abs (out.Lp.Pdhg.best_bound -. ref_out.Lp.Pdhg.best_bound)
+      <= 1e-9 *. scale);
+    let max_dx = ref 0. in
+    Array.iteri
+      (fun j v ->
+        max_dx := Float.max !max_dx (Float.abs (v -. ref_out.Lp.Pdhg.x.(j))))
+      out.Lp.Pdhg.x;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %d: fused matches reference iterates (%.1e)" what
+         index !max_dx)
+      true (!max_dx <= 1e-9);
     let gap = (opt -. out.Lp.Pdhg.best_bound) /. scale in
     Alcotest.(check bool)
       (Printf.sprintf "%s %d: pdhg agrees (gap %.3e)" what index gap)
@@ -143,6 +164,76 @@ let test_mcperf_instances () =
   done;
   Alcotest.(check bool)
     (Printf.sprintf "enough feasible instances (%d)" !solved)
+    true (!solved >= 35)
+
+(* --- presolve round-trip ------------------------------------------------- *)
+
+(* Pin one variable of each random LP so presolve has something to
+   eliminate, then check the whole chain in the original space: the
+   reduced optimum plus [offset] equals the original optimum, [restore]
+   yields an original-feasible point whose objective is that optimum, and
+   a PDHG certificate computed on the reduced problem remains a valid
+   original-space lower bound after the offset shift. This is exactly the
+   contract the bounds pipeline relies on. *)
+let test_presolve_roundtrip () =
+  let rng = Util.Prng.create ~seed:177 in
+  let solved = ref 0 in
+  for index = 1 to instances do
+    let p = random_dense_lp rng in
+    let fix_j = index mod Lp.Problem.nvars p in
+    let v = 0.5 *. p.Lp.Problem.upper.(fix_j) in
+    let p = Lp.Problem.with_var_bounds p fix_j ~lo:v ~hi:v in
+    match Lp.Simplex.solve p with
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+      (* Pinning can cut off the feasible region; nothing to compare. *)
+      ()
+    | Lp.Simplex.Optimal { objective = opt; _ } ->
+      incr solved;
+      let r = Lp.Presolve.run p in
+      let scale = 1. +. Float.abs opt in
+      Alcotest.(check bool)
+        (Printf.sprintf "presolve %d: reduction happened" index)
+        true
+        (r.Lp.Presolve.status = `Reduced);
+      let red = r.Lp.Presolve.reduced in
+      let bound, x_red =
+        if Lp.Problem.nvars red = 0 then (r.Lp.Presolve.offset, [||])
+        else
+          match Lp.Simplex.solve red with
+          | Lp.Simplex.Optimal { x; objective } ->
+            (objective +. r.Lp.Presolve.offset, x)
+          | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+            Alcotest.failf "presolve %d: reduced problem unsolvable" index
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "presolve %d: optimum preserved" index)
+        true
+        (Float.abs (bound -. opt) <= 1e-6 *. scale);
+      let x = r.Lp.Presolve.restore x_red in
+      Alcotest.(check bool)
+        (Printf.sprintf "presolve %d: restored point feasible" index)
+        true
+        (Lp.Problem.max_violation p x <= 1e-6);
+      Alcotest.(check bool)
+        (Printf.sprintf "presolve %d: restored objective matches" index)
+        true
+        (Float.abs (Lp.Problem.objective_value p x -. bound) <= 1e-6 *. scale);
+      if Lp.Problem.nvars red > 0 then begin
+        let out = Lp.Pdhg.solve ~options:tight_pdhg red in
+        let cert =
+          Lp.Certificate.dual_bound
+            (Lp.Problem.normalize_ge red)
+            ~y:out.Lp.Pdhg.best_y
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "presolve %d: shifted certificate below optimum"
+             index)
+          true
+          (cert +. r.Lp.Presolve.offset -. opt <= duality_tol *. scale)
+      end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough feasible pinned instances (%d)" !solved)
     true (!solved >= 35)
 
 (* --- parallel-sweep determinism ------------------------------------------ *)
@@ -224,6 +315,80 @@ let test_sweep_determinism () =
     "results identical (incl. iterations and placements)" true
     (strip_walls seq = strip_walls par)
 
+(* --- incremental model reuse --------------------------------------------- *)
+
+(* [Model.with_fraction] promises value-identity with a fresh build at the
+   new fraction: same problem (hence byte-identical solver behaviour) and
+   same derived tables. The sweep fast path rests on this. *)
+let test_with_fraction_identity () =
+  let spec, _ = quickstart_spec () in
+  let goal fraction = Mcperf.Spec.Qos { tlat_ms = 150.; fraction } in
+  List.iter
+    (fun (label, cls) ->
+      let spec0 = { spec with Mcperf.Spec.goal = goal 0.95 } in
+      let perm0 = Mcperf.Permission.compute spec0 cls in
+      if Mcperf.Permission.feasible perm0 then begin
+        let base = Mcperf.Model.build perm0 in
+        List.iter
+          (fun fraction ->
+            let patched = Mcperf.Model.with_fraction base fraction in
+            let spec' = { spec with Mcperf.Spec.goal = goal fraction } in
+            let fresh =
+              Mcperf.Model.build (Mcperf.Permission.compute spec' cls)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s @ %g: problem byte-identical" label fraction)
+              true
+              (patched.Mcperf.Model.problem = fresh.Mcperf.Model.problem);
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "%s @ %g: same objective offset" label fraction)
+              fresh.Mcperf.Model.objective_offset
+              patched.Mcperf.Model.objective_offset;
+            (* And the solver sees the same problem: identical bounds. *)
+            let solve m =
+              let out =
+                Lp.Pdhg.solve
+                  ~options:
+                    { Lp.Pdhg.default_options with max_iters = 2_000 }
+                  m.Mcperf.Model.problem
+              in
+              (out.Lp.Pdhg.best_bound, out.Lp.Pdhg.x)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s @ %g: identical solve output" label fraction)
+              true
+              (solve patched = solve fresh))
+          [ 0.99; 0.999; 0.9999 ]
+      end)
+    sweep_fixture
+
+(* The cached sweep path (shared model + prepared matrix per class) must
+   produce exactly what per-cell [compute] produces from scratch. *)
+let test_sweep_matches_percell_compute () =
+  let spec, _ = quickstart_spec () in
+  let fractions = [ 0.95; 0.99; 0.999 ] in
+  let sweep =
+    Bounds.Pipeline.sweep_classes ~jobs:1 spec ~fractions sweep_fixture
+  in
+  List.iter2
+    (fun (label, cls) (label', cells) ->
+      Alcotest.(check string) "class order preserved" label label';
+      List.iter
+        (fun (fraction, (r : Bounds.Pipeline.t)) ->
+          let spec' =
+            {
+              spec with
+              Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms = 150.; fraction };
+            }
+          in
+          let direct = Bounds.Pipeline.compute spec' cls in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @ %g: sweep cell equals direct compute" label
+               fraction)
+            true (r = direct))
+        cells)
+    sweep_fixture sweep.Bounds.Pipeline.per_class
+
 let test_runner_determinism () =
   let spec, trace = quickstart_spec () in
   let stripped = Option.map (fun (d : Sim.Runner.deployed) ->
@@ -263,6 +428,15 @@ let () =
           Alcotest.test_case
             "random MC-PERF instances: simplex vs pdhg vs certificate" `Quick
             test_mcperf_instances;
+          Alcotest.test_case "presolve round-trip on pinned random LPs" `Quick
+            test_presolve_roundtrip;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "with_fraction equals fresh build" `Quick
+            test_with_fraction_identity;
+          Alcotest.test_case "cached sweep equals per-cell compute" `Quick
+            test_sweep_matches_percell_compute;
         ] );
       ( "determinism",
         [

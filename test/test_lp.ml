@@ -414,6 +414,19 @@ let test_sparse_roundtrip () =
   check_float "col2" (-2.) z.(2);
   check_float "col3" 0.5 z.(3)
 
+let test_sparse_rejects_nonfinite () =
+  let expect_reject what rows =
+    match Lp.Sparse.of_row_list ~rows:(Array.length rows) ~cols:2 rows with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  expect_reject "NaN coefficient" [| [ (0, Float.nan) ] |];
+  expect_reject "+inf coefficient" [| [ (1, Float.infinity) ] |];
+  expect_reject "-inf coefficient" [| [ (0, 1.); (1, Float.neg_infinity) ] |];
+  (* A NaN must be rejected even where the old path would have summed or
+     dropped it (duplicate entries, explicit zeros elsewhere). *)
+  expect_reject "NaN duplicate" [| [ (0, Float.nan); (0, Float.nan) ] |]
+
 let test_problem_violation () =
   let p =
     build_problem
@@ -473,6 +486,8 @@ let () =
       ( "sparse",
         [
           Alcotest.test_case "roundtrip" `Quick test_sparse_roundtrip;
+          Alcotest.test_case "rejects non-finite coefficients" `Quick
+            test_sparse_rejects_nonfinite;
           Alcotest.test_case "violations" `Quick test_problem_violation;
         ] );
       ("properties", qsuite);
