@@ -187,8 +187,10 @@ let run_sweep ~jobs =
       points
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  (* Strip the wall-clock fields: everything left must be identical across
-     jobs settings. *)
+  (* Strip the wall-clock fields — and the solve-path tags, which are
+     bookkeeping about *how* a cell was recovered, not *what* it
+     computed: everything left must be identical across jobs settings
+     and across fault-injection runs. *)
   let signature =
     ( List.map
         (fun (label, cells) ->
@@ -204,21 +206,60 @@ let run_sweep ~jobs =
              (d.Sim.Runner.parameter, d.Sim.Runner.cost)))
         deployed )
   in
-  (elapsed, signature)
+  (elapsed, signature, Bounds.Pipeline.path_counts bounds,
+   bounds.Bounds.Pipeline.pool)
+
+let json_of_paths paths =
+  String.concat ", "
+    (List.map
+       (fun (p, n) ->
+         Printf.sprintf "\"%s\": %d" (Bounds.Pipeline.path_label p) n)
+       paths)
+
+let json_of_pool (p : Util.Parallel.pool_stats) =
+  Printf.sprintf
+    "\"worker_deaths\": %d, \"respawns\": %d, \"task_retries\": %d, \
+     \"inline_recoveries\": %d, \"timeouts\": %d, \"fork_failures\": %d, \
+     \"degraded\": %b"
+    p.Util.Parallel.worker_deaths p.Util.Parallel.respawns
+    p.Util.Parallel.task_retries p.Util.Parallel.inline_recoveries
+    p.Util.Parallel.timeouts p.Util.Parallel.fork_failures
+    p.Util.Parallel.degraded
+
+(* The injected-fault leg of the sweep benchmark: crash a worker on every
+   3rd bound cell and poison the PDHG input on ~10%% of cells. The sweep
+   must still complete with results identical to the clean run; the extra
+   wall-clock is the price of the recovery machinery under fire, recorded
+   so robustness overhead is visible in BENCH_LOG.tsv. *)
+let bench_fault_spec = "seed=7,crash_every=3,diverge=0.1"
 
 let sweep_benchmark () =
   let cores = Util.Parallel.available_cores () in
   let tasks = (List.length sweep_classes_fixture * 5) + 5 in
   Printf.printf "sweep benchmark: %d tasks, %d detected core(s)\n%!" tasks cores;
-  let seq_s, seq_sig = run_sweep ~jobs:1 in
+  let seq_s, seq_sig, _, _ = run_sweep ~jobs:1 in
   Printf.printf "jobs=1: %.2fs\n%!" seq_s;
   let par_jobs = 4 in
-  let par_s, par_sig = run_sweep ~jobs:par_jobs in
+  let par_s, par_sig, paths, pool = run_sweep ~jobs:par_jobs in
   Printf.printf "jobs=%d: %.2fs\n%!" par_jobs par_s;
   if seq_sig <> par_sig then
     failwith "sweep benchmark: parallel and sequential results differ";
   let speedup = if par_s > 0. then seq_s /. par_s else 1. in
   Printf.printf "identical results; speedup %.2fx\n%!" speedup;
+  let fault_spec =
+    match Util.Faults.parse bench_fault_spec with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  Util.Faults.install fault_spec;
+  let faulted_s, faulted_sig, faulted_paths, faulted_pool =
+    run_sweep ~jobs:par_jobs
+  in
+  Util.Faults.install Util.Faults.none;
+  if faulted_sig <> par_sig then
+    failwith "sweep benchmark: injected-fault run changed the results";
+  Printf.printf "jobs=%d with '%s': %.2fs, identical results\n%!" par_jobs
+    bench_fault_spec faulted_s;
   let oc = open_out "BENCH_sweep.json" in
   Printf.fprintf oc
     {|{
@@ -230,11 +271,24 @@ let sweep_benchmark () =
   "parallel_jobs": %d,
   "parallel_s": %.3f,
   "speedup": %.3f,
-  "results_identical": true
+  "results_identical": true,
+  "solve_paths": { %s },
+  "pool": { %s },
+  "faulted": {
+    "spec": "%s",
+    "parallel_s": %.3f,
+    "overhead_ratio": %.3f,
+    "results_identical": true,
+    "solve_paths": { %s },
+    "pool": { %s }
+  }
 }
 |}
     (List.length sweep_classes_fixture)
-    cores tasks seq_s par_jobs par_s speedup;
+    cores tasks seq_s par_jobs par_s speedup (json_of_paths paths)
+    (json_of_pool pool) bench_fault_spec faulted_s
+    (if par_s > 0. then faulted_s /. par_s else 1.)
+    (json_of_paths faulted_paths) (json_of_pool faulted_pool);
   close_out oc;
   Printf.printf "wrote BENCH_sweep.json\n%!"
 
@@ -355,8 +409,8 @@ let lp_benchmark () =
   (match baseline with
   | Some b -> Printf.printf "baseline sequential_s from BENCH_sweep.json: %.3f\n%!" b
   | None -> Printf.printf "no BENCH_sweep.json baseline found\n%!");
-  let seq_s, seq_sig = run_sweep ~jobs:1 in
-  let par_s, par_sig = run_sweep ~jobs:4 in
+  let seq_s, seq_sig, _, _ = run_sweep ~jobs:1 in
+  let par_s, par_sig, _, _ = run_sweep ~jobs:4 in
   let results_identical = seq_sig = par_sig in
   if not results_identical then
     failwith "lp benchmark: parallel and sequential sweep results differ";

@@ -33,14 +33,70 @@ let cost_of_result (r : Bounds.Pipeline.t) =
   if r.Bounds.Pipeline.feasible then Some r.Bounds.Pipeline.lower_bound
   else None
 
+(* Recovery bookkeeping: how each sweep's cells were actually solved and
+   how much supervision the worker pool needed. Quiet unless something
+   out of the ordinary happened (or faults are being injected, so the
+   recovery paths are visibly exercised). *)
+let pool_nontrivial (p : Util.Parallel.pool_stats) =
+  p.Util.Parallel.worker_deaths > 0
+  || p.Util.Parallel.respawns > 0
+  || p.Util.Parallel.task_retries > 0
+  || p.Util.Parallel.inline_recoveries > 0
+  || p.Util.Parallel.timeouts > 0
+  || p.Util.Parallel.fork_failures > 0
+  || p.Util.Parallel.degraded
+
+let pool_summary (p : Util.Parallel.pool_stats) =
+  Printf.sprintf
+    "deaths=%d respawns=%d retries=%d inline=%d timeouts=%d fork_failures=%d%s"
+    p.Util.Parallel.worker_deaths p.Util.Parallel.respawns
+    p.Util.Parallel.task_retries p.Util.Parallel.inline_recoveries
+    p.Util.Parallel.timeouts p.Util.Parallel.fork_failures
+    (if p.Util.Parallel.degraded then " degraded" else "")
+
+let print_sweep_robustness ~name (sweep : Bounds.Pipeline.sweep) =
+  let paths =
+    List.filter (fun (_, n) -> n > 0) (Bounds.Pipeline.path_counts sweep)
+  in
+  let fallbacks =
+    List.exists
+      (fun (p, _) ->
+        p = Bounds.Pipeline.Path_pdhg_retry
+        || p = Bounds.Pipeline.Path_simplex_fallback)
+      paths
+  in
+  if
+    Util.Faults.active () || fallbacks
+    || pool_nontrivial sweep.Bounds.Pipeline.pool
+    || sweep.Bounds.Pipeline.resumed > 0
+  then
+    Printf.printf "robustness %s: paths[%s] pool[%s] resumed=%d\n%!" name
+      (String.concat " "
+         (List.map
+            (fun (p, n) ->
+              Printf.sprintf "%s=%d" (Bounds.Pipeline.path_label p) n)
+            paths))
+      (pool_summary sweep.Bounds.Pipeline.pool)
+      sweep.Bounds.Pipeline.resumed
+
 (* One parallel batch for a whole figure: every (class, point) cell is an
    independent task, so a figure's bound grid saturates the worker pool
-   instead of sweeping class by class. *)
-let sweep_figure ?placeable ~jobs spec points classes =
-  let sweep =
-    Bounds.Pipeline.sweep_classes ~jobs ?placeable spec ~fractions:points
-      classes
+   instead of sweeping class by class. [journal_dir] turns on
+   checkpointing: an interrupted run re-executed with the same arguments
+   resumes from DIR/<name>.journal. *)
+let sweep_figure ?placeable ?journal_dir ~name ~jobs spec points classes =
+  let journal =
+    Option.map
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Filename.concat dir (name ^ ".journal"))
+      journal_dir
   in
+  let sweep =
+    Bounds.Pipeline.sweep_classes ~jobs ?placeable ?journal spec
+      ~fractions:points classes
+  in
+  print_sweep_robustness ~name sweep;
   let series =
     List.map
       (fun (label, results) ->
@@ -66,7 +122,7 @@ let fig1_classes =
         Mcperf.Classes.cooperative_caching );
   ]
 
-let fig1 ?csv_dir ~quick ~scale ~seed ~jobs workload =
+let fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
   let points = qos_sweep quick in
@@ -74,8 +130,9 @@ let fig1 ?csv_dir ~quick ~scale ~seed ~jobs workload =
       f "fig1 %s: %d classes x %d points, jobs=%d ..."
         (CS.workload_name workload)
         (List.length fig1_classes) (List.length points) jobs);
+  let name = "fig1-" ^ String.lowercase_ascii (CS.workload_name workload) in
   let series, timing, elapsed_s =
-    sweep_figure ~jobs spec points fig1_classes
+    sweep_figure ?journal_dir ~name ~jobs spec points fig1_classes
   in
   Report.print_figure
     ~title:
@@ -86,9 +143,7 @@ let fig1 ?csv_dir ~quick ~scale ~seed ~jobs workload =
   Report.print_timing
     ~title:(Printf.sprintf "fig1 %s" (CS.workload_name workload))
     ~jobs ~elapsed_s timing;
-  maybe_write_csv ~csv_dir
-    ~name:("fig1-" ^ String.lowercase_ascii (CS.workload_name workload))
-    series;
+  maybe_write_csv ~csv_dir ~name series;
   series
 
 (* --- Figure 2 ----------------------------------------------------------- *)
@@ -101,6 +156,9 @@ let deployed_sweep ~jobs ~label points run =
   let t0 = Unix.gettimeofday () in
   let outcomes = Util.Parallel.map ~jobs ~f:run points in
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  let pool = Util.Parallel.last_pool_stats () in
+  if pool_nontrivial pool then
+    Printf.printf "robustness %s: pool[%s]\n%!" label (pool_summary pool);
   let raw =
     List.map2 (fun q (o : _ Util.Parallel.result) -> (q, o.Util.Parallel.value))
       points outcomes
@@ -126,7 +184,7 @@ let deployed_sweep ~jobs ~label points run =
   in
   (series, raw, timing, elapsed_s)
 
-let fig2 ?csv_dir ~quick ~scale ~seed ~jobs workload =
+let fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
@@ -149,7 +207,11 @@ let fig2 ?csv_dir ~quick ~scale ~seed ~jobs workload =
     | CS.Group -> "Replica constrained bound"
   in
   let bound_series, bound_timing, bound_elapsed =
-    sweep_figure ~jobs bound_spec points [ (bound_label, chosen_cls) ]
+    sweep_figure ?journal_dir
+      ~name:
+        ("fig2-" ^ String.lowercase_ascii (CS.workload_name workload) ^ "-bound")
+      ~jobs bound_spec points
+      [ (bound_label, chosen_cls) ]
   in
   Logs.app (fun f -> f "fig2 %s: %s ..." (CS.workload_name workload) chosen_label);
   let chosen_series, chosen_raw, chosen_timing, chosen_elapsed =
@@ -206,7 +268,7 @@ let fig3_classes =
       Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
   ]
 
-let fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs workload =
+let fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   (* Phase 1: decide where to deploy nodes. The planning goal must be one
@@ -241,7 +303,12 @@ let fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs workload =
           (CS.workload_name workload)
           (List.length fig3_classes) (List.length points) jobs);
     let bound_series, bound_timing, bound_elapsed =
-      sweep_figure ~placeable ~jobs bound_spec points fig3_classes
+      sweep_figure ~placeable ?journal_dir
+        ~name:
+          ("fig3-"
+          ^ String.lowercase_ascii (CS.workload_name workload)
+          ^ "-bound")
+        ~jobs bound_spec points fig3_classes
     in
     let deployed, _, deployed_timing, deployed_elapsed =
       match workload with
@@ -586,6 +653,53 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each figure as CSV into $(docv).")
 
+let faults_conv =
+  let parse s =
+    match Util.Faults.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf spec = Format.pp_print_string ppf (Util.Faults.to_string spec) in
+  Arg.conv (parse, print)
+
+let inject_t =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. \
+           'seed=42,crash=0.2,diverge=0.1' or 'crash_every=3,stall=0.05'. \
+           Injected faults exercise worker supervision and the solver \
+           fallback chain without changing any reported number. Defaults \
+           to the $(b,REPLICA_FAULTS) environment variable.")
+
+let journal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint each bound sweep into $(docv): an interrupted run \
+           re-executed with the same arguments resumes from the journal \
+           and produces identical output.")
+
+let setup_faults inject =
+  let spec =
+    match inject with
+    | Some spec -> spec
+    | None -> (
+      match Util.Faults.of_env () with
+      | Ok spec -> spec
+      | Error msg ->
+        Logs.warn (fun f -> f "ignoring %s: %s" Util.Faults.env_var msg);
+        Util.Faults.none)
+  in
+  Util.Faults.install spec;
+  if Util.Faults.active () then
+    Logs.app (fun f ->
+        f "fault injection active: %s" (Util.Faults.to_string spec))
+
 let workload_t =
   let wconv =
     Arg.enum [ ("web", [ CS.Web ]); ("group", [ CS.Group ]);
@@ -598,38 +712,42 @@ let workload_t =
 let resolve_jobs jobs = if jobs <= 0 then Util.Parallel.default_jobs () else jobs
 
 let run_figure f =
-  let run verbose quick scale seed zeta csv_dir jobs workloads =
+  let run verbose quick scale seed zeta csv_dir jobs inject journal_dir
+      workloads =
     setup_logs verbose;
+    setup_faults inject;
     let jobs = resolve_jobs jobs in
     List.iter
-      (fun w -> ignore (f ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w))
+      (fun w ->
+        ignore (f ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w))
       workloads
   in
   Term.(
     const run $ verbose_t $ quick_t $ scale_t $ seed_t $ zeta_t $ csv_t
-    $ jobs_t $ workload_t)
+    $ jobs_t $ inject_t $ journal_t $ workload_t)
 
 let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Lower bounds per class vs QoS (Figure 1).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
-         fig1 ?csv_dir ~quick ~scale ~seed ~jobs w))
+    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
+         fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w))
 
 let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc:"Deployed heuristics vs class bounds (Figure 2).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
-         fig2 ?csv_dir ~quick ~scale ~seed ~jobs w))
+    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
+         fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w))
 
 let fig3_cmd =
   Cmd.v (Cmd.info "fig3" ~doc:"Deployment scenario bounds (Figure 3).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w ->
-         fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w))
+    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w ->
+         fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w))
 
 let select_cmd =
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the Section 6.1 selection methodology and print the ranking.")
-    (run_figure (fun ?csv_dir:_ ~quick:_ ~scale ~seed ~zeta:_ ~jobs:_ w ->
+    (run_figure
+       (fun ?csv_dir:_ ?journal_dir:_ ~quick:_ ~scale ~seed ~zeta:_ ~jobs:_ w ->
          selection ~scale ~seed w;
          []))
 
@@ -690,10 +808,10 @@ let scale_cmd =
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (fig1, fig2, fig3, scale).")
-    (run_figure (fun ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w ->
-         ignore (fig1 ?csv_dir ~quick ~scale ~seed ~jobs w);
-         ignore (fig2 ?csv_dir ~quick ~scale ~seed ~jobs w);
-         ignore (fig3 ?csv_dir ~quick ~scale ~seed ~zeta ~jobs w);
+    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w ->
+         ignore (fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w);
+         ignore (fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w);
+         ignore (fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w);
          selection ~scale ~seed w;
          if w = CS.Web then scale_experiment ~seed ();
          []))

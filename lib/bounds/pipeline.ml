@@ -3,6 +3,32 @@ type solver =
   | Exact_simplex
   | First_order of Lp.Pdhg.options
 
+type solve_path =
+  | Path_presolve
+  | Path_simplex
+  | Path_pdhg
+  | Path_pdhg_retry
+  | Path_simplex_fallback
+  | Path_infeasible
+
+let all_paths =
+  [
+    Path_presolve;
+    Path_simplex;
+    Path_pdhg;
+    Path_pdhg_retry;
+    Path_simplex_fallback;
+    Path_infeasible;
+  ]
+
+let path_label = function
+  | Path_presolve -> "presolve"
+  | Path_simplex -> "simplex"
+  | Path_pdhg -> "pdhg"
+  | Path_pdhg_retry -> "pdhg-retry"
+  | Path_simplex_fallback -> "simplex-fallback"
+  | Path_infeasible -> "infeasible"
+
 type t = {
   class_name : string;
   feasible : bool;
@@ -14,6 +40,7 @@ type t = {
   vars : int;
   rows : int;
   max_feasible_qos : float;
+  solve_path : solve_path;
 }
 
 let src = Logs.Src.create "bounds" ~doc:"lower-bound pipeline"
@@ -37,6 +64,7 @@ let infeasible_result cls worst_qos =
     vars = 0;
     rows = 0;
     max_feasible_qos = worst_qos;
+    solve_path = Path_infeasible;
   }
 
 (* --- shared LP-relaxation solve ----------------------------------------- *)
@@ -47,18 +75,52 @@ let infeasible_result cls worst_qos =
    the point and the certified bound back through [restore]/[offset].
    [reuse] threads a prepared PDHG image across structurally identical
    sweep models; [warm] carries reduced-space iterates between consecutive
-   QoS fractions. *)
+   QoS fractions.
+
+   The PDHG leg is a supervised fallback chain. A solve is *healthy* when
+   every reported quantity is finite and an independent re-evaluation of
+   [Certificate.dual_bound] at the best dual iterate reproduces the bound
+   the solver claims — anything else (NaN-poisoned inputs, a diverged
+   iterate, a cap-hit that produced no usable certificate) triggers a
+   clean cold re-solve of the unpoisoned problem, and if that is unhealthy
+   too, an exact simplex rescue. The first attempt and the clean retry run
+   from the same prepared structure and the same warm start, so whenever
+   the input itself was sound the retry reproduces the primary attempt's
+   iterates exactly and recovery is invisible in the results. *)
 type relaxation = {
   outcome : (float array * float * bool * int) option;
       (* original-space x, certified bound (presolve offset folded in),
          solved exactly, LP iterations; [None] when the LP is infeasible *)
   prep : Lp.Pdhg.prepared option;  (* for the next cell's [reuse] *)
   warm : (float array * float array) option;  (* reduced-space iterates *)
+  path : solve_path;
 }
 
-let no_solution = { outcome = None; prep = None; warm = None }
+let no_solution =
+  { outcome = None; prep = None; warm = None; path = Path_infeasible }
 
-let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
+(* Independent health check of a PDHG outcome: all reported scalars and
+   the primal point finite, and the certified bound reproducible from the
+   dual iterate alone. [Certificate.dual_bound] is valid for *any* y, so
+   a finite, matching re-evaluation means the bound stands regardless of
+   what happened to the iterates. *)
+let pdhg_healthy prep (out : Lp.Pdhg.outcome) =
+  Float.is_finite out.Lp.Pdhg.best_bound
+  && Float.is_finite out.Lp.Pdhg.primal_objective
+  && Float.is_finite out.Lp.Pdhg.primal_infeasibility
+  && Array.for_all Float.is_finite out.Lp.Pdhg.x
+  &&
+  let recheck =
+    Lp.Certificate.dual_bound
+      (Lp.Pdhg.prepared_problem prep)
+      ~y:out.Lp.Pdhg.best_y
+  in
+  Float.is_finite recheck
+  && Float.abs (recheck -. out.Lp.Pdhg.best_bound)
+     <= 1e-9 *. (1. +. Float.abs out.Lp.Pdhg.best_bound)
+
+let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
+    problem =
   let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
   let pre = Lp.Presolve.run problem in
   match pre.Lp.Presolve.status with
@@ -73,6 +135,7 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
           Some (pre.Lp.Presolve.restore [||], pre.Lp.Presolve.offset, true, 0);
         prep = None;
         warm = None;
+        path = Path_presolve;
       }
     else begin
       let use_simplex =
@@ -93,6 +156,7 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
                   0 );
             prep = None;
             warm = None;
+            path = Path_simplex;
           }
         | Lp.Simplex.Infeasible -> no_solution
         | Lp.Simplex.Unbounded ->
@@ -103,7 +167,6 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
           | First_order o -> o
           | Auto | Exact_simplex -> default_pdhg_options
         in
-        let prep = Lp.Pdhg.prepare ?reuse red in
         let x0, y0 =
           match warm with
           | Some (x0, y0)
@@ -112,23 +175,66 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm problem =
             (Some x0, Some y0)
           | Some _ | None -> (None, None)
         in
-        let out = Lp.Pdhg.solve_prepared ~options ?x0 ?y0 prep in
-        {
-          outcome =
-            Some
-              ( pre.Lp.Presolve.restore out.Lp.Pdhg.x,
-                out.Lp.Pdhg.best_bound +. pre.Lp.Presolve.offset,
-                false,
-                out.Lp.Pdhg.iterations );
-          prep = Some prep;
-          warm = Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
-        }
+        let attempt ~poisoned =
+          let target =
+            if poisoned && Lp.Problem.nrows red > 0 then
+              Lp.Problem.with_rhs red [ (0, Float.nan) ]
+            else red
+          in
+          let prep = Lp.Pdhg.prepare ?reuse target in
+          (prep, Lp.Pdhg.solve_prepared ~options ?x0 ?y0 prep)
+        in
+        let accept path prep (out : Lp.Pdhg.outcome) =
+          {
+            outcome =
+              Some
+                ( pre.Lp.Presolve.restore out.Lp.Pdhg.x,
+                  out.Lp.Pdhg.best_bound +. pre.Lp.Presolve.offset,
+                  false,
+                  out.Lp.Pdhg.iterations );
+            prep = Some prep;
+            warm = Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
+            path;
+          }
+        in
+        let prep1, out1 = attempt ~poisoned:inject_nan in
+        if pdhg_healthy prep1 out1 then accept Path_pdhg prep1 out1
+        else begin
+          Log.warn (fun f ->
+              f
+                "pdhg solve unhealthy (bound %g, infeas %g, %d iters): \
+                 retrying cold on a clean rebuild"
+                out1.Lp.Pdhg.best_bound out1.Lp.Pdhg.primal_infeasibility
+                out1.Lp.Pdhg.iterations);
+          let prep2, out2 = attempt ~poisoned:false in
+          if pdhg_healthy prep2 out2 then accept Path_pdhg_retry prep2 out2
+          else begin
+            Log.warn (fun f ->
+                f "pdhg retry unhealthy: rescuing with exact simplex");
+            match Lp.Simplex.solve red with
+            | Lp.Simplex.Optimal { x; objective } ->
+              {
+                outcome =
+                  Some
+                    ( pre.Lp.Presolve.restore x,
+                      objective +. pre.Lp.Presolve.offset,
+                      true,
+                      0 );
+                prep = Some prep2;
+                warm = None;
+                path = Path_simplex_fallback;
+              }
+            | Lp.Simplex.Infeasible -> no_solution
+            | Lp.Simplex.Unbounded ->
+              invalid_arg "Bounds.Pipeline: unbounded MC-PERF relaxation"
+          end
+        end
       end
     end
 
 (* Turn a feasible relaxation outcome into a pipeline result: round the
    fractional point, evaluate the integral placement, report the gap. *)
-let finish ~round model cls worst_qos (x, bound, exact, iterations) =
+let finish ~round ~path model cls worst_qos (x, bound, exact, iterations) =
   let problem = model.Mcperf.Model.problem in
   let lower_bound = bound +. model.Mcperf.Model.objective_offset in
   let rounded =
@@ -158,6 +264,7 @@ let finish ~round model cls worst_qos (x, bound, exact, iterations) =
     vars = Lp.Problem.nvars problem;
     rows = Lp.Problem.nrows problem;
     max_feasible_qos = worst_qos;
+    solve_path = path;
   }
 
 let compute ?(solver = Auto) ?placeable spec cls =
@@ -184,7 +291,7 @@ let compute ?(solver = Auto) ?placeable spec cls =
     | None ->
       (* The LP disagreed with the coverage oracle: conservative report. *)
       infeasible_result cls worst_qos
-    | Some sol -> finish ~round model cls worst_qos sol
+    | Some sol -> finish ~round ~path:r.path model cls worst_qos sol
   end
 
 let compare_classes ?solver ?placeable spec classes =
@@ -228,22 +335,179 @@ type sweep = {
   stats : task_stat list;
   jobs : int;
   elapsed_s : float;
+  pool : Util.Parallel.pool_stats;
+  resumed : int;
 }
 
-let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable spec ~fractions
-    classes =
+let path_counts sweep =
+  List.map
+    (fun path ->
+      let n =
+        List.fold_left
+          (fun acc (_, series) ->
+            List.fold_left
+              (fun acc (_, r) -> if r.solve_path = path then acc + 1 else acc)
+              acc series)
+          0 sweep.per_class
+      in
+      (path, n))
+    all_paths
+
+(* --- checkpoint journal -------------------------------------------------- *)
+
+(* A sweep journal is a plain text file: a header line carrying a
+   fingerprint of the sweep's identity (labels, class names, fractions,
+   latency threshold), then one line per completed cell. Each record is
+   the MD5 digest of its payload followed by the hex-encoded marshaled
+   [(key, (result, wall_s))] triple, so a torn tail from a crash is
+   detected and dropped rather than crashing the loader. The whole file
+   is rewritten to a temp path and [rename]d on every completion — the
+   journal on disk is always a complete, self-consistent prefix of the
+   sweep. It is deleted when the sweep finishes. *)
+
+let cell_key label fraction = Printf.sprintf "%s|%.17g" label fraction
+
+let journal_magic = "# replica-select sweep journal v1"
+
+let sweep_fingerprint ~tlat_ms ~fractions classes =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "tlat=%.17g" tlat_ms);
+  List.iter (fun x -> Buffer.add_string b (Printf.sprintf ";%.17g" x)) fractions;
+  List.iter
+    (fun (label, cls) ->
+      Buffer.add_string b
+        (Printf.sprintf ";%s=%s" label cls.Mcperf.Classes.name))
+    classes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ | Invalid_argument _ -> None
+
+let journal_header fingerprint =
+  Printf.sprintf "%s fingerprint=%s" journal_magic fingerprint
+
+(* Load the completed-cell table from a journal. Tolerant by design: a
+   missing file, a stale fingerprint, or a corrupt/truncated tail just
+   mean fewer cached cells — the sweep recomputes whatever is absent. *)
+let load_journal ~fingerprint path : (string, t * float) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  if not (Sys.file_exists path) then tbl
+  else begin
+    let ic = open_in_bin path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match List.rev !lines with
+    | [] -> tbl
+    | header :: records ->
+      if not (String.equal header (journal_header fingerprint)) then begin
+        Log.warn (fun f ->
+            f
+              "journal %s does not match this sweep (different classes, \
+               fractions or threshold): ignoring it"
+              path);
+        tbl
+      end
+      else begin
+        (try
+           List.iter
+             (fun line ->
+               if String.trim line = "" then raise Exit;
+               match String.index_opt line ' ' with
+               | None -> raise Exit
+               | Some i -> (
+                 let digest = String.sub line 0 i in
+                 let payload_hex =
+                   String.sub line (i + 1) (String.length line - i - 1)
+                 in
+                 match string_of_hex payload_hex with
+                 | None -> raise Exit
+                 | Some payload ->
+                   if
+                     not
+                       (String.equal
+                          (Digest.to_hex (Digest.string payload))
+                          digest)
+                   then raise Exit
+                   else
+                     let key, (cell, wall_s) =
+                       (Marshal.from_string payload 0
+                         : string * (t * float))
+                     in
+                     Hashtbl.replace tbl key (cell, wall_s)))
+             records
+         with Exit ->
+           Log.warn (fun f ->
+               f "journal %s has a corrupt tail: dropping it (%d cells kept)"
+                 path (Hashtbl.length tbl)));
+        tbl
+      end
+  end
+
+let write_journal ~fingerprint path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (journal_header fingerprint);
+  output_char oc '\n';
+  List.iter
+    (fun (key, cell, wall_s) ->
+      let payload = Marshal.to_string ((key, (cell, wall_s)) : string * (t * float)) [] in
+      output_string oc (Digest.to_hex (Digest.string payload));
+      output_char oc ' ';
+      output_string oc (hex_of_string payload);
+      output_char oc '\n')
+    entries;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp path
+
+let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
+    ?progress spec ~fractions classes =
   let tlat_ms =
     match spec.Mcperf.Spec.goal with
     | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
     | Mcperf.Spec.Avg_latency _ ->
       invalid_arg "Pipeline.sweep_classes: requires a QoS goal"
   in
-  let cells =
+  let keyed_cells =
     List.concat_map
       (fun (label, cls) ->
-        List.map (fun fraction -> (label, cls, fraction)) fractions)
+        List.map
+          (fun fraction -> (cell_key label fraction, label, cls, fraction))
+          fractions)
       classes
   in
+  let fingerprint = sweep_fingerprint ~tlat_ms ~fractions classes in
+  let done_tbl =
+    match journal with
+    | None -> Hashtbl.create 0
+    | Some path -> load_journal ~fingerprint path
+  in
+  let pending =
+    List.filter (fun (k, _, _, _) -> not (Hashtbl.mem done_tbl k)) keyed_cells
+  in
+  let resumed = List.length keyed_cells - List.length pending in
+  if resumed > 0 then
+    Log.info (fun f ->
+        f "resuming sweep: %d/%d cells restored from journal" resumed
+          (List.length keyed_cells));
   (* Per-process incremental state: the first cell of a class builds the
      model; subsequent cells of the same class (in the same worker) patch
      only the QoS rhs and reuse the prepared constraint matrix. Because a
@@ -255,7 +519,12 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable spec ~fractions
     Hashtbl.create 8
   in
   let prep_cache : (string, Lp.Pdhg.prepared) Hashtbl.t = Hashtbl.create 8 in
-  let solve (label, cls, fraction) =
+  let solve (key, label, cls, fraction) =
+    (* Deterministic fault-injection points: both fire only inside a pool
+       worker on a task's first attempt, so the supervisor's retry always
+       completes the cell. *)
+    Util.Faults.crash_point ~key;
+    Util.Faults.stall_point ~key;
     let spec =
       { spec with Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction } }
     in
@@ -286,48 +555,90 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable spec ~fractions
           m
       in
       let reuse = Hashtbl.find_opt prep_cache label in
-      let r = solve_relaxation ~solver ?reuse model.Mcperf.Model.problem in
+      let inject_nan = Util.Faults.diverge_requested ~key in
+      let r =
+        solve_relaxation ~solver ?reuse ~inject_nan model.Mcperf.Model.problem
+      in
       (match r.prep with
       | Some p -> Hashtbl.replace prep_cache label p
       | None -> ());
       match r.outcome with
       | None -> infeasible_result cls worst_qos
       | Some sol ->
-        finish ~round:Rounding.Round.round model cls worst_qos sol
+        finish ~round:Rounding.Round.round ~path:r.path model cls worst_qos sol
     end
   in
+  let total = List.length keyed_cells in
+  let completed_count = ref resumed in
+  let journal_entries =
+    ref (Hashtbl.fold (fun k (c, w) acc -> (k, c, w) :: acc) done_tbl [])
+  in
+  let pending_arr = Array.of_list pending in
+  let on_result i (res : t Util.Parallel.result) =
+    let k, _, _, _ = pending_arr.(i) in
+    incr completed_count;
+    (match journal with
+    | Some path ->
+      journal_entries :=
+        (k, res.Util.Parallel.value, res.Util.Parallel.wall_s)
+        :: !journal_entries;
+      write_journal ~fingerprint path !journal_entries
+    | None -> ());
+    match progress with
+    | Some f -> f ~completed:!completed_count ~total
+    | None -> ()
+  in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Util.Parallel.map ~jobs ~f:solve cells in
+  let outcomes =
+    Util.Parallel.map ~jobs ?timeout_s ~on_result ~f:solve pending
+  in
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  (match journal with
+  | Some path ->
+    if Sys.file_exists path then Sys.remove path;
+    let tmp = path ^ ".tmp" in
+    if Sys.file_exists tmp then Sys.remove tmp
+  | None -> ());
+  let result_tbl : (string, t * float) Hashtbl.t = Hashtbl.create total in
+  Hashtbl.iter (fun k v -> Hashtbl.replace result_tbl k v) done_tbl;
+  List.iter2
+    (fun (k, _, _, _) (o : t Util.Parallel.result) ->
+      Hashtbl.replace result_tbl k
+        (o.Util.Parallel.value, o.Util.Parallel.wall_s))
+    pending outcomes;
+  let lookup k = Hashtbl.find result_tbl k in
   let stats =
-    List.map2
-      (fun (label, _, fraction) (o : _ Util.Parallel.result) ->
+    List.map
+      (fun (k, label, _, fraction) ->
+        let cell, wall_s = lookup k in
         {
           label;
           x = fraction;
-          wall_s = o.Util.Parallel.wall_s;
-          iterations = o.Util.Parallel.value.lp_iterations;
-          solved_exactly = o.Util.Parallel.value.exact;
+          wall_s;
+          iterations = cell.lp_iterations;
+          solved_exactly = cell.exact;
         })
-      cells outcomes
-  in
-  let tagged =
-    List.map2
-      (fun (label, _, fraction) (o : _ Util.Parallel.result) ->
-        (label, fraction, o.Util.Parallel.value))
-      cells outcomes
+      keyed_cells
   in
   let per_class =
     List.map
       (fun (label, _) ->
         ( label,
           List.filter_map
-            (fun (l, fraction, r) ->
-              if String.equal l label then Some (fraction, r) else None)
-            tagged ))
+            (fun (k, l, _, fraction) ->
+              if String.equal l label then Some (fraction, fst (lookup k))
+              else None)
+            keyed_cells ))
       classes
   in
-  { per_class; stats; jobs = (if jobs <= 1 then 1 else jobs); elapsed_s }
+  {
+    per_class;
+    stats;
+    jobs = (if jobs <= 1 then 1 else jobs);
+    elapsed_s;
+    pool = Util.Parallel.last_pool_stats ();
+    resumed;
+  }
 
 let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
   let tlat_ms =
@@ -376,6 +687,8 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
         match r.outcome with
         | None -> (fraction, infeasible_result cls worst_qos)
         | Some sol ->
-          (fraction, finish ~round:Rounding.Round.round model cls worst_qos sol)
+          ( fraction,
+            finish ~round:Rounding.Round.round ~path:r.path model cls
+              worst_qos sol )
       end)
     fractions

@@ -21,6 +21,29 @@ type solver =
   | Exact_simplex
   | First_order of Lp.Pdhg.options
 
+(** Which leg of the solver fallback chain produced a cell's bound. The
+    PDHG leg guards its own numerical health: an outcome with non-finite
+    scalars or iterates, or whose certified bound cannot be reproduced by
+    re-evaluating {!Lp.Certificate.dual_bound} at the best dual iterate,
+    is discarded and the cell is re-solved cold on a clean rebuild
+    ([Path_pdhg_retry]); if that fails too, the exact simplex rescues the
+    cell ([Path_simplex_fallback]). Because the retry runs from the same
+    prepared structure and warm start as the primary attempt, a retry
+    after input poisoning yields exactly the values an unfaulted solve
+    produces — only this tag records that recovery happened. *)
+type solve_path =
+  | Path_presolve  (** presolve fixed every variable; no solver ran *)
+  | Path_simplex  (** primary exact simplex (small models) *)
+  | Path_pdhg  (** primary PDHG solve, numerically healthy *)
+  | Path_pdhg_retry  (** first PDHG attempt unhealthy; clean retry accepted *)
+  | Path_simplex_fallback  (** both PDHG attempts unhealthy; simplex rescue *)
+  | Path_infeasible  (** the feasibility oracle or the LP said no *)
+
+val all_paths : solve_path list
+(** Every tag, in a fixed display order. *)
+
+val path_label : solve_path -> string
+
 type t = {
   class_name : string;
   feasible : bool;
@@ -40,6 +63,9 @@ type t = {
   max_feasible_qos : float;
       (** worst per-user achievable QoS for this class (1.0 if no QoS
           goal) *)
+  solve_path : solve_path;
+      (** which fallback-chain leg produced the bound; never affects the
+          numbers, only records how they were obtained *)
 }
 
 val default_pdhg_options : Lp.Pdhg.options
@@ -107,12 +133,23 @@ type sweep = {
   stats : task_stat list;  (** one entry per cell, in task order *)
   jobs : int;  (** worker count actually used *)
   elapsed_s : float;  (** whole-sweep wall-clock in the parent *)
+  pool : Util.Parallel.pool_stats;
+      (** supervision counters from the worker pool (all-zero when no
+          recovery was needed) *)
+  resumed : int;  (** cells restored from the checkpoint journal *)
 }
+
+val path_counts : sweep -> (solve_path * int) list
+(** How many cells each fallback-chain leg handled, over {!all_paths}
+    (zero entries included). *)
 
 val sweep_classes :
   ?jobs:int ->
   ?solver:solver ->
   ?placeable:bool array ->
+  ?timeout_s:float ->
+  ?journal:string ->
+  ?progress:(completed:int -> total:int -> unit) ->
   Mcperf.Spec.t ->
   fractions:float list ->
   (string * Mcperf.Classes.t) list ->
@@ -120,4 +157,24 @@ val sweep_classes :
 (** [sweep_classes spec ~fractions classes] computes {!compute} for every
     (class, fraction) cell, fanned out over [jobs] worker processes
     (default 1 = sequential; {!Util.Parallel.default_jobs} is a good
-    explicit choice). Requires a QoS-goal spec. *)
+    explicit choice). Requires a QoS-goal spec.
+
+    [timeout_s] is the per-cell deadline handed to the worker pool (a
+    stalled cell's worker is killed and the cell retried).
+
+    [journal] names a checkpoint file: every completed cell is appended
+    (atomic tmp+rename rewrite) so an interrupted sweep re-run with the
+    same arguments skips the recorded cells and — because each cell's
+    result is a pure function of (spec, class, fraction) — produces
+    output byte-identical to an uninterrupted run at any [jobs]. The
+    journal carries a fingerprint of the sweep's identity (a journal from
+    a different sweep is ignored), tolerates a torn tail from a crash
+    mid-write, and is deleted when the sweep completes.
+
+    [progress] is invoked in the parent after each cell completes.
+
+    When a {!Util.Faults} spec is installed, each cell passes through the
+    crash/stall injection points (worker first attempts only) and cells
+    selected by [diverge] get their first PDHG attempt poisoned with a
+    NaN rhs — exercising, deterministically, the supervision and fallback
+    machinery without changing any reported number. *)

@@ -18,9 +18,27 @@ let interior_points ~lo ~hi k =
   in
   build k []
 
+(* Deterministic fault-injection points for the probe workers: inert
+   unless a Util.Faults spec is installed, and even then they only fire
+   inside a pool worker on a probe's first attempt, so the supervisor's
+   retry always completes the round with the same flags. *)
+let probe_int ~feasible p =
+  let key = Printf.sprintf "probe-int|%d" p in
+  Util.Faults.crash_point ~key;
+  Util.Faults.stall_point ~key;
+  feasible p
+
+let probe_float ~feasible p =
+  let key = Printf.sprintf "probe-float|%.17g" p in
+  Util.Faults.crash_point ~key;
+  Util.Faults.stall_point ~key;
+  feasible p
+
 let narrow_int ~jobs ~feasible lo hi =
   let probes = interior_points ~lo ~hi jobs in
-  let flags = Util.Parallel.map_values ~jobs ~f:feasible probes in
+  let flags =
+    Util.Parallel.map_values ~jobs ~f:(probe_int ~feasible) probes
+  in
   let rec scan lo = function
     | [], [] -> (lo, hi)
     | p :: _, true :: _ -> (lo, p)
@@ -69,7 +87,9 @@ let min_feasible_float ?(jobs = 1) ~lo ~hi ~tol feasible =
           List.init k (fun i ->
               !lo +. (span *. float_of_int (i + 1) /. float_of_int (k + 1)))
         in
-        let flags = Util.Parallel.map_values ~jobs ~f:feasible probes in
+        let flags =
+          Util.Parallel.map_values ~jobs ~f:(probe_float ~feasible) probes
+        in
         let rec scan l = function
           | [], [] -> (l, !hi)
           | p :: _, true :: _ -> (l, p)

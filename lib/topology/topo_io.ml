@@ -20,8 +20,21 @@ let save ?origin g ~path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ?origin g))
 
-let fail_line lineno msg =
-  failwith (Printf.sprintf "topology line %d: %s" lineno msg)
+(* --- parsing ------------------------------------------------------------- *)
+
+type error = { file : string; line : int; msg : string }
+
+let pp_error ppf e =
+  if e.line = 0 then Format.fprintf ppf "%s: %s" e.file e.msg
+  else Format.fprintf ppf "%s:%d: %s" e.file e.line e.msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Internal parse abort: line 0 means the failure is not tied to a
+   specific line (wrong magic, empty file). *)
+exception Err of int * string
+
+let err line msg = raise (Err (line, msg))
 
 let header_field line key =
   let marker = key ^ "=" in
@@ -41,25 +54,28 @@ let header_field line key =
     in
     Some (String.sub line start (stop - start))
 
-let of_string s =
+let parse_exn s =
   let lines = String.split_on_char '\n' s in
   match lines with
   | header :: _columns :: rest ->
     if
       String.length header < String.length header_prefix
       || String.sub header 0 (String.length header_prefix) <> header_prefix
-    then failwith "topology: not a replica-select topology file";
+    then err 0 "not a replica-select topology file";
     let nodes =
       match header_field header "nodes" with
       | Some v -> (
-        try int_of_string v with Failure _ -> failwith "topology: bad nodes")
-      | None -> failwith "topology: missing nodes field"
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> err 1 "bad nodes")
+      | None -> err 1 "missing nodes field"
     in
     let origin =
       match header_field header "origin" with
       | Some v -> (
-        try Some (int_of_string v)
-        with Failure _ -> failwith "topology: bad origin")
+        match int_of_string_opt v with
+        | Some o -> Some o
+        | None -> err 1 "bad origin")
       | None -> None
     in
     let g = Graph.create nodes in
@@ -69,27 +85,72 @@ let of_string s =
         if String.trim line <> "" then
           match String.split_on_char ',' line with
           | [ u; v; w ] -> (
-            try
-              Graph.add_edge g
-                (int_of_string (String.trim u))
-                (int_of_string (String.trim v))
-                (float_of_string (String.trim w))
-            with
-            | Failure msg -> fail_line lineno msg
-            | Invalid_argument msg -> fail_line lineno msg)
-          | _ -> fail_line lineno "expected 3 comma-separated fields")
+            let u =
+              match int_of_string_opt (String.trim u) with
+              | Some u -> u
+              | None -> err lineno ("bad node id " ^ String.trim u)
+            in
+            let v =
+              match int_of_string_opt (String.trim v) with
+              | Some v -> v
+              | None -> err lineno ("bad node id " ^ String.trim v)
+            in
+            let w =
+              match float_of_string_opt (String.trim w) with
+              | Some w -> w
+              | None -> err lineno ("bad latency " ^ String.trim w)
+            in
+            (* Reject poison at the boundary: a single NaN latency would
+               silently corrupt every shortest-path and QoS computation
+               downstream. *)
+            if not (Float.is_finite w) then
+              err lineno "non-finite latency";
+            if w < 0. then err lineno "negative latency";
+            try Graph.add_edge g u v w with
+            | Failure msg -> err lineno msg
+            | Invalid_argument msg -> err lineno msg)
+          | _ -> err lineno "expected 3 comma-separated fields")
       rest;
     (g, origin)
-  | _ -> failwith "topology: empty file"
+  | _ -> err 0 "empty file"
 
-let load ~path =
-  let ic = open_in path in
+let parse ?(file = "<topology>") s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Err (line, msg) -> Error { file; line; msg }
+
+(* Legacy exception-raising entry point, kept for callers (and tests)
+   that treat any malformed file as a fatal [Failure]. *)
+let of_string s =
+  match parse_exn s with
+  | v -> v
+  | exception Err (0, msg) -> failwith ("topology: " ^ msg)
+  | exception Err (line, msg) ->
+    failwith (Printf.sprintf "topology line %d: %s" line msg)
+
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+      really_input_string ic n)
+
+let load ~path = of_string (read_file path)
+
+let load_result ~path =
+  match read_file path with
+  | s -> parse ~file:path s
+  | exception Sys_error msg -> Error { file = path; line = 0; msg }
 
 let load_system ~path =
   let g, origin = load ~path in
   System.make ?origin g
+
+let load_system_result ~path =
+  match load_result ~path with
+  | Error e -> Error e
+  | Ok (g, origin) -> (
+    try Ok (System.make ?origin g)
+    with Invalid_argument msg | Failure msg ->
+      Error { file = path; line = 0; msg })

@@ -15,13 +15,42 @@
 
 val save : ?origin:int -> Graph.t -> path:string -> unit
 
+type error = {
+  file : string;  (** path, or ["<topology>"] when parsed from a string *)
+  line : int;  (** 1-based line of the offending record; 0 = whole file *)
+  msg : string;
+}
+(** Structured parse failure: a truncated, corrupt or poisoned file is a
+    reportable condition, not a crash. Latencies are validated at the
+    boundary — non-finite or negative values are rejected with the line
+    that carries them, before they can corrupt any downstream shortest
+    path. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse : ?file:string -> string -> (Graph.t * int option, error) result
+(** Never raises on malformed input; [file] only labels the error. *)
+
+val load_result : path:string -> (Graph.t * int option, error) result
+(** {!parse} on the file's contents; an unreadable file (missing,
+    permission) is reported as an [error] with [line = 0]. *)
+
+val load_system_result : path:string -> (System.t, error) result
+(** {!load_result} followed by {!System.make}; an origin outside the
+    graph is reported as an [error] rather than raised. *)
+
 val load : path:string -> Graph.t * int option
 (** The graph plus the origin recorded in the header, if any. Raises
-    [Failure] with a line-numbered message on malformed input. *)
+    [Failure] with a line-numbered message on malformed input (legacy
+    wrapper over {!load_result}). *)
 
 val load_system : path:string -> System.t
 (** {!load} followed by {!System.make} (using the recorded origin, or the
     highest-degree node). *)
 
 val to_string : ?origin:int -> Graph.t -> string
+
 val of_string : string -> Graph.t * int option
+(** Exception-raising twin of {!parse}, kept for callers that treat any
+    malformed input as fatal. *)

@@ -3,7 +3,53 @@ type 'a result = { value : 'a; wall_s : float }
 exception Task_failed of { index : int; message : string }
 exception Task_timeout of { index : int; timeout_s : float }
 
+type task_error = { index : int; message : string; attempts : int }
+
+type pool_stats = {
+  worker_deaths : int;
+  respawns : int;
+  task_retries : int;
+  inline_recoveries : int;
+  timeouts : int;
+  fork_failures : int;
+  degraded : bool;
+}
+
+let zero_stats =
+  {
+    worker_deaths = 0;
+    respawns = 0;
+    task_retries = 0;
+    inline_recoveries = 0;
+    timeouts = 0;
+    fork_failures = 0;
+    degraded = false;
+  }
+
+let stats_ref = ref zero_stats
+
+let last_pool_stats () = !stats_ref
+
 let fork_available = Sys.unix
+
+(* Ambient worker context, readable from inside a task. [worker_ctx] is
+   [Some attempt] while a worker process executes a task body; the parent
+   (sequential path, inline recovery) always reads [None]/0. Fault
+   injectors use it to crash only inside a disposable worker and only on
+   a task's first attempt, so recovery terminates. *)
+let worker_ctx : int option ref = ref None
+
+let in_worker () = !worker_ctx <> None
+
+let task_attempt () = match !worker_ctx with Some a -> a | None -> 0
+
+(* --- supervision policy -------------------------------------------------- *)
+
+let max_task_attempts = 3
+
+let backoff_delay ?(base_s = 0.001) ?(cap_s = 0.25) attempt =
+  if attempt <= 0 then Float.min base_s cap_s
+  else Float.min cap_s (base_s *. (2. ** float_of_int attempt))
 
 let available_cores () =
   let from_cpuinfo () =
@@ -38,12 +84,17 @@ let default_jobs () = available_cores ()
 
 (* --- sequential fallback ------------------------------------------------ *)
 
-let sequential ~f tasks =
-  List.map
-    (fun task ->
+let sequential ?on_result ~f tasks =
+  List.mapi
+    (fun index task ->
       let t0 = Unix.gettimeofday () in
-      let value = f task in
-      { value; wall_s = Unix.gettimeofday () -. t0 })
+      match f task with
+      | value ->
+        let r = { value; wall_s = Unix.gettimeofday () -. t0 } in
+        (match on_result with Some g -> g index r | None -> ());
+        Ok r
+      | exception e ->
+        Error { index; message = Printexc.to_string e; attempts = 1 })
     tasks
 
 (* --- worker pool --------------------------------------------------------- *)
@@ -54,7 +105,7 @@ type worker = {
   req_oc : out_channel;
   resp_fd : Unix.file_descr;
   resp_ic : in_channel;
-  mutable task : int option;  (** index in flight *)
+  mutable task : (int * int) option;  (** (index, attempt) in flight *)
   mutable deadline : float;
   mutable alive : bool;
 }
@@ -64,28 +115,42 @@ type worker = {
    therefore an accurate "a full response is coming" signal. *)
 type 'b response = int * ('b, string) Stdlib.result * float
 
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
 let spawn ~inherited ~tasks ~f =
   let req_r, req_w = Unix.pipe () in
-  let resp_r, resp_w = Unix.pipe () in
+  let resp_r, resp_w =
+    try Unix.pipe ()
+    with e ->
+      close_noerr req_r;
+      close_noerr req_w;
+      raise e
+  in
   match Unix.fork () with
+  | exception e ->
+    List.iter close_noerr [ req_r; req_w; resp_r; resp_w ];
+    raise e
   | 0 ->
-    (* Child: drop every parent-side fd of earlier workers so that a
-       worker crash shows up as EOF in the parent (no stray write-end
-       copies keep the pipe open), then serve indices until EOF. *)
-    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) inherited;
+    (* Child: drop every parent-side fd of the other live workers so that
+       a worker crash shows up as EOF in the parent (no stray write-end
+       copies keep the pipe open), then serve (index, attempt) requests
+       until EOF. *)
+    List.iter close_noerr inherited;
     Unix.close req_w;
     Unix.close resp_r;
     let ic = Unix.in_channel_of_descr req_r in
     let oc = Unix.out_channel_of_descr resp_w in
     let rec serve () =
-      match (Marshal.from_channel ic : int) with
+      match (Marshal.from_channel ic : int * int) with
       | exception (End_of_file | Failure _) -> ()
-      | index ->
+      | index, attempt ->
         let t0 = Unix.gettimeofday () in
+        worker_ctx := Some attempt;
         let res =
           try Ok (f tasks.(index))
           with e -> Error (Printexc.to_string e)
         in
+        worker_ctx := None;
         let wall = Unix.gettimeofday () -. t0 in
         (Marshal.to_channel oc (index, res, wall : _ response) [];
          flush oc);
@@ -110,80 +175,243 @@ let spawn ~inherited ~tasks ~f =
       alive = true;
     }
 
-let reap w ~kill =
-  if w.alive then begin
+(* Retire a worker without leaving a zombie: close its pipes (EOF makes a
+   live child exit on its own), poll with WNOHANG for up to [grace_s],
+   escalate to SIGKILL if it has not exited by then, and swallow ECHILD
+   (someone else — or a double reap — already collected it). Returns the
+   wait status when one was collected. *)
+let reap ?(grace_s = 0.05) w ~kill =
+  if not w.alive then None
+  else begin
     w.alive <- false;
-    if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
     (try close_out_noerr w.req_oc with _ -> ());
     (try close_in_noerr w.resp_ic with _ -> ());
-    (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. grace_s in
+    let rec blocking_wait () =
+      match Unix.waitpid [] w.pid with
+      | _, status -> Some status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> blocking_wait ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+      | exception Unix.Unix_error _ -> None
+    in
+    let rec poll () =
+      match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+      | 0, _ ->
+        if Unix.gettimeofday () >= deadline then begin
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (* SIGKILL cannot be caught; a blocking wait now terminates. *)
+          blocking_wait ()
+        end
+        else begin
+          Unix.sleepf 0.002;
+          poll ()
+        end
+      | _, status -> Some status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+      | exception Unix.Unix_error _ -> None
+    in
+    poll ()
   end
 
-let run_pool ~jobs ~timeout_s ~f tasks =
+let rec select_eintr fds timeout =
+  try Unix.select fds [] [] timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_eintr fds timeout
+
+let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
   let n = Array.length tasks in
   let results = Array.make n None in
+  let failures : task_error option array = Array.make n None in
   let completed = ref 0 in
   let next = ref 0 in
-  let run_inline index =
-    (* Crash fallback and end-of-pool path: compute in the parent. *)
-    let t0 = Unix.gettimeofday () in
-    let value = f tasks.(index) in
-    results.(index) <- Some { value; wall_s = Unix.gettimeofday () -. t0 };
-    incr completed
-  in
-  let inherited = ref [] in
-  let workers =
-    Array.init (min jobs n) (fun _ ->
-        let w = spawn ~inherited:!inherited ~tasks ~f in
-        inherited := w.req_fd :: w.resp_fd :: !inherited;
-        w)
-  in
-  let cleanup ~kill = Array.iter (fun w -> reap w ~kill) workers in
-  let dispatch w =
-    if w.alive && w.task = None && !next < n then begin
-      let index = !next in
-      match
-        Marshal.to_channel w.req_oc (index : int) [];
-        flush w.req_oc
-      with
-      | () ->
-        incr next;
-        w.task <- Some index;
-        w.deadline <-
-          (match timeout_s with
-          | Some t -> Unix.gettimeofday () +. t
-          | None -> infinity)
-      | exception Sys_error _ ->
-        (* The worker died before we could feed it; it never received the
-           task, so just retire it. *)
-        reap w ~kill:false
+  let retries : (int * int) Queue.t = Queue.create () in
+  let worker_deaths = ref 0
+  and respawns = ref 0
+  and task_retries = ref 0
+  and inline_recoveries = ref 0
+  and timeouts = ref 0
+  and fork_failures = ref 0
+  and degraded = ref false in
+  let complete_ok index r =
+    if results.(index) = None && failures.(index) = None then begin
+      results.(index) <- Some r;
+      incr completed;
+      match on_result with Some g -> g index r | None -> ()
     end
   in
-  let on_crash w =
-    let pending = w.task in
-    w.task <- None;
-    reap w ~kill:false;
-    match pending with Some index -> run_inline index | None -> ()
+  let complete_err index message attempts =
+    if results.(index) = None && failures.(index) = None then begin
+      failures.(index) <- Some { index; message; attempts };
+      incr completed
+    end
   in
-  let on_response w =
+  let run_inline (index, attempt) =
+    (* Last-resort path: compute in the parent (also the drain path once
+       every worker is gone). Exceptions become structured failures. *)
+    let t0 = Unix.gettimeofday () in
+    match f tasks.(index) with
+    | value ->
+      complete_ok index { value; wall_s = Unix.gettimeofday () -. t0 }
+    | exception e ->
+      complete_err index (Printexc.to_string e) (attempt + 1)
+  in
+  let workers : worker option array = Array.make (min jobs n) None in
+  let respawn_budget = ref (max 4 (2 * Array.length workers)) in
+  let live_parent_fds () =
+    Array.fold_left
+      (fun acc w ->
+        match w with
+        | Some w when w.alive -> w.req_fd :: w.resp_fd :: acc
+        | Some _ | None -> acc)
+      [] workers
+  in
+  (* Fork with bounded retries and exponential backoff; [None] after the
+     budget means the pool runs narrower (and, once empty, sequentially). *)
+  let try_fork () =
+    let rec go attempt =
+      match spawn ~inherited:(live_parent_fds ()) ~tasks ~f with
+      | w -> Some w
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        incr fork_failures;
+        if attempt >= 2 then None
+        else begin
+          Unix.sleepf (backoff_delay attempt);
+          go (attempt + 1)
+        end
+    in
+    go 0
+  in
+  let respawn_slot slot =
+    if !respawn_budget > 0 then begin
+      decr respawn_budget;
+      match try_fork () with
+      | Some w ->
+        incr respawns;
+        workers.(slot) <- Some w
+      | None ->
+        workers.(slot) <- None;
+        degraded := true
+    end
+    else workers.(slot) <- None
+  in
+  (* A worker died (EOF on its pipe, or EPIPE at dispatch). Reap it,
+     requeue its in-flight task with backoff — bounded attempts, then the
+     parent computes it inline — and respawn the slot. *)
+  let on_death slot w =
+    incr worker_deaths;
+    ignore (reap w ~kill:false);
+    (match w.task with
+    | Some (index, attempt) ->
+      w.task <- None;
+      let attempt = attempt + 1 in
+      if attempt >= max_task_attempts then begin
+        incr inline_recoveries;
+        run_inline (index, attempt)
+      end
+      else begin
+        incr task_retries;
+        Unix.sleepf (backoff_delay (attempt - 1));
+        Queue.push (index, attempt) retries
+      end
+    | None -> ());
+    respawn_slot slot
+  in
+  let dispatch slot w =
+    if w.alive && w.task = None then begin
+      let job =
+        if not (Queue.is_empty retries) then Some (Queue.pop retries)
+        else if !next < n then begin
+          let index = !next in
+          incr next;
+          Some (index, 0)
+        end
+        else None
+      in
+      match job with
+      | None -> ()
+      | Some (index, attempt) -> (
+        match
+          Marshal.to_channel w.req_oc ((index, attempt) : int * int) [];
+          flush w.req_oc
+        with
+        | () ->
+          w.task <- Some (index, attempt);
+          w.deadline <-
+            (match timeout_s with
+            | Some t -> Unix.gettimeofday () +. t
+            | None -> infinity)
+        | exception Sys_error _ ->
+          (* The worker died before we could feed it; the task never ran,
+             so requeue it at the same attempt and supervise the death. *)
+          Queue.push (index, attempt) retries;
+          on_death slot w)
+    end
+  in
+  let on_response slot w =
     match (Marshal.from_channel w.resp_ic : _ response) with
-    | exception (End_of_file | Failure _) -> on_crash w
-    | index, res, wall ->
+    | exception (End_of_file | Failure _) -> on_death slot w
+    | index, res, wall -> (
+      let attempt = match w.task with Some (_, a) -> a | None -> 0 in
       w.task <- None;
       w.deadline <- infinity;
-      (match res with
-      | Ok value ->
-        results.(index) <- Some { value; wall_s = wall };
-        incr completed
+      match res with
+      | Ok value -> complete_ok index { value; wall_s = wall }
       | Error message ->
-        cleanup ~kill:true;
-        raise (Task_failed { index; message }))
+        (* A raising task is a structured failure, not a pool teardown:
+           the worker survives and keeps serving, the other cells finish,
+           and [map]/[map_results] report the failure at the end. *)
+        complete_err index message (attempt + 1))
+  in
+  (* A stalled task: kill its worker and retry on a fresh one (transient
+     stalls recover); once the attempt budget is spent, the task is
+     genuinely stuck — raise rather than hang the parent on an inline
+     run. *)
+  let on_timeout slot w =
+    incr timeouts;
+    let pending = w.task in
+    w.task <- None;
+    ignore (reap w ~kill:true);
+    (match pending with
+    | Some (index, attempt) ->
+      let attempt = attempt + 1 in
+      if attempt >= max_task_attempts then
+        raise
+          (Task_timeout
+             { index; timeout_s = Option.value timeout_s ~default:0. })
+      else begin
+        incr task_retries;
+        Unix.sleepf (backoff_delay (attempt - 1));
+        Queue.push (index, attempt) retries
+      end
+    | None -> ());
+    respawn_slot slot
+  in
+  let cleanup ~kill =
+    Array.iter
+      (function Some w -> ignore (reap w ~kill) | None -> ())
+      workers
+  in
+  let record_stats () =
+    stats_ref :=
+      {
+        worker_deaths = !worker_deaths;
+        respawns = !respawns;
+        task_retries = !task_retries;
+        inline_recoveries = !inline_recoveries;
+        timeouts = !timeouts;
+        fork_failures = !fork_failures;
+        degraded = !degraded;
+      }
   in
   let finally_cleanup body =
     match body () with
-    | () -> cleanup ~kill:false
+    | () ->
+      cleanup ~kill:false;
+      record_stats ()
     | exception e ->
       cleanup ~kill:true;
+      record_stats ();
       raise e
   in
   (* A dead worker turns the next dispatch into EPIPE; take the error, not
@@ -200,18 +428,31 @@ let run_pool ~jobs ~timeout_s ~f tasks =
       | None -> ())
     (fun () ->
       finally_cleanup (fun () ->
+          Array.iteri (fun i _ -> workers.(i) <- try_fork ()) workers;
           while !completed < n do
-            Array.iter dispatch workers;
+            Array.iteri
+              (fun slot w ->
+                match w with Some w -> dispatch slot w | None -> ())
+              workers;
             let in_flight =
               Array.to_list workers
-              |> List.filter (fun w -> w.alive && w.task <> None)
+              |> List.filter_map (function
+                   | Some w when w.alive && w.task <> None -> Some w
+                   | Some _ | None -> None)
             in
-            if in_flight = [] then
-              (* Every worker is gone: drain the rest sequentially. *)
-              while !completed < n do
-                run_inline !next;
-                incr next
+            if in_flight = [] then begin
+              (* Every worker is gone (or fork never succeeded): degrade
+                 to sequential execution in the parent. *)
+              if !completed < n then degraded := true;
+              while not (Queue.is_empty retries) do
+                run_inline (Queue.pop retries)
+              done;
+              while !completed < n && !next < n do
+                let index = !next in
+                incr next;
+                run_inline (index, 0)
               done
+            end
             else begin
               let now = Unix.gettimeofday () in
               let horizon =
@@ -223,40 +464,62 @@ let run_pool ~jobs ~timeout_s ~f tasks =
                 if horizon = infinity then -1. else Float.max 0. (horizon -. now)
               in
               let readable, _, _ =
-                Unix.select (List.map (fun w -> w.resp_fd) in_flight) [] []
+                select_eintr
+                  (List.map (fun w -> w.resp_fd) in_flight)
                   select_timeout
               in
               if readable = [] then begin
                 let now = Unix.gettimeofday () in
-                List.iter
-                  (fun w ->
-                    if w.deadline <= now then begin
-                      let index = Option.value w.task ~default:(-1) in
-                      reap w ~kill:true;
-                      cleanup ~kill:true;
-                      raise
-                        (Task_timeout
-                           {
-                             index;
-                             timeout_s = Option.value timeout_s ~default:0.;
-                           })
-                    end)
-                  in_flight
+                Array.iteri
+                  (fun slot w ->
+                    match w with
+                    | Some w
+                      when w.alive && w.task <> None && w.deadline <= now ->
+                      on_timeout slot w
+                    | Some _ | None -> ())
+                  workers
               end
               else
-                List.iter
-                  (fun w -> if List.mem w.resp_fd readable then on_response w)
-                  in_flight
+                Array.iteri
+                  (fun slot w ->
+                    match w with
+                    | Some w when w.alive && List.mem w.resp_fd readable ->
+                      on_response slot w
+                    | Some _ | None -> ())
+                  workers
             end
           done));
-  Array.map Option.get results
+  Array.init n (fun i ->
+      match (results.(i), failures.(i)) with
+      | Some r, _ -> Ok r
+      | None, Some e -> Error e
+      | None, None -> assert false)
 
-let map ?jobs ?timeout_s ~f tasks =
+(* --- public maps --------------------------------------------------------- *)
+
+let run ?jobs ?timeout_s ?on_result ~f tasks =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let arr = Array.of_list tasks in
-  if (not fork_available) || jobs <= 1 || Array.length arr <= 1 then
-    sequential ~f tasks
-  else Array.to_list (run_pool ~jobs ~timeout_s ~f arr)
+  if (not fork_available) || jobs <= 1 || Array.length arr <= 1 then begin
+    stats_ref := zero_stats;
+    sequential ?on_result ~f tasks
+  end
+  else Array.to_list (run_pool ~jobs ~timeout_s ?on_result ~f arr)
 
-let map_values ?jobs ?timeout_s ~f tasks =
-  List.map (fun r -> r.value) (map ?jobs ?timeout_s ~f tasks)
+let map_results ?jobs ?timeout_s ?on_result ~f tasks =
+  run ?jobs ?timeout_s ?on_result ~f tasks
+
+let map ?jobs ?timeout_s ?on_result ~f tasks =
+  let outcomes = run ?jobs ?timeout_s ?on_result ~f tasks in
+  (* Report the lowest-index failure, matching the sequential order a
+     plain [List.map] would have surfaced it in. *)
+  List.iter
+    (fun o ->
+      match o with
+      | Ok _ -> ()
+      | Error { index; message; _ } -> raise (Task_failed { index; message }))
+    outcomes;
+  List.map (function Ok r -> r | Error _ -> assert false) outcomes
+
+let map_values ?jobs ?timeout_s ?on_result ~f tasks =
+  List.map (fun r -> r.value) (map ?jobs ?timeout_s ?on_result ~f tasks)

@@ -1,4 +1,4 @@
-(** Process-level parallel map for the sweep layers.
+(** Supervised process-level parallel map for the sweep layers.
 
     The methodology's sweeps (heuristic class x goal point, bisection
     probes over resource parameters) are embarrassingly parallel but
@@ -9,18 +9,30 @@
     of completion order — callers observe exactly the sequential result
     list.
 
-    Failure semantics:
+    The pool is supervised — a long sweep survives partial failure:
 
-    - a task that raises in a worker surfaces as {!Task_failed} in the
-      parent (the worker itself survives and keeps serving tasks);
     - a worker that dies (segfault, [kill], [_exit]) is detected by EOF
-      on its result pipe; its in-flight task is recomputed in the parent
-      and the pool keeps going with the remaining workers;
-    - a task that exceeds [timeout_s] kills its worker and raises
-      {!Task_timeout};
-    - when [fork] is unavailable (non-Unix), [jobs <= 1], or there are
-      fewer than two tasks, [map] degrades to a plain sequential map
-      ([timeout_s] is then ignored — there is nothing to preempt).
+      on its result pipe and reaped via [waitpid]; a replacement worker
+      is forked and the in-flight task is re-dispatched with exponential
+      backoff. After {!max_task_attempts} worker attempts the task is
+      computed inline in the parent, so every task still yields a result;
+    - a task that raises in a worker is a {e structured} failure: the
+      worker survives, every other task still runs to completion, and the
+      failure is reported at the end — {!map} raises {!Task_failed} for
+      the lowest failing index, {!map_results} returns it in place;
+    - a task that exceeds [timeout_s] gets its worker killed and is
+      retried on a fresh worker (transient stalls recover); when the
+      attempt budget is spent, {!Task_timeout} is raised;
+    - when [fork] fails repeatedly (bounded retries with backoff), the
+      pool degrades gracefully: it runs narrower, and with no workers
+      left the remaining tasks execute sequentially in the parent;
+    - [Unix.select] and [waitpid] retry on [EINTR]; teardown polls with
+      [WNOHANG] before escalating to [SIGKILL] and swallows [ECHILD], so
+      no zombie workers survive the pool.
+
+    {!last_pool_stats} reports the supervision counters of the most
+    recent map on this process, so sweeps can surface how much recovery
+    actually happened.
 
     Results must be marshallable (no closures, no custom blocks beyond
     the stdlib's); everything the sweep layers return — floats, arrays,
@@ -36,6 +48,45 @@ exception Task_failed of { index : int; message : string }
 
 exception Task_timeout of { index : int; timeout_s : float }
 
+type task_error = {
+  index : int;
+  message : string;  (** printed exception from the last attempt *)
+  attempts : int;  (** attempts consumed when the task was given up *)
+}
+
+type pool_stats = {
+  worker_deaths : int;  (** workers that died while the pool was live *)
+  respawns : int;  (** replacement workers forked *)
+  task_retries : int;  (** in-flight tasks re-dispatched to a worker *)
+  inline_recoveries : int;  (** tasks computed in the parent as last resort *)
+  timeouts : int;  (** deadline expiries (the task may have recovered) *)
+  fork_failures : int;  (** failed [fork]/[pipe] attempts *)
+  degraded : bool;  (** the pool fell back to sequential execution *)
+}
+
+val zero_stats : pool_stats
+
+val last_pool_stats : unit -> pool_stats
+(** Counters of the most recent {!map}/{!map_results} call in this
+    process (all-zero after a sequential-path run). *)
+
+val max_task_attempts : int
+(** Worker attempts per task before the parent computes it inline (or,
+    for timeouts, raises). *)
+
+val backoff_delay : ?base_s:float -> ?cap_s:float -> int -> float
+(** [backoff_delay attempt] is the supervisor's sleep before retry number
+    [attempt] (0-based): [base_s * 2^attempt], capped at [cap_s].
+    Non-negative, monotone in [attempt], and never above [cap_s].
+    Defaults: [base_s = 0.001], [cap_s = 0.25]. *)
+
+val in_worker : unit -> bool
+(** True while executing a task body inside a pool worker process. *)
+
+val task_attempt : unit -> int
+(** The current task's 0-based attempt number inside a worker (0 in the
+    parent). Fault injectors use it to fail only first attempts. *)
+
 val available_cores : unit -> int
 (** Processor count from [/proc/cpuinfo] (fallback: [getconf
     _NPROCESSORS_ONLN]; 1 when neither is readable). *)
@@ -47,11 +98,36 @@ val fork_available : bool
 (** Whether the process-pool path can run at all (Unix only). *)
 
 val map :
-  ?jobs:int -> ?timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b result list
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?on_result:(int -> 'b result -> unit) ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b result list
 (** [map ~jobs ~f tasks] is [List.map f tasks] with per-task wall-clock
     timing, computed by up to [jobs] worker processes. [jobs] defaults to
-    {!default_jobs}[ ()]. Result order always matches task order. *)
+    {!default_jobs}[ ()]. Result order always matches task order.
+    [on_result] is invoked in the {e parent}, in completion order, as
+    each task finishes (checkpoint journals hang off this). If any task
+    failed, {!Task_failed} is raised for the lowest failing index after
+    the whole pool has drained. *)
+
+val map_results :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?on_result:(int -> 'b result -> unit) ->
+  f:('a -> 'b) ->
+  'a list ->
+  ('b result, task_error) Stdlib.result list
+(** Like {!map} but task failures are returned in place instead of
+    raised, so one poisoned cell cannot void a sweep's other results.
+    {!Task_timeout} still raises. *)
 
 val map_values :
-  ?jobs:int -> ?timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b list
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?on_result:(int -> 'b result -> unit) ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b list
 (** {!map} without the timing wrapper. *)

@@ -24,77 +24,133 @@ let save t ~path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string t))
 
-let fail_line lineno msg = failwith (Printf.sprintf "trace line %d: %s" lineno msg)
+(* --- parsing ------------------------------------------------------------- *)
 
-let parse_header line =
-  let kv key =
-    let marker = key ^ "=" in
-    match String.index_opt line '=' with
-    | None -> fail_line 1 "missing header fields"
-    | Some _ -> (
-      (* Find "key=" and read until the next space or end. *)
-      let rec find i =
-        if i + String.length marker > String.length line then
-          fail_line 1 ("missing header field " ^ key)
-        else if String.sub line i (String.length marker) = marker then
-          i + String.length marker
-        else find (i + 1)
-      in
-      let start = find 0 in
-      let stop =
-        match String.index_from_opt line start ' ' with
-        | Some j -> j
-        | None -> String.length line
-      in
-      String.sub line start (stop - start))
+type error = { file : string; line : int; msg : string }
+
+let pp_error ppf e =
+  if e.line = 0 then Format.fprintf ppf "%s: %s" e.file e.msg
+  else Format.fprintf ppf "%s:%d: %s" e.file e.line e.msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Internal parse abort: line 0 means the failure is not tied to a
+   specific line (wrong magic, empty file). *)
+exception Err of int * string
+
+let err line msg = raise (Err (line, msg))
+
+let header_field line key =
+  let marker = key ^ "=" in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length line then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
   in
-  ( int_of_string (kv "nodes"),
-    int_of_string (kv "objects"),
-    float_of_string (kv "duration_s") )
+  match find 0 with
+  | None -> err 1 ("missing header field " ^ key)
+  | Some start ->
+    let stop =
+      match String.index_from_opt line start ' ' with
+      | Some j -> j
+      | None -> String.length line
+    in
+    String.sub line start (stop - start)
 
-let of_string s =
+let parse_header header =
+  let int_field key =
+    match int_of_string_opt (header_field header key) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> err 1 ("bad header field " ^ key)
+  in
+  let nodes = int_field "nodes" in
+  let objects = int_field "objects" in
+  let duration_s =
+    match float_of_string_opt (header_field header "duration_s") with
+    | Some d when Float.is_finite d && d >= 0. -> d
+    | Some _ | None -> err 1 "bad header field duration_s"
+  in
+  (nodes, objects, duration_s)
+
+let parse_exn s =
   let lines = String.split_on_char '\n' s in
   match lines with
   | header :: _column_names :: rest ->
     if
       String.length header < String.length header_prefix
       || String.sub header 0 (String.length header_prefix) <> header_prefix
-    then failwith "trace: not a replica-select trace file";
-    let nodes, objects, duration_s =
-      try parse_header header
-      with Failure _ | Invalid_argument _ ->
-        failwith "trace: malformed header"
-    in
+    then err 0 "not a replica-select trace file";
+    let nodes, objects, duration_s = parse_header header in
     let events = ref [] in
     List.iteri
       (fun idx line ->
         let lineno = idx + 3 in
         if String.trim line <> "" then
           match String.split_on_char ',' line with
-          | [ time; node; obj; kind ] -> (
-            try
-              let kind =
-                match String.trim kind with
-                | "r" -> Trace.Read
-                | "w" -> Trace.Write
-                | other -> fail_line lineno ("unknown kind " ^ other)
-              in
-              events :=
-                ( float_of_string (String.trim time),
-                  int_of_string (String.trim node),
-                  int_of_string (String.trim obj),
-                  kind )
-                :: !events
-            with Failure msg -> fail_line lineno msg)
-          | _ -> fail_line lineno "expected 4 comma-separated fields")
+          | [ time; node; obj; kind ] ->
+            let kind =
+              match String.trim kind with
+              | "r" -> Trace.Read
+              | "w" -> Trace.Write
+              | other -> err lineno ("unknown kind " ^ other)
+            in
+            let time =
+              match float_of_string_opt (String.trim time) with
+              | Some t -> t
+              | None -> err lineno ("bad time " ^ String.trim time)
+            in
+            (* Reject poison at the boundary: a NaN timestamp would
+               corrupt interval bucketing silently. *)
+            if not (Float.is_finite time) then
+              err lineno "non-finite time";
+            if time < 0. then err lineno "negative time";
+            let int_field label v =
+              match int_of_string_opt (String.trim v) with
+              | Some n -> n
+              | None -> err lineno ("bad " ^ label ^ " " ^ String.trim v)
+            in
+            let node = int_field "node" node in
+            if node < 0 || node >= nodes then
+              err lineno (Printf.sprintf "node %d out of range" node);
+            let obj = int_field "object" obj in
+            if obj < 0 || obj >= objects then
+              err lineno (Printf.sprintf "object %d out of range" obj);
+            events := (time, node, obj, kind) :: !events
+          | _ -> err lineno "expected 4 comma-separated fields")
       rest;
-    Trace.of_events ~nodes ~objects ~duration_s (List.rev !events)
-  | _ -> failwith "trace: empty file"
+    (try Trace.of_events ~nodes ~objects ~duration_s (List.rev !events) with
+    | Invalid_argument msg -> err 0 msg
+    | Failure msg -> err 0 msg)
+  | _ -> err 0 "empty file"
 
-let load ~path =
-  let ic = open_in path in
+let parse ?(file = "<trace>") s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Err (line, msg) -> Error { file; line; msg }
+
+(* Legacy exception-raising entry point, kept for callers (and tests)
+   that treat any malformed file as a fatal [Failure]. *)
+let of_string s =
+  match parse_exn s with
+  | v -> v
+  | exception Err (0, msg) -> failwith ("trace: " ^ msg)
+  | exception Err (1, msg) ->
+    failwith ("trace: malformed header (" ^ msg ^ ")")
+  | exception Err (line, msg) ->
+    failwith (Printf.sprintf "trace line %d: %s" line msg)
+
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+      really_input_string ic n)
+
+let load ~path = of_string (read_file path)
+
+let load_result ~path =
+  match read_file path with
+  | s -> parse ~file:path s
+  | exception Sys_error msg -> Error { file = path; line = 0; msg }

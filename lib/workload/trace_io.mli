@@ -17,8 +17,32 @@
 val save : Trace.t -> path:string -> unit
 (** Writes the trace; overwrites an existing file. *)
 
+type error = {
+  file : string;  (** path, or ["<trace>"] when parsed from a string *)
+  line : int;  (** 1-based line of the offending record; 0 = whole file *)
+  msg : string;
+}
+(** Structured parse failure: a truncated, corrupt or poisoned file is a
+    reportable condition, not a crash. Timestamps are validated at the
+    boundary (finite, non-negative) and node/object ids checked against
+    the header dimensions, with the offending line reported. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse : ?file:string -> string -> (Trace.t, error) result
+(** Never raises on malformed input; [file] only labels the error. *)
+
+val load_result : path:string -> (Trace.t, error) result
+(** {!parse} on the file's contents; an unreadable file (missing,
+    permission) is reported as an [error] with [line = 0]. *)
+
 val load : path:string -> Trace.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises [Failure] with a line-numbered message on malformed input
+    (legacy wrapper over {!load_result}). *)
 
 val to_string : Trace.t -> string
+
 val of_string : string -> Trace.t
+(** Exception-raising twin of {!parse}, kept for callers that treat any
+    malformed input as fatal. *)

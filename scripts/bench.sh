@@ -3,7 +3,10 @@
 # reads the *previous* BENCH_sweep.json as its end-to-end baseline) and
 # then the sweep benchmark (which overwrites it), in that order, and
 # append a timestamped summary row to BENCH_LOG.tsv so regressions are
-# visible across revisions.
+# visible across revisions. The sweep benchmark also re-runs the sweep
+# under an injected-fault spec (worker crashes + poisoned PDHG cells);
+# the row records that leg's overhead and fallback-path counts so the
+# cost of the recovery machinery is tracked alongside raw speed.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -15,14 +18,27 @@ dune build bench/main.exe
 json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
   sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
 }
+# Same, but scoped to the "faulted" object — several keys (parallel_s,
+# worker_deaths, the solve-path counts) appear in both the clean and the
+# faulted sections, and json_num would take the clean one first.
+json_num_faulted() { # json_num_faulted FILE KEY
+  sed -n '/"faulted"/,$p' "$1" \
+    | sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\).*/\1/p" | head -n 1
+}
 
 log=BENCH_LOG.tsv
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns'
+# Rotate a log whose header predates the robustness columns rather than
+# appending rows that no longer line up with it.
+if [ -f "$log" ] && [ "$(head -n 1 "$log")" != "$(printf "$header\n" | head -n 1)" ]; then
+  mv "$log" "$log.old"
+  echo "rotated stale $log to $log.old"
+fi
 if [ ! -f "$log" ]; then
-  printf 'timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\n' \
-    > "$log"
+  printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -30,6 +46,12 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(json_num BENCH_lp.json sequential_s)" \
   "$(json_num BENCH_lp.json end_to_end_speedup)" \
   "$(json_num BENCH_sweep.json parallel_s)" \
+  "$(json_num_faulted BENCH_sweep.json parallel_s)" \
+  "$(json_num_faulted BENCH_sweep.json overhead_ratio)" \
+  "$(json_num_faulted BENCH_sweep.json pdhg-retry)" \
+  "$(json_num_faulted BENCH_sweep.json simplex-fallback)" \
+  "$(json_num_faulted BENCH_sweep.json worker_deaths)" \
+  "$(json_num_faulted BENCH_sweep.json respawns)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"

@@ -1,10 +1,17 @@
 #!/usr/bin/env sh
 # Full local gate: build everything (including the benchmark executable,
-# so bench-only breakage fails here and not at measurement time), then
-# run the whole test suite (unit, property, differential, and golden
-# round-trip tests).
+# so bench-only breakage fails here and not at measurement time), run the
+# whole test suite (unit, property, differential, fault-injection, and
+# golden round-trip tests), then re-run the fault-injection suite at both
+# pool widths — recovered sweeps must be byte-identical to unfaulted
+# ones whether the pool is sequential or four workers wide.
 set -e
 cd "$(dirname "$0")/.."
 dune build
 dune build bench/main.exe
 dune runtest
+
+echo "== faults stage: injection suite at --jobs 1 =="
+FAULTS_JOBS=1 ./_build/default/test/test_faults.exe
+echo "== faults stage: injection suite at --jobs 4 =="
+FAULTS_JOBS=4 ./_build/default/test/test_faults.exe

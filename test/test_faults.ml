@@ -1,0 +1,360 @@
+(* Fault-injection suite: drives the worker supervisor, the solver
+   fallback chain, and the checkpoint journal through deterministic
+   injected failures (Util.Faults) and checks that every recovered sweep
+   is byte-identical to an unfaulted golden run.
+
+   By default each scenario runs at jobs=1 and jobs=4; setting
+   FAULTS_JOBS=<n> pins the pool width (scripts/check.sh uses this to
+   gate both widths explicitly). *)
+
+module P = Bounds.Pipeline
+module F = Util.Faults
+
+let jobs_under_test =
+  match Sys.getenv_opt "FAULTS_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> [ n ]
+    | Some _ | None -> [ 1; 4 ])
+  | None -> [ 1; 4 ]
+
+(* --- fixture (same tiny line system as test_bounds) ---------------------- *)
+
+let cell n i c : Workload.Demand.cell = { node = n; interval = i; count = c }
+
+let line_system () =
+  let g =
+    Topology.Graph.of_edges 4 [ (0, 1, 100.); (1, 2, 100.); (2, 3, 100.) ]
+  in
+  Topology.System.make ~origin:0 g
+
+let tail_demand () =
+  Workload.Demand.create ~nodes:4 ~intervals:4 ~interval_s:3600.
+    ~reads:[| [| cell 3 0 10.; cell 3 1 10.; cell 3 2 10.; cell 3 3 10. |] |]
+    ()
+
+let qos_spec () =
+  Mcperf.Spec.make ~system:(line_system ()) ~demand:(tail_demand ())
+    ~goal:(Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 1.0 })
+    ()
+
+let std_fractions = [ 0.5; 0.75; 1.0 ]
+
+let classes =
+  [
+    ("general", Mcperf.Classes.general);
+    ("caching", Mcperf.Classes.caching);
+    ("storage-constrained", Mcperf.Classes.storage_constrained);
+  ]
+
+let run_sweep ?jobs ?solver ?timeout_s ?journal ?progress
+    ?(fractions = std_fractions) () =
+  P.sweep_classes ?jobs ?solver ?timeout_s ?journal ?progress (qos_spec ())
+    ~fractions classes
+
+(* Everything a sweep reports except wall-clock and the solve-path tags:
+   recovery may change *how* a cell was solved, never *what* it found.
+   [No_sharing] keeps the digest structural — results that crossed a
+   worker pipe or the journal lose/gain internal block sharing, which
+   would otherwise change the bytes of equal values. *)
+let signature (sw : P.sweep) =
+  let proj =
+    List.map
+      (fun (name, series) ->
+        ( name,
+          List.map
+            (fun (x, (t : P.t)) ->
+              ( x,
+                t.P.feasible,
+                t.P.lower_bound,
+                t.P.exact,
+                t.P.lp_iterations,
+                t.P.gap,
+                (match t.P.rounded with
+                | Some r ->
+                  Some r.Rounding.Round.evaluation.Mcperf.Costing.total
+                | None -> None),
+                t.P.max_feasible_qos ))
+            series ))
+      sw.P.per_class
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string proj [ Marshal.No_sharing ]))
+
+let golden = lazy (signature (run_sweep ~jobs:1 ()))
+
+let fo_solver =
+  P.First_order
+    { P.default_pdhg_options with Lp.Pdhg.max_iters = 4_000; rel_tol = 1e-6 }
+
+let fo_golden = lazy (run_sweep ~jobs:1 ~solver:fo_solver ())
+
+let with_spec text f =
+  (match F.parse text with
+  | Ok s -> F.install s
+  | Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:(fun () -> F.install F.none) f
+
+(* --- spec parsing and the deterministic coin ----------------------------- *)
+
+let test_parse_roundtrip () =
+  (match F.parse "" with
+  | Ok s -> Alcotest.(check bool) "empty is none" true (F.is_none s)
+  | Error msg -> Alcotest.fail msg);
+  let text = "seed=42,crash=0.25,crash_every=3,stall=0.1,stall_s=0.2,diverge=0.5" in
+  (match F.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec -> (
+    Alcotest.(check int) "seed" 42 spec.F.seed;
+    Alcotest.(check (float 1e-12)) "crash" 0.25 spec.F.crash_prob;
+    Alcotest.(check int) "crash_every" 3 spec.F.crash_every;
+    Alcotest.(check (float 1e-12)) "stall_s" 0.2 spec.F.stall_s;
+    match F.parse (F.to_string spec) with
+    | Ok spec2 -> Alcotest.(check bool) "round trip" true (spec = spec2)
+    | Error msg -> Alcotest.fail msg));
+  (match F.parse "crash=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "probability above 1 must be rejected");
+  (match F.parse "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key must be rejected");
+  match F.parse "crash" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing '=' must be rejected"
+
+let test_of_env () =
+  Unix.putenv F.env_var "seed=2,diverge=0.5";
+  (match F.of_env () with
+  | Ok s -> Alcotest.(check (float 1e-12)) "diverge" 0.5 s.F.diverge_prob
+  | Error msg -> Alcotest.fail msg);
+  Unix.putenv F.env_var "";
+  match F.of_env () with
+  | Ok s -> Alcotest.(check bool) "empty env is none" true (F.is_none s)
+  | Error msg -> Alcotest.fail msg
+
+let test_decide_deterministic () =
+  let spec =
+    match F.parse "seed=11,crash=0.3" with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let keys = List.init 200 (fun i -> Printf.sprintf "cell-%d" i) in
+  let flip s k = F.decide s ~kind:"crash" ~key:k ~prob:s.F.crash_prob in
+  let picks = List.map (flip spec) keys in
+  Alcotest.(check (list bool)) "same inputs, same answer" picks
+    (List.map (flip spec) keys);
+  let hits = List.length (List.filter Fun.id picks) in
+  Alcotest.(check bool) "hit rate near the probability" true
+    (hits > 20 && hits < 120);
+  let picks2 = List.map (flip { spec with F.seed = 12 }) keys in
+  Alcotest.(check bool) "seed changes the fault set" true (picks <> picks2)
+
+(* --- worker supervision -------------------------------------------------- *)
+
+let test_crash_recovery jobs () =
+  let clean = Lazy.force golden in
+  with_spec "seed=3,crash=1" (fun () ->
+      let sw = run_sweep ~jobs () in
+      Alcotest.(check string) "identical to unfaulted run" clean (signature sw);
+      if jobs > 1 && Util.Parallel.fork_available then
+        Alcotest.(check bool) "supervisor saw worker deaths" true
+          (sw.P.pool.Util.Parallel.worker_deaths >= 1))
+
+let test_crash_every jobs () =
+  let clean = Lazy.force golden in
+  with_spec "seed=9,crash_every=2" (fun () ->
+      let sw = run_sweep ~jobs () in
+      Alcotest.(check string) "identical to unfaulted run" clean (signature sw))
+
+let test_stall_timeout jobs () =
+  let clean = Lazy.force golden in
+  with_spec "seed=4,stall=1,stall_s=1" (fun () ->
+      let sw = run_sweep ~jobs ~timeout_s:0.35 () in
+      Alcotest.(check string) "identical to unfaulted run" clean (signature sw);
+      if jobs > 1 && Util.Parallel.fork_available then
+        Alcotest.(check bool) "timeout supervision fired" true
+          (sw.P.pool.Util.Parallel.timeouts >= 1))
+
+let test_pool_crash_bookkeeping () =
+  if Util.Parallel.fork_available then
+    with_spec "seed=1,crash=1" (fun () ->
+        let tasks = List.init 12 Fun.id in
+        let values =
+          Util.Parallel.map_values ~jobs:3
+            ~f:(fun i ->
+              F.crash_point ~key:(string_of_int i);
+              i * 7)
+            tasks
+        in
+        Alcotest.(check (list int)) "all values recovered"
+          (List.map (fun i -> i * 7) tasks)
+          values;
+        let st = Util.Parallel.last_pool_stats () in
+        Alcotest.(check bool) "deaths recorded" true
+          (st.Util.Parallel.worker_deaths >= 1);
+        Alcotest.(check bool) "deaths were recovered" true
+          (st.Util.Parallel.task_retries + st.Util.Parallel.inline_recoveries
+          >= 1))
+
+let test_pool_stats_clean () =
+  let _ =
+    Util.Parallel.map_values ~jobs:2 ~f:(fun x -> x + 1) [ 1; 2; 3; 4 ]
+  in
+  let st = Util.Parallel.last_pool_stats () in
+  Alcotest.(check int) "no deaths" 0 st.Util.Parallel.worker_deaths;
+  Alcotest.(check int) "no timeouts" 0 st.Util.Parallel.timeouts;
+  Alcotest.(check bool) "not degraded" false st.Util.Parallel.degraded
+
+(* --- solver fallback chain ----------------------------------------------- *)
+
+let test_diverge_fallback jobs () =
+  let clean_sw = Lazy.force fo_golden in
+  Alcotest.(check int) "clean run needs no retries" 0
+    (List.assoc P.Path_pdhg_retry (P.path_counts clean_sw));
+  Alcotest.(check int) "clean run needs no rescues" 0
+    (List.assoc P.Path_simplex_fallback (P.path_counts clean_sw));
+  with_spec "seed=5,diverge=1" (fun () ->
+      let sw = run_sweep ~jobs ~solver:fo_solver () in
+      Alcotest.(check string) "identical to unfaulted run"
+        (signature clean_sw) (signature sw);
+      Alcotest.(check bool) "retry path exercised" true
+        (List.assoc P.Path_pdhg_retry (P.path_counts sw) >= 1))
+
+(* --- checkpoint journal -------------------------------------------------- *)
+
+exception Interrupted
+
+let fresh_journal () =
+  let path = Filename.temp_file "sweep" ".journal" in
+  Sys.remove path;
+  path
+
+let interrupt_after n ?fractions ~journal () =
+  match
+    run_sweep ~jobs:1 ~journal ?fractions
+      ~progress:(fun ~completed ~total:_ ->
+        if completed >= n then raise Interrupted)
+      ()
+  with
+  | _ -> Alcotest.fail "sweep should have been interrupted"
+  | exception Interrupted -> ()
+
+let check_journal_gone journal =
+  Alcotest.(check bool) "journal deleted on completion" false
+    (Sys.file_exists journal);
+  Alcotest.(check bool) "journal tmp deleted" false
+    (Sys.file_exists (journal ^ ".tmp"))
+
+let test_journal_resume () =
+  let clean = Lazy.force golden in
+  let journal = fresh_journal () in
+  interrupt_after 4 ~journal ();
+  Alcotest.(check bool) "journal written" true (Sys.file_exists journal);
+  let sw = run_sweep ~jobs:1 ~journal () in
+  Alcotest.(check int) "cells restored" 4 sw.P.resumed;
+  Alcotest.(check string) "identical to uninterrupted run" clean (signature sw);
+  check_journal_gone journal
+
+let test_journal_corrupt_tail () =
+  let clean = Lazy.force golden in
+  let journal = fresh_journal () in
+  interrupt_after 4 ~journal ();
+  (* A torn write: chop the last record mid-line. The loader must keep the
+     intact prefix and recompute only the lost cell. *)
+  let ic = open_in_bin journal in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin journal in
+  output_string oc (String.sub contents 0 (String.length contents - 17));
+  close_out oc;
+  let sw = run_sweep ~jobs:1 ~journal () in
+  Alcotest.(check int) "intact prefix restored" 3 sw.P.resumed;
+  Alcotest.(check string) "identical to uninterrupted run" clean (signature sw);
+  check_journal_gone journal
+
+let test_journal_garbage_tail () =
+  let clean = Lazy.force golden in
+  let journal = fresh_journal () in
+  interrupt_after 4 ~journal ();
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 journal in
+  output_string oc "deadbeef thisisnothex\n";
+  close_out oc;
+  let sw = run_sweep ~jobs:1 ~journal () in
+  Alcotest.(check int) "records before the garbage survive" 4 sw.P.resumed;
+  Alcotest.(check string) "identical to uninterrupted run" clean (signature sw);
+  check_journal_gone journal
+
+let test_journal_stale_fingerprint () =
+  let clean = Lazy.force golden in
+  let journal = fresh_journal () in
+  (* Journal a *different* sweep (other fractions), then resume the
+     standard one against it: the fingerprint mismatch must discard the
+     stale cells rather than serving them. *)
+  interrupt_after 2 ~fractions:[ 0.6; 0.8 ] ~journal ();
+  let sw = run_sweep ~jobs:1 ~journal () in
+  Alcotest.(check int) "stale journal ignored" 0 sw.P.resumed;
+  Alcotest.(check string) "identical to uninterrupted run" clean (signature sw);
+  check_journal_gone journal
+
+(* --- retry/backoff bookkeeping ------------------------------------------- *)
+
+let prop_backoff_bounded_monotone =
+  QCheck2.Test.make ~count:300
+    ~name:"backoff delay is nonnegative, capped, and monotone in attempt"
+    QCheck2.Gen.(
+      tup3 (int_range 0 80) (float_range 1e-6 0.1) (float_range 1e-6 0.5))
+    (fun (attempt, base_s, cap_s) ->
+      let d = Util.Parallel.backoff_delay ~base_s ~cap_s attempt in
+      let d' = Util.Parallel.backoff_delay ~base_s ~cap_s (attempt + 1) in
+      d >= 0. && d <= cap_s && d' >= d)
+
+let test_backoff_defaults () =
+  Alcotest.(check (float 1e-12)) "first delay is the base" 0.001
+    (Util.Parallel.backoff_delay 0);
+  Alcotest.(check (float 1e-12)) "doubles" 0.002
+    (Util.Parallel.backoff_delay 1);
+  Alcotest.(check (float 1e-12)) "caps" 0.25
+    (Util.Parallel.backoff_delay 30)
+
+let () =
+  let per_jobs name f =
+    List.map
+      (fun j ->
+        Alcotest.test_case (Printf.sprintf "%s (jobs=%d)" name j) `Quick (f j))
+      jobs_under_test
+  in
+  Alcotest.run "faults"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse round trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "env variable" `Quick test_of_env;
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_decide_deterministic;
+        ] );
+      ( "supervision",
+        per_jobs "crash recovery" test_crash_recovery
+        @ per_jobs "crash every 2nd cell" test_crash_every
+        @ per_jobs "stall hits timeout" test_stall_timeout
+        @ [
+            Alcotest.test_case "pool bookkeeping under crashes" `Quick
+              test_pool_crash_bookkeeping;
+            Alcotest.test_case "clean run leaves zero stats" `Quick
+              test_pool_stats_clean;
+          ] );
+      ("fallback", per_jobs "forced divergence recovers" test_diverge_fallback);
+      ( "journal",
+        [
+          Alcotest.test_case "interrupt and resume" `Quick test_journal_resume;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_journal_corrupt_tail;
+          Alcotest.test_case "garbage tail tolerated" `Quick
+            test_journal_garbage_tail;
+          Alcotest.test_case "stale fingerprint ignored" `Quick
+            test_journal_stale_fingerprint;
+        ] );
+      ( "backoff",
+        [
+          QCheck_alcotest.to_alcotest prop_backoff_bounded_monotone;
+          Alcotest.test_case "default schedule" `Quick test_backoff_defaults;
+        ] );
+    ]

@@ -247,6 +247,65 @@ let test_topo_io_rejects_garbage () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "should reject"
 
+let topo_header = "# replica-select topology v1 nodes=3\nu,v,latency_ms\n"
+
+let test_topo_io_structured_errors () =
+  (match Topology.Topo_io.parse "nope" with
+  | Error e ->
+    Alcotest.(check int) "whole-file error" 0 e.Topology.Topo_io.line
+  | Ok _ -> Alcotest.fail "garbage must be rejected");
+  (match Topology.Topo_io.parse (topo_header ^ "0,1,100\n1,2,nan\n") with
+  | Error e ->
+    Alcotest.(check int) "NaN latency line" 4 e.Topology.Topo_io.line;
+    Alcotest.(check string) "NaN latency message" "non-finite latency"
+      e.Topology.Topo_io.msg;
+    Alcotest.(check string) "rendered location" "<topology>:4: non-finite latency"
+      (Topology.Topo_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "NaN latency must be rejected");
+  (match Topology.Topo_io.parse (topo_header ^ "0,1,inf\n") with
+  | Error e -> Alcotest.(check int) "inf latency line" 3 e.Topology.Topo_io.line
+  | Ok _ -> Alcotest.fail "infinite latency must be rejected");
+  (match Topology.Topo_io.parse (topo_header ^ "0,1,-5\n") with
+  | Error e ->
+    Alcotest.(check string) "negative latency" "negative latency"
+      e.Topology.Topo_io.msg
+  | Ok _ -> Alcotest.fail "negative latency must be rejected");
+  (match Topology.Topo_io.parse (topo_header ^ "0,1\n") with
+  | Error e ->
+    Alcotest.(check string) "truncated record"
+      "expected 3 comma-separated fields" e.Topology.Topo_io.msg
+  | Ok _ -> Alcotest.fail "truncated record must be rejected");
+  (* The legacy wrapper carries the same line number in its message. *)
+  match Topology.Topo_io.of_string (topo_header ^ "0,1,100\n1,2,nan\n") with
+  | exception Failure msg ->
+    Alcotest.(check string) "legacy failure"
+      "topology line 4: non-finite latency" msg
+  | _ -> Alcotest.fail "legacy of_string must also reject"
+
+let test_topo_io_load_result_missing_file () =
+  (match Topology.Topo_io.load_result ~path:"/nonexistent/topo.csv" with
+  | Error e ->
+    Alcotest.(check int) "whole-file error" 0 e.Topology.Topo_io.line;
+    Alcotest.(check string) "file carried" "/nonexistent/topo.csv"
+      e.Topology.Topo_io.file
+  | Ok _ -> Alcotest.fail "missing file must be an error");
+  match Topology.Topo_io.load_system_result ~path:"/nonexistent/topo.csv" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+
+let test_topo_io_load_system_result_disconnected () =
+  (* A parseable file describing a disconnected graph: the System.make
+     validation failure must surface as a structured error, not a raise. *)
+  let path = Filename.temp_file "topo" ".csv" in
+  let oc = open_out path in
+  output_string oc "# replica-select topology v1 nodes=3\nu,v,latency_ms\n0,1,100\n";
+  close_out oc;
+  let r = Topology.Topo_io.load_system_result ~path in
+  Sys.remove path;
+  match r with
+  | Error e -> Alcotest.(check int) "whole-file error" 0 e.Topology.Topo_io.line
+  | Ok _ -> Alcotest.fail "disconnected graph must be an error"
+
 let () =
   Alcotest.run "topology"
     [
@@ -281,6 +340,12 @@ let () =
           Alcotest.test_case "load system" `Quick test_topo_io_load_system;
           Alcotest.test_case "rejects garbage" `Quick
             test_topo_io_rejects_garbage;
+          Alcotest.test_case "structured errors" `Quick
+            test_topo_io_structured_errors;
+          Alcotest.test_case "missing file" `Quick
+            test_topo_io_load_result_missing_file;
+          Alcotest.test_case "disconnected system" `Quick
+            test_topo_io_load_system_result_disconnected;
         ] );
       ( "system",
         [

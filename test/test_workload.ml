@@ -275,6 +275,59 @@ let test_trace_io_rejects_garbage () =
       (String.length msg > 0)
   | _ -> Alcotest.fail "should reject unknown kind"
 
+let trace_header =
+  "# replica-select trace v1 nodes=2 objects=2 duration_s=10\n\
+   time_s,node,object,kind\n"
+
+let test_trace_io_structured_errors () =
+  (match Workload.Trace_io.parse "garbage" with
+  | Error e ->
+    Alcotest.(check int) "whole-file error" 0 e.Workload.Trace_io.line
+  | Ok _ -> Alcotest.fail "garbage must be rejected");
+  (match
+     Workload.Trace_io.parse
+       "# replica-select trace v1 nodes=2 objects=2\ntime_s,node,object,kind\n"
+   with
+  | Error e ->
+    Alcotest.(check int) "header error line" 1 e.Workload.Trace_io.line;
+    Alcotest.(check string) "missing field named"
+      "missing header field duration_s" e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "missing duration must be rejected");
+  (match Workload.Trace_io.parse (trace_header ^ "nan,0,0,r\n") with
+  | Error e ->
+    Alcotest.(check int) "NaN time line" 3 e.Workload.Trace_io.line;
+    Alcotest.(check string) "NaN time message" "non-finite time"
+      e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "NaN timestamp must be rejected");
+  (match Workload.Trace_io.parse (trace_header ^ "-1,0,0,r\n") with
+  | Error e ->
+    Alcotest.(check string) "negative time" "negative time"
+      e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "negative timestamp must be rejected");
+  (match Workload.Trace_io.parse (trace_header ^ "1.0,5,0,r\n") with
+  | Error e ->
+    Alcotest.(check string) "node range" "node 5 out of range"
+      e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "out-of-range node must be rejected");
+  (match Workload.Trace_io.parse (trace_header ^ "1.0,0,7,w\n") with
+  | Error e ->
+    Alcotest.(check string) "object range" "object 7 out of range"
+      e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "out-of-range object must be rejected");
+  match Workload.Trace_io.parse (trace_header ^ "1.0,0,0\n") with
+  | Error e ->
+    Alcotest.(check string) "truncated record"
+      "expected 4 comma-separated fields" e.Workload.Trace_io.msg
+  | Ok _ -> Alcotest.fail "truncated record must be rejected"
+
+let test_trace_io_load_result_missing_file () =
+  match Workload.Trace_io.load_result ~path:"/nonexistent/trace.csv" with
+  | Error e ->
+    Alcotest.(check int) "whole-file error" 0 e.Workload.Trace_io.line;
+    Alcotest.(check string) "file carried" "/nonexistent/trace.csv"
+      e.Workload.Trace_io.file
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+
 
 (* --- profiling ------------------------------------------------------------ *)
 
@@ -483,6 +536,10 @@ let () =
             test_trace_io_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_trace_io_rejects_garbage;
+          Alcotest.test_case "structured errors" `Quick
+            test_trace_io_structured_errors;
+          Alcotest.test_case "missing file" `Quick
+            test_trace_io_load_result_missing_file;
         ] );
       ( "aggregate",
         [
