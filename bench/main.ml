@@ -171,15 +171,15 @@ let sweep_classes_fixture =
     ("Decentral local routing", Mcperf.Classes.decentralized_local_routing);
   ]
 
-let run_sweep ~jobs =
+let run_sweep ?(deadline_s = infinity) ~jobs () =
   let cs = Lazy.force web in
   let points = [ 0.95; 0.99; 0.999; 0.9999; 0.99999 ] in
   let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
   let sim_spec q = CS.qos_spec cs ~fraction:q ~for_bounds:false () in
   let t0 = Unix.gettimeofday () in
   let bounds =
-    Bounds.Pipeline.sweep_classes ~jobs bound_spec ~fractions:points
-      sweep_classes_fixture
+    Bounds.Pipeline.sweep_classes ~jobs ~deadline_s bound_spec
+      ~fractions:points sweep_classes_fixture
   in
   let deployed =
     Util.Parallel.map_values ~jobs
@@ -206,8 +206,7 @@ let run_sweep ~jobs =
              (d.Sim.Runner.parameter, d.Sim.Runner.cost)))
         deployed )
   in
-  (elapsed, signature, Bounds.Pipeline.path_counts bounds,
-   bounds.Bounds.Pipeline.pool)
+  (elapsed, signature, bounds)
 
 let json_of_paths paths =
   String.concat ", "
@@ -215,6 +214,13 @@ let json_of_paths paths =
        (fun (p, n) ->
          Printf.sprintf "\"%s\": %d" (Bounds.Pipeline.path_label p) n)
        paths)
+
+let json_of_qualities sweep =
+  String.concat ", "
+    (List.map
+       (fun (q, n) ->
+         Printf.sprintf "\"%s\": %d" (Bounds.Pipeline.quality_label q) n)
+       (Bounds.Pipeline.quality_counts sweep))
 
 let json_of_pool (p : Util.Parallel.pool_stats) =
   Printf.sprintf
@@ -237,10 +243,12 @@ let sweep_benchmark () =
   let cores = Util.Parallel.available_cores () in
   let tasks = (List.length sweep_classes_fixture * 5) + 5 in
   Printf.printf "sweep benchmark: %d tasks, %d detected core(s)\n%!" tasks cores;
-  let seq_s, seq_sig, _, _ = run_sweep ~jobs:1 in
+  let seq_s, seq_sig, _ = run_sweep ~jobs:1 () in
   Printf.printf "jobs=1: %.2fs\n%!" seq_s;
   let par_jobs = 4 in
-  let par_s, par_sig, paths, pool = run_sweep ~jobs:par_jobs in
+  let par_s, par_sig, par_bounds = run_sweep ~jobs:par_jobs () in
+  let paths = Bounds.Pipeline.path_counts par_bounds in
+  let pool = par_bounds.Bounds.Pipeline.pool in
   Printf.printf "jobs=%d: %.2fs\n%!" par_jobs par_s;
   if seq_sig <> par_sig then
     failwith "sweep benchmark: parallel and sequential results differ";
@@ -252,14 +260,52 @@ let sweep_benchmark () =
     | Error msg -> failwith msg
   in
   Util.Faults.install fault_spec;
-  let faulted_s, faulted_sig, faulted_paths, faulted_pool =
-    run_sweep ~jobs:par_jobs
-  in
+  let faulted_s, faulted_sig, faulted_bounds = run_sweep ~jobs:par_jobs () in
+  let faulted_paths = Bounds.Pipeline.path_counts faulted_bounds in
+  let faulted_pool = faulted_bounds.Bounds.Pipeline.pool in
   Util.Faults.install Util.Faults.none;
   if faulted_sig <> par_sig then
     failwith "sweep benchmark: injected-fault run changed the results";
   Printf.printf "jobs=%d with '%s': %.2fs, identical results\n%!" par_jobs
     bench_fault_spec faulted_s;
+  (* Deadline leg: grant ~30%% of the sequential wall-clock. The sweep
+     must finish within the budget plus one cell's grace (a cell can only
+     stop at its next solver checkpoint), and every degraded bound must
+     sit at or below its unconstrained counterpart — a truncated PDHG run
+     is a prefix of the same deterministic iterate stream, so its
+     best-bound can only be looser (smaller). *)
+  let budget_s = Float.max 1. (0.3 *. seq_s) in
+  let dl_s, _, dl_bounds = run_sweep ~deadline_s:budget_s ~jobs:par_jobs () in
+  let dl_max_cell =
+    List.fold_left
+      (fun acc (s : Bounds.Pipeline.task_stat) ->
+        Float.max acc s.Bounds.Pipeline.wall_s)
+      0. dl_bounds.Bounds.Pipeline.stats
+  in
+  let dl_grace = dl_max_cell +. 1.0 in
+  let within_budget = dl_s <= budget_s +. dl_grace in
+  let bounds_dominated =
+    List.for_all2
+      (fun (_, clean_cells) (_, dl_cells) ->
+        List.for_all2
+          (fun (_, (c : Bounds.Pipeline.t)) (_, (d : Bounds.Pipeline.t)) ->
+            (not c.Bounds.Pipeline.feasible)
+            || (not d.Bounds.Pipeline.feasible)
+            || d.Bounds.Pipeline.lower_bound
+               <= c.Bounds.Pipeline.lower_bound
+                  +. (1e-6 *. (1. +. Float.abs c.Bounds.Pipeline.lower_bound)))
+          clean_cells dl_cells)
+      par_bounds.Bounds.Pipeline.per_class dl_bounds.Bounds.Pipeline.per_class
+  in
+  if not bounds_dominated then
+    failwith "sweep benchmark: a deadline-degraded bound exceeds the clean one";
+  Printf.printf
+    "jobs=%d with deadline %.2fs: %.2fs (%s; grace %.2fs), degraded bounds \
+     all <= clean\n\
+     %!"
+    par_jobs budget_s dl_s
+    (if within_budget then "within budget" else "OVERRUN")
+    dl_grace;
   let oc = open_out "BENCH_sweep.json" in
   Printf.fprintf oc
     {|{
@@ -273,6 +319,7 @@ let sweep_benchmark () =
   "speedup": %.3f,
   "results_identical": true,
   "solve_paths": { %s },
+  "quality": { %s },
   "pool": { %s },
   "faulted": {
     "spec": "%s",
@@ -281,14 +328,24 @@ let sweep_benchmark () =
     "results_identical": true,
     "solve_paths": { %s },
     "pool": { %s }
+  },
+  "deadline": {
+    "budget_s": %.3f,
+    "elapsed_s": %.3f,
+    "grace_s": %.3f,
+    "within_budget": %b,
+    "degraded_bounds_dominated": %b,
+    "quality": { %s }
   }
 }
 |}
     (List.length sweep_classes_fixture)
     cores tasks seq_s par_jobs par_s speedup (json_of_paths paths)
-    (json_of_pool pool) bench_fault_spec faulted_s
+    (json_of_qualities par_bounds) (json_of_pool pool) bench_fault_spec
+    faulted_s
     (if par_s > 0. then faulted_s /. par_s else 1.)
-    (json_of_paths faulted_paths) (json_of_pool faulted_pool);
+    (json_of_paths faulted_paths) (json_of_pool faulted_pool) budget_s dl_s
+    dl_grace within_budget bounds_dominated (json_of_qualities dl_bounds);
   close_out oc;
   Printf.printf "wrote BENCH_sweep.json\n%!"
 
@@ -312,33 +369,54 @@ let time f =
   let r = f () in
   (Unix.gettimeofday () -. t0, r)
 
+(* The baseline file is best-effort state from a previous revision: it
+   may be absent (fresh checkout), torn (a crash mid-write), or carry a
+   drifted schema (older/newer revision). None of those should abort a
+   measurement run — every failure mode degrades to "no baseline", a
+   warning, and a null speedup in the output. *)
 let read_baseline_sequential_s () =
+  let warn reason =
+    Printf.printf
+      "warning: BENCH_sweep.json baseline %s: skipping the comparison\n%!"
+      reason;
+    None
+  in
   match open_in "BENCH_sweep.json" with
   | exception Sys_error _ -> None
   | ic ->
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let key = "\"sequential_s\":" in
-    let klen = String.length key in
-    let rec find i =
-      if i + klen > String.length s then None
-      else if String.sub s i klen = key then begin
-        let j = ref (i + klen) in
-        let buf = Buffer.create 16 in
-        while
-          !j < String.length s
-          && (match s.[!j] with
-             | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
-             | _ -> false)
-        do
-          if s.[!j] <> ' ' then Buffer.add_char buf s.[!j];
-          incr j
-        done;
-        float_of_string_opt (Buffer.contents buf)
-      end
-      else find (i + 1)
+    let s =
+      match really_input_string ic (in_channel_length ic) with
+      | s -> Some s
+      | exception _ -> None
     in
-    find 0
+    close_in_noerr ic;
+    (match s with
+    | None -> warn "is unreadable (torn write?)"
+    | Some s ->
+      let key = "\"sequential_s\":" in
+      let klen = String.length key in
+      let rec find i =
+        if i + klen > String.length s then None
+        else if String.sub s i klen = key then begin
+          let j = ref (i + klen) in
+          let buf = Buffer.create 16 in
+          while
+            !j < String.length s
+            && (match s.[!j] with
+               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
+               | _ -> false)
+          do
+            if s.[!j] <> ' ' then Buffer.add_char buf s.[!j];
+            incr j
+          done;
+          float_of_string_opt (Buffer.contents buf)
+        end
+        else find (i + 1)
+      in
+      (match find 0 with
+      | None -> warn "has no parseable \"sequential_s\" (schema drift?)"
+      | Some b when Float.is_finite b && b > 0. -> Some b
+      | Some _ -> warn "carries an implausible sequential_s"))
 
 let lp_benchmark () =
   let cs = Lazy.force web in
@@ -409,8 +487,8 @@ let lp_benchmark () =
   (match baseline with
   | Some b -> Printf.printf "baseline sequential_s from BENCH_sweep.json: %.3f\n%!" b
   | None -> Printf.printf "no BENCH_sweep.json baseline found\n%!");
-  let seq_s, seq_sig, _, _ = run_sweep ~jobs:1 in
-  let par_s, par_sig, _, _ = run_sweep ~jobs:4 in
+  let seq_s, seq_sig, _ = run_sweep ~jobs:1 () in
+  let par_s, par_sig, _ = run_sweep ~jobs:4 () in
   let results_identical = seq_sig = par_sig in
   if not results_identical then
     failwith "lp benchmark: parallel and sequential sweep results differ";

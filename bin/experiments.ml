@@ -54,6 +54,11 @@ let pool_summary (p : Util.Parallel.pool_stats) =
     p.Util.Parallel.timeouts p.Util.Parallel.fork_failures
     (if p.Util.Parallel.degraded then " degraded" else "")
 
+(* Acceptance violations (deadline overruns, failed certificate rechecks)
+   accumulate here; the figure drivers exit nonzero when any occurred so
+   scripted runs can gate on them. *)
+let violations = ref 0
+
 let print_sweep_robustness ~name (sweep : Bounds.Pipeline.sweep) =
   let paths =
     List.filter (fun (_, n) -> n > 0) (Bounds.Pipeline.path_counts sweep)
@@ -79,12 +84,92 @@ let print_sweep_robustness ~name (sweep : Bounds.Pipeline.sweep) =
       (pool_summary sweep.Bounds.Pipeline.pool)
       sweep.Bounds.Pipeline.resumed
 
+(* Degradation bookkeeping: which quality each cell stopped with, and —
+   under a --deadline — whether the sweep honored its budget. The grace
+   term is one cell's wall-clock plus scheduling slop: the governor can
+   only stop a cell at its next solver checkpoint, so the last cell may
+   straddle the deadline by its own runtime but never more. *)
+let print_sweep_quality ~name ~deadline_s ~cell_budget_s
+    (sweep : Bounds.Pipeline.sweep) =
+  let budgeted =
+    Float.is_finite deadline_s || Float.is_finite cell_budget_s
+  in
+  let counts =
+    List.filter (fun (_, n) -> n > 0) (Bounds.Pipeline.quality_counts sweep)
+  in
+  let degraded =
+    List.exists
+      (fun (q, _) ->
+        q = Bounds.Pipeline.Iter_budget || q = Bounds.Pipeline.Time_budget)
+      counts
+  in
+  if budgeted || degraded then
+    Printf.printf "quality %s: %s\n%!" name
+      (String.concat " "
+         (List.map
+            (fun (q, n) ->
+              Printf.sprintf "%s=%d" (Bounds.Pipeline.quality_label q) n)
+            counts));
+  if Float.is_finite deadline_s then begin
+    let max_cell =
+      List.fold_left
+        (fun acc (s : Bounds.Pipeline.task_stat) ->
+          Float.max acc s.Bounds.Pipeline.wall_s)
+        0. sweep.Bounds.Pipeline.stats
+    in
+    let grace = max_cell +. 1.0 in
+    let elapsed = sweep.Bounds.Pipeline.elapsed_s in
+    if elapsed <= deadline_s +. grace then
+      Printf.printf "deadline %s: budget %.2fs elapsed %.2fs (within; grace %.2fs)\n%!"
+        name deadline_s elapsed grace
+    else begin
+      incr violations;
+      Printf.printf "deadline %s: budget %.2fs elapsed %.2fs OVERRUN (grace %.2fs)\n%!"
+        name deadline_s elapsed grace
+    end
+  end
+
+(* Recheck every cell's certificate from scratch (see
+   {!Bounds.Pipeline.certify}): feasible cells must reproduce their bound
+   from the attached dual, infeasible cells must carry a Farkas ray that
+   [check_farkas] accepts. *)
+let certify_sweep ?placeable ~name spec (sweep : Bounds.Pipeline.sweep)
+    classes =
+  match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Avg_latency _ -> ()
+  | Mcperf.Spec.Qos { tlat_ms; _ } ->
+    let total = ref 0 and ok = ref 0 in
+    List.iter
+      (fun (label, results) ->
+        match List.assoc_opt label classes with
+        | None -> ()
+        | Some cls ->
+          List.iter
+            (fun (q, r) ->
+              incr total;
+              let spec =
+                {
+                  spec with
+                  Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction = q };
+                }
+              in
+              match Bounds.Pipeline.certify ?placeable spec cls r with
+              | Ok () -> incr ok
+              | Error msg ->
+                incr violations;
+                Printf.printf "certificate FAIL %s @ %.5f: %s\n%!" label q msg)
+            results)
+      sweep.Bounds.Pipeline.per_class;
+    Printf.printf "certificates %s: %d/%d verified\n%!" name !ok !total
+
 (* One parallel batch for a whole figure: every (class, point) cell is an
    independent task, so a figure's bound grid saturates the worker pool
    instead of sweeping class by class. [journal_dir] turns on
    checkpointing: an interrupted run re-executed with the same arguments
    resumes from DIR/<name>.journal. *)
-let sweep_figure ?placeable ?journal_dir ~name ~jobs spec points classes =
+let sweep_figure ?placeable ?journal_dir ?(deadline_s = infinity)
+    ?(cell_budget_s = infinity) ?(certify = false) ~name ~jobs spec points
+    classes =
   let journal =
     Option.map
       (fun dir ->
@@ -93,10 +178,12 @@ let sweep_figure ?placeable ?journal_dir ~name ~jobs spec points classes =
       journal_dir
   in
   let sweep =
-    Bounds.Pipeline.sweep_classes ~jobs ?placeable ?journal spec
-      ~fractions:points classes
+    Bounds.Pipeline.sweep_classes ~jobs ?placeable ~deadline_s ~cell_budget_s
+      ?journal spec ~fractions:points classes
   in
   print_sweep_robustness ~name sweep;
+  print_sweep_quality ~name ~deadline_s ~cell_budget_s sweep;
+  if certify then certify_sweep ?placeable ~name spec sweep classes;
   let series =
     List.map
       (fun (label, results) ->
@@ -122,7 +209,8 @@ let fig1_classes =
         Mcperf.Classes.cooperative_caching );
   ]
 
-let fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
+let fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+    ~cell_budget_s ~certify workload =
   let cs = CS.make ~seed ~scale workload in
   let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
   let points = qos_sweep quick in
@@ -132,7 +220,8 @@ let fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
         (List.length fig1_classes) (List.length points) jobs);
   let name = "fig1-" ^ String.lowercase_ascii (CS.workload_name workload) in
   let series, timing, elapsed_s =
-    sweep_figure ?journal_dir ~name ~jobs spec points fig1_classes
+    sweep_figure ?journal_dir ~deadline_s ~cell_budget_s ~certify ~name ~jobs
+      spec points fig1_classes
   in
   Report.print_figure
     ~title:
@@ -151,10 +240,17 @@ let fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
 (* Deployed-heuristic sweeps: one task per goal point. Each point's
    minimal-parameter search is itself monotone-deterministic, so parallel
    and sequential sweeps agree; the raw per-point outcomes are returned so
-   callers can derive ratios without re-simulating. *)
-let deployed_sweep ~jobs ~label points run =
+   callers can derive ratios without re-simulating. [cell_budget_s] gives
+   each point an advisory budget: the bisection inside is anytime (its
+   upper bracket stays feasible), so on expiry it returns a valid but
+   possibly non-minimal parameter. *)
+let deployed_sweep ?(cell_budget_s = infinity) ~jobs ~label points run =
+  let budget_of =
+    if Float.is_finite cell_budget_s then Some (fun _ -> cell_budget_s)
+    else None
+  in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Util.Parallel.map ~jobs ~f:run points in
+  let outcomes = Util.Parallel.map ~jobs ?budget_of ~f:run points in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let pool = Util.Parallel.last_pool_stats () in
   if pool_nontrivial pool then
@@ -179,12 +275,14 @@ let deployed_sweep ~jobs ~label points run =
           wall_s = o.Util.Parallel.wall_s;
           solver = "sim";
           iterations = 0;
+          quality = "-";
         })
       points outcomes
   in
   (series, raw, timing, elapsed_s)
 
-let fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
+let fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+    ~cell_budget_s ~certify workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
@@ -207,7 +305,7 @@ let fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
     | CS.Group -> "Replica constrained bound"
   in
   let bound_series, bound_timing, bound_elapsed =
-    sweep_figure ?journal_dir
+    sweep_figure ?journal_dir ~deadline_s ~cell_budget_s ~certify
       ~name:
         ("fig2-" ^ String.lowercase_ascii (CS.workload_name workload) ^ "-bound")
       ~jobs bound_spec points
@@ -215,11 +313,11 @@ let fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs workload =
   in
   Logs.app (fun f -> f "fig2 %s: %s ..." (CS.workload_name workload) chosen_label);
   let chosen_series, chosen_raw, chosen_timing, chosen_elapsed =
-    deployed_sweep ~jobs ~label:chosen_label points run_chosen
+    deployed_sweep ~cell_budget_s ~jobs ~label:chosen_label points run_chosen
   in
   Logs.app (fun f -> f "fig2 %s: LRU caching ..." (CS.workload_name workload));
   let lru_series, lru_raw, lru_timing, lru_elapsed =
-    deployed_sweep ~jobs ~label:"LRU caching" points (fun q ->
+    deployed_sweep ~cell_budget_s ~jobs ~label:"LRU caching" points (fun q ->
         Sim.Runner.lru_caching ~spec:(sim_spec q) ~trace:cs.CS.trace ())
   in
   let series = List.concat [ bound_series; [ chosen_series; lru_series ] ] in
@@ -268,7 +366,8 @@ let fig3_classes =
       Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
   ]
 
-let fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs workload =
+let fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
+    ~cell_budget_s ~certify workload =
   let cs = CS.make ~seed ~scale workload in
   let points = qos_sweep quick in
   (* Phase 1: decide where to deploy nodes. The planning goal must be one
@@ -303,7 +402,7 @@ let fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs workload =
           (CS.workload_name workload)
           (List.length fig3_classes) (List.length points) jobs);
     let bound_series, bound_timing, bound_elapsed =
-      sweep_figure ~placeable ?journal_dir
+      sweep_figure ~placeable ?journal_dir ~deadline_s ~cell_budget_s ~certify
         ~name:
           ("fig3-"
           ^ String.lowercase_ascii (CS.workload_name workload)
@@ -313,10 +412,12 @@ let fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs workload =
     let deployed, _, deployed_timing, deployed_elapsed =
       match workload with
       | CS.Web ->
-        deployed_sweep ~jobs ~label:"Greedy global heuristic" points (fun q ->
+        deployed_sweep ~cell_budget_s ~jobs ~label:"Greedy global heuristic"
+          points (fun q ->
             Sim.Runner.greedy_global ~placeable ~spec:(sim_spec q) ())
       | CS.Group ->
-        deployed_sweep ~jobs ~label:"LRU caching" points (fun q ->
+        deployed_sweep ~cell_budget_s ~jobs ~label:"LRU caching" points
+          (fun q ->
             Sim.Runner.lru_caching ~placeable ~spec:(sim_spec q) ~trace ())
     in
     let series = bound_series @ [ deployed ] in
@@ -684,6 +785,41 @@ let journal_t =
            re-executed with the same arguments resumes from the journal \
            and produces identical output.")
 
+let deadline_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per bound sweep. A governor apportions the \
+           remaining budget across outstanding cells; cells that run out \
+           of time stop at a solver checkpoint and keep their best \
+           certified bound (the timing table's quality column records \
+           which cells degraded). Unset: no clock is read and output is \
+           byte-identical to an unbudgeted run.")
+
+let cell_budget_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cell-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Cap any single sweep cell's solver time, independently of \
+           $(b,--deadline). Also bounds each deployed-heuristic search \
+           point (its bisection returns the best feasible parameter found \
+           so far).")
+
+let certify_t =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "After each bound sweep, recheck every cell's certificate from \
+           scratch: feasible cells must reproduce their lower bound from \
+           the attached dual vector, infeasible cells must carry a \
+           verified Farkas ray. Any failure makes the command exit \
+           nonzero.")
+
 let setup_faults inject =
   let spec =
     match inject with
@@ -713,41 +849,60 @@ let resolve_jobs jobs = if jobs <= 0 then Util.Parallel.default_jobs () else job
 
 let run_figure f =
   let run verbose quick scale seed zeta csv_dir jobs inject journal_dir
-      workloads =
+      deadline cell_budget certify workloads =
     setup_logs verbose;
     setup_faults inject;
     let jobs = resolve_jobs jobs in
+    (* Non-positive budgets mean "no budget", matching sweep_classes —
+       the overrun check must not treat them as already blown. *)
+    let budget = function Some s when s > 0. -> s | _ -> infinity in
+    let deadline_s = budget deadline in
+    let cell_budget_s = budget cell_budget in
     List.iter
       (fun w ->
-        ignore (f ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w))
-      workloads
+        ignore
+          (f ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
+             ~cell_budget_s ~certify w))
+      workloads;
+    if !violations > 0 then exit 1
   in
   Term.(
     const run $ verbose_t $ quick_t $ scale_t $ seed_t $ zeta_t $ csv_t
-    $ jobs_t $ inject_t $ journal_t $ workload_t)
+    $ jobs_t $ inject_t $ journal_t $ deadline_t $ cell_budget_t $ certify_t
+    $ workload_t)
 
 let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Lower bounds per class vs QoS (Figure 1).")
-    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
-         fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w))
+    (run_figure
+       (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs ~deadline_s
+            ~cell_budget_s ~certify w ->
+         fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+           ~cell_budget_s ~certify w))
 
 let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc:"Deployed heuristics vs class bounds (Figure 2).")
-    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs w ->
-         fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w))
+    (run_figure
+       (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta:_ ~jobs ~deadline_s
+            ~cell_budget_s ~certify w ->
+         fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+           ~cell_budget_s ~certify w))
 
 let fig3_cmd =
   Cmd.v (Cmd.info "fig3" ~doc:"Deployment scenario bounds (Figure 3).")
-    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w ->
-         fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w))
+    (run_figure
+       (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
+            ~cell_budget_s ~certify w ->
+         fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
+           ~cell_budget_s ~certify w))
 
 let select_cmd =
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the Section 6.1 selection methodology and print the ranking.")
     (run_figure
-       (fun ?csv_dir:_ ?journal_dir:_ ~quick:_ ~scale ~seed ~zeta:_ ~jobs:_ w ->
+       (fun ?csv_dir:_ ?journal_dir:_ ~quick:_ ~scale ~seed ~zeta:_ ~jobs:_
+            ~deadline_s:_ ~cell_budget_s:_ ~certify:_ w ->
          selection ~scale ~seed w;
          []))
 
@@ -808,10 +963,18 @@ let scale_cmd =
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (fig1, fig2, fig3, scale).")
-    (run_figure (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w ->
-         ignore (fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w);
-         ignore (fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs w);
-         ignore (fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs w);
+    (run_figure
+       (fun ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
+            ~cell_budget_s ~certify w ->
+         ignore
+           (fig1 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+              ~cell_budget_s ~certify w);
+         ignore
+           (fig2 ?csv_dir ?journal_dir ~quick ~scale ~seed ~jobs ~deadline_s
+              ~cell_budget_s ~certify w);
+         ignore
+           (fig3 ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs
+              ~deadline_s ~cell_budget_s ~certify w);
          selection ~scale ~seed w;
          if w = CS.Web then scale_experiment ~seed ();
          []))

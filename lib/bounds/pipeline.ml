@@ -29,6 +29,20 @@ let path_label = function
   | Path_simplex_fallback -> "simplex-fallback"
   | Path_infeasible -> "infeasible"
 
+type quality = Exact | Converged | Iter_budget | Time_budget
+
+let all_qualities = [ Exact; Converged; Iter_budget; Time_budget ]
+
+let quality_label = function
+  | Exact -> "exact"
+  | Converged -> "converged"
+  | Iter_budget -> "iter-budget"
+  | Time_budget -> "time-budget"
+
+type certificate =
+  | Dual of float array
+  | Farkas of float array
+
 type t = {
   class_name : string;
   feasible : bool;
@@ -41,6 +55,9 @@ type t = {
   rows : int;
   max_feasible_qos : float;
   solve_path : solve_path;
+  quality : quality;
+  rel_gap : float;
+  certificate : certificate option;
 }
 
 let src = Logs.Src.create "bounds" ~doc:"lower-bound pipeline"
@@ -52,7 +69,7 @@ let default_pdhg_options =
 
 let simplex_size_limit = 260
 
-let infeasible_result cls worst_qos =
+let infeasible_result ?ray cls worst_qos =
   {
     class_name = cls.Mcperf.Classes.name;
     feasible = false;
@@ -65,7 +82,34 @@ let infeasible_result cls worst_qos =
     rows = 0;
     max_feasible_qos = worst_qos;
     solve_path = Path_infeasible;
+    quality = Exact;
+    rel_gap = 0.;
+    certificate = Option.map (fun r -> Farkas r) ray;
   }
+
+(* A verified Farkas ray for an infeasible model, expressed on the
+   Ge-normalized *full* model problem (so verification needs no presolve
+   replay). The single-row scan covers the MC-PERF pattern — a QoS row
+   demanding more coverage than its variables' box allows — without
+   running a solver; the phase-1 simplex ray is the completeness fallback
+   at exact-solver scale. Only rays accepted by [check_farkas] are
+   attached. *)
+let farkas_of problem =
+  let norm = Lp.Problem.normalize_ge problem in
+  let verified ray =
+    if Lp.Certificate.check_farkas norm ~ray then Some ray else None
+  in
+  match Lp.Certificate.row_farkas norm with
+  | Some ray -> verified ray
+  | None ->
+    if
+      Lp.Problem.nvars norm <= simplex_size_limit
+      && Lp.Problem.nrows norm <= simplex_size_limit
+    then
+      match Lp.Simplex.solve_certified norm with
+      | Lp.Simplex.Cert_infeasible { ray } -> verified ray
+      | Lp.Simplex.Cert_optimal _ | Lp.Simplex.Cert_unbounded -> None
+    else None
 
 (* --- shared LP-relaxation solve ----------------------------------------- *)
 
@@ -87,17 +131,39 @@ let infeasible_result cls worst_qos =
    from the same prepared structure and the same warm start, so whenever
    the input itself was sound the retry reproduces the primary attempt's
    iterates exactly and recovery is invisible in the results. *)
+(* A feasible solve's payload: the original-space point, the certified
+   bound (presolve offset folded in), how it was obtained and its
+   witness. [dual] is the certificate on the Ge-normalized presolve-
+   reduced problem — the space the bound was computed in; [certify]
+   replays the deterministic presolve to verify it. *)
+type solution = {
+  point : float array;
+  bound : float;
+  exact_sol : bool;
+  iterations : int;
+  sol_quality : quality;
+  sol_rel_gap : float;
+  dual : float array option;
+}
+
 type relaxation = {
-  outcome : (float array * float * bool * int) option;
-      (* original-space x, certified bound (presolve offset folded in),
-         solved exactly, LP iterations; [None] when the LP is infeasible *)
+  outcome : solution option;  (* [None] when the LP is infeasible *)
   prep : Lp.Pdhg.prepared option;  (* for the next cell's [reuse] *)
   warm : (float array * float array) option;  (* reduced-space iterates *)
   path : solve_path;
+  infeasible_ray : float array option;
+      (* verified Farkas ray on the normalized full problem when the LP
+         (as opposed to the oracle) declared the cell infeasible *)
 }
 
-let no_solution =
-  { outcome = None; prep = None; warm = None; path = Path_infeasible }
+let no_solution ?ray () =
+  {
+    outcome = None;
+    prep = None;
+    warm = None;
+    path = Path_infeasible;
+    infeasible_ray = ray;
+  }
 
 (* Independent health check of a PDHG outcome: all reported scalars and
    the primal point finite, and the certified bound reproducible from the
@@ -120,22 +186,34 @@ let pdhg_healthy prep (out : Lp.Pdhg.outcome) =
      <= 1e-9 *. (1. +. Float.abs out.Lp.Pdhg.best_bound)
 
 let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
-    problem =
+    ?deadline_s problem =
   let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
   let pre = Lp.Presolve.run problem in
   match pre.Lp.Presolve.status with
-  | `Infeasible -> no_solution
+  | `Infeasible -> no_solution ?ray:(farkas_of problem) ()
   | `Unchanged | `Reduced ->
     let red = pre.Lp.Presolve.reduced in
     if Lp.Problem.nvars red = 0 then
       (* Presolve solved the whole LP: the fixed assignment is the unique
-         feasible point, hence optimal. *)
+         feasible point, hence optimal. The all-zero dual vector is its
+         certificate — the reduced problem has no variables left, so the
+         dual bound is 0 and the recorded bound is pure offset. *)
       {
         outcome =
-          Some (pre.Lp.Presolve.restore [||], pre.Lp.Presolve.offset, true, 0);
+          Some
+            {
+              point = pre.Lp.Presolve.restore [||];
+              bound = pre.Lp.Presolve.offset;
+              exact_sol = true;
+              iterations = 0;
+              sol_quality = Exact;
+              sol_rel_gap = 0.;
+              dual = Some (Array.make (Lp.Problem.nrows red) 0.);
+            };
         prep = None;
         warm = None;
         path = Path_presolve;
+        infeasible_ray = None;
       }
     else begin
       let use_simplex =
@@ -144,28 +222,52 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
         | First_order _ -> false
         | Auto -> vars <= simplex_size_limit && rows <= simplex_size_limit
       in
+      let simplex_solution x objective dual =
+        {
+          point = pre.Lp.Presolve.restore x;
+          bound = objective +. pre.Lp.Presolve.offset;
+          exact_sol = true;
+          iterations = 0;
+          sol_quality = Exact;
+          sol_rel_gap = 0.;
+          dual = Some dual;
+        }
+      in
       if use_simplex then
-        match Lp.Simplex.solve red with
-        | Lp.Simplex.Optimal { x; objective } ->
+        match Lp.Simplex.solve_certified red with
+        | Lp.Simplex.Cert_optimal { x; objective; dual } ->
           {
-            outcome =
-              Some
-                ( pre.Lp.Presolve.restore x,
-                  objective +. pre.Lp.Presolve.offset,
-                  true,
-                  0 );
+            outcome = Some (simplex_solution x objective dual);
             prep = None;
             warm = None;
             path = Path_simplex;
+            infeasible_ray = None;
           }
-        | Lp.Simplex.Infeasible -> no_solution
-        | Lp.Simplex.Unbounded ->
+        | Lp.Simplex.Cert_infeasible _ ->
+          (* The simplex ray lives in reduced-row space; re-derive one on
+             the full problem so the certificate verifies without a
+             presolve replay. *)
+          no_solution ?ray:(farkas_of problem) ()
+        | Lp.Simplex.Cert_unbounded ->
           invalid_arg "Bounds.Pipeline: unbounded MC-PERF relaxation"
       else begin
         let options =
           match solver with
           | First_order o -> o
           | Auto | Exact_simplex -> default_pdhg_options
+        in
+        (* The sweep governor's per-cell budget caps the solver deadline;
+           an already-exhausted budget still runs the checkpointed first
+           block, so every cell returns some valid bound. *)
+        let options =
+          match deadline_s with
+          | Some d when Float.is_finite d ->
+            {
+              options with
+              Lp.Pdhg.deadline_s =
+                Float.min options.Lp.Pdhg.deadline_s (Float.max 0. d);
+            }
+          | Some _ | None -> options
         in
         let x0, y0 =
           match warm with
@@ -188,13 +290,23 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
           {
             outcome =
               Some
-                ( pre.Lp.Presolve.restore out.Lp.Pdhg.x,
-                  out.Lp.Pdhg.best_bound +. pre.Lp.Presolve.offset,
-                  false,
-                  out.Lp.Pdhg.iterations );
+                {
+                  point = pre.Lp.Presolve.restore out.Lp.Pdhg.x;
+                  bound = out.Lp.Pdhg.best_bound +. pre.Lp.Presolve.offset;
+                  exact_sol = false;
+                  iterations = out.Lp.Pdhg.iterations;
+                  sol_quality =
+                    (match out.Lp.Pdhg.stop with
+                    | Lp.Pdhg.Converged -> Converged
+                    | Lp.Pdhg.Deadline -> Time_budget
+                    | Lp.Pdhg.Budget -> Iter_budget);
+                  sol_rel_gap = out.Lp.Pdhg.rel_gap;
+                  dual = Some out.Lp.Pdhg.best_y;
+                };
             prep = Some prep;
             warm = Some (out.Lp.Pdhg.x, out.Lp.Pdhg.y);
             path;
+            infeasible_ray = None;
           }
         in
         let prep1, out1 = attempt ~poisoned:inject_nan in
@@ -211,21 +323,18 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
           else begin
             Log.warn (fun f ->
                 f "pdhg retry unhealthy: rescuing with exact simplex");
-            match Lp.Simplex.solve red with
-            | Lp.Simplex.Optimal { x; objective } ->
+            match Lp.Simplex.solve_certified red with
+            | Lp.Simplex.Cert_optimal { x; objective; dual } ->
               {
-                outcome =
-                  Some
-                    ( pre.Lp.Presolve.restore x,
-                      objective +. pre.Lp.Presolve.offset,
-                      true,
-                      0 );
+                outcome = Some (simplex_solution x objective dual);
                 prep = Some prep2;
                 warm = None;
                 path = Path_simplex_fallback;
+                infeasible_ray = None;
               }
-            | Lp.Simplex.Infeasible -> no_solution
-            | Lp.Simplex.Unbounded ->
+            | Lp.Simplex.Cert_infeasible _ ->
+              no_solution ?ray:(farkas_of problem) ()
+            | Lp.Simplex.Cert_unbounded ->
               invalid_arg "Bounds.Pipeline: unbounded MC-PERF relaxation"
           end
         end
@@ -234,16 +343,29 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
 
 (* Turn a feasible relaxation outcome into a pipeline result: round the
    fractional point, evaluate the integral placement, report the gap. *)
-let finish ~round ~path model cls worst_qos (x, bound, exact, iterations) =
+let finish ~round ~path model cls worst_qos sol =
   let problem = model.Mcperf.Model.problem in
-  let lower_bound = bound +. model.Mcperf.Model.objective_offset in
+  let lower_bound = sol.bound +. model.Mcperf.Model.objective_offset in
   let rounded =
-    match round model ~x with
-    | Ok r -> Some r
-    | Error msg ->
-      Log.warn (fun f ->
-          f "rounding failed for class %s: %s" cls.Mcperf.Classes.name msg);
+    (* Rounding a heavily truncated fractional point is the slowest stage
+       of a degraded cell (the greedy repair has far more violations to
+       fix), and unlike the solver it has no checkpoints. When the cell's
+       budget is already spent, skip it: the certified bound is this
+       cell's deliverable; the rounded column degrades to "-".
+       [task_expired] never reads the clock on unbudgeted runs. *)
+    if Util.Parallel.task_expired () then begin
+      Log.info (fun f ->
+          f "budget spent for class %s: skipping rounding"
+            cls.Mcperf.Classes.name);
       None
+    end
+    else
+      match round model ~x:sol.point with
+      | Ok r -> Some r
+      | Error msg ->
+        Log.warn (fun f ->
+            f "rounding failed for class %s: %s" cls.Mcperf.Classes.name msg);
+        None
   in
   let gap =
     match rounded with
@@ -259,12 +381,15 @@ let finish ~round ~path model cls worst_qos (x, bound, exact, iterations) =
     lower_bound;
     rounded;
     gap;
-    exact;
-    lp_iterations = iterations;
+    exact = sol.exact_sol;
+    lp_iterations = sol.iterations;
     vars = Lp.Problem.nvars problem;
     rows = Lp.Problem.nrows problem;
     max_feasible_qos = worst_qos;
     solve_path = path;
+    quality = sol.sol_quality;
+    rel_gap = sol.sol_rel_gap;
+    certificate = Option.map (fun d -> Dual d) sol.dual;
   }
 
 let compute ?(solver = Auto) ?placeable spec cls =
@@ -275,8 +400,15 @@ let compute ?(solver = Auto) ?placeable spec cls =
       Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos perm)
     | Mcperf.Spec.Avg_latency _ -> 1.
   in
-  if not (Mcperf.Permission.feasible perm) then
-    infeasible_result cls worst_qos
+  if not (Mcperf.Permission.feasible perm) then begin
+    (* Even oracle-detected infeasibility gets a checkable witness: the
+       model builder emits the unsatisfiable QoS rows verbatim, so a
+       single-row Farkas scan certifies the ceiling independently. *)
+    let model = Mcperf.Model.build perm in
+    infeasible_result
+      ?ray:(farkas_of model.Mcperf.Model.problem)
+      cls worst_qos
+  end
   else begin
     let model = Mcperf.Model.build perm in
     Log.info (fun f ->
@@ -290,7 +422,7 @@ let compute ?(solver = Auto) ?placeable spec cls =
     match r.outcome with
     | None ->
       (* The LP disagreed with the coverage oracle: conservative report. *)
-      infeasible_result cls worst_qos
+      infeasible_result ?ray:r.infeasible_ray cls worst_qos
     | Some sol -> finish ~round ~path:r.path model cls worst_qos sol
   end
 
@@ -322,12 +454,78 @@ let pp ppf t =
       | Some g -> Printf.sprintf "  gap %5.1f%%" (100. *. g)
       | None -> "")
 
+(* --- certificate recheck ------------------------------------------------- *)
+
+(* Independent verification of a cell's certificate from nothing but the
+   spec and the recorded result: rebuild the model the cell was solved
+   from, replay the (deterministic) presolve, and re-evaluate the
+   certificate arithmetic. A [Dual] witness must reproduce the recorded
+   lower bound; a [Farkas] witness must pass [check_farkas] on the
+   Ge-normalized full model problem. No solver runs — only the linear
+   algebra of the certificate itself. *)
+let certify ?placeable spec cls cell =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match cell.certificate with
+  | None -> fail "%s: no certificate attached" cell.class_name
+  | Some (Farkas ray) ->
+    if cell.feasible then
+      fail "%s: Farkas certificate on a feasible cell" cell.class_name
+    else begin
+      let perm = Mcperf.Permission.compute ?placeable spec cls in
+      let model = Mcperf.Model.build perm in
+      let norm = Lp.Problem.normalize_ge model.Mcperf.Model.problem in
+      if Array.length ray <> Lp.Problem.nrows norm then
+        fail "%s: Farkas ray has %d entries, model has %d rows"
+          cell.class_name (Array.length ray) (Lp.Problem.nrows norm)
+      else if Lp.Certificate.check_farkas norm ~ray then Ok ()
+      else fail "%s: Farkas ray rejected by check_farkas" cell.class_name
+    end
+  | Some (Dual y) ->
+    if not cell.feasible then
+      fail "%s: dual certificate on an infeasible cell" cell.class_name
+    else begin
+      let perm = Mcperf.Permission.compute ?placeable spec cls in
+      if not (Mcperf.Permission.feasible perm) then
+        fail "%s: rebuilt model is infeasible" cell.class_name
+      else begin
+        let model = Mcperf.Model.build perm in
+        let pre = Lp.Presolve.run model.Mcperf.Model.problem in
+        match pre.Lp.Presolve.status with
+        | `Infeasible ->
+          fail "%s: presolve replay reports infeasible" cell.class_name
+        | `Unchanged | `Reduced ->
+          let red = pre.Lp.Presolve.reduced in
+          if Array.length y <> Lp.Problem.nrows red then
+            fail "%s: dual has %d entries, reduced problem has %d rows"
+              cell.class_name (Array.length y) (Lp.Problem.nrows red)
+          else begin
+            let bound =
+              Lp.Certificate.dual_bound (Lp.Problem.normalize_ge red) ~y
+              +. pre.Lp.Presolve.offset
+              +. model.Mcperf.Model.objective_offset
+            in
+            if not (Float.is_finite bound) then
+              fail "%s: replayed dual bound is not finite" cell.class_name
+            else if
+              Float.abs (bound -. cell.lower_bound)
+              <= 1e-6 *. (1. +. Float.abs cell.lower_bound)
+            then Ok ()
+            else
+              fail "%s: replayed dual bound %.12g does not match recorded \
+                    %.12g"
+                cell.class_name bound cell.lower_bound
+          end
+      end
+    end
+
 type task_stat = {
   label : string;
   x : float;
   wall_s : float;
   iterations : int;
   solved_exactly : bool;
+  cell_quality : quality;
+  cell_rel_gap : float;
 }
 
 type sweep = {
@@ -353,6 +551,20 @@ let path_counts sweep =
       (path, n))
     all_paths
 
+let quality_counts sweep =
+  List.map
+    (fun q ->
+      let n =
+        List.fold_left
+          (fun acc (_, series) ->
+            List.fold_left
+              (fun acc (_, r) -> if r.quality = q then acc + 1 else acc)
+              acc series)
+          0 sweep.per_class
+      in
+      (q, n))
+    all_qualities
+
 (* --- checkpoint journal -------------------------------------------------- *)
 
 (* A sweep journal is a plain text file: a header line carrying a
@@ -367,11 +579,19 @@ let path_counts sweep =
 
 let cell_key label fraction = Printf.sprintf "%s|%.17g" label fraction
 
-let journal_magic = "# replica-select sweep journal v1"
+(* v2: cell payloads gained quality/certificate fields and the
+   fingerprint covers the time-budget configuration, so a journal written
+   under one budget is never replayed into a sweep running under another
+   (degraded bounds must not masquerade as unconstrained ones). *)
+let journal_magic = "# replica-select sweep journal v2"
 
-let sweep_fingerprint ~tlat_ms ~fractions classes =
+let sweep_fingerprint ?(deadline_s = infinity) ?(cell_budget_s = infinity)
+    ~tlat_ms ~fractions classes =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "tlat=%.17g" tlat_ms);
+  Buffer.add_string b
+    (Printf.sprintf ";deadline=%.17g;cell-budget=%.17g" deadline_s
+       cell_budget_s);
   List.iter (fun x -> Buffer.add_string b (Printf.sprintf ";%.17g" x)) fractions;
   List.iter
     (fun (label, cls) ->
@@ -478,13 +698,19 @@ let write_journal ~fingerprint path entries =
   close_out oc;
   Sys.rename tmp path
 
-let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
-    ?progress spec ~fractions classes =
+let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
+    ?(deadline_s = infinity) ?(cell_budget_s = infinity) ?journal ?progress
+    spec ~fractions classes =
   let tlat_ms =
     match spec.Mcperf.Spec.goal with
     | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
     | Mcperf.Spec.Avg_latency _ ->
       invalid_arg "Pipeline.sweep_classes: requires a QoS goal"
+  in
+  let deadline_s = if deadline_s > 0. then deadline_s else infinity in
+  let cell_budget_s = if cell_budget_s > 0. then cell_budget_s else infinity in
+  let budgeted =
+    Float.is_finite deadline_s || Float.is_finite cell_budget_s
   in
   let keyed_cells =
     List.concat_map
@@ -494,7 +720,9 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
           fractions)
       classes
   in
-  let fingerprint = sweep_fingerprint ~tlat_ms ~fractions classes in
+  let fingerprint =
+    sweep_fingerprint ~deadline_s ~cell_budget_s ~tlat_ms ~fractions classes
+  in
   let done_tbl =
     match journal with
     | None -> Hashtbl.create 0
@@ -543,8 +771,19 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
         in
         (perm, worst_qos)
     in
-    if not (Mcperf.Permission.feasible perm) then
-      infeasible_result cls worst_qos
+    if not (Mcperf.Permission.feasible perm) then begin
+      (* Attach a verified Farkas ray so the feasibility ceiling is
+         certified, not just asserted. [with_fraction] is value-identical
+         to a fresh build, so the witness is cache-independent. *)
+      let model =
+        match cached with
+        | Some (base, _) -> Mcperf.Model.with_fraction base fraction
+        | None -> Mcperf.Model.build perm
+      in
+      infeasible_result
+        ?ray:(farkas_of model.Mcperf.Model.problem)
+        cls worst_qos
+    end
     else begin
       let model =
         match cached with
@@ -556,14 +795,22 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
       in
       let reuse = Hashtbl.find_opt prep_cache label in
       let inject_nan = Util.Faults.diverge_requested ~key in
+      (* Remaining share of the cell's budget, installed by the pool from
+         [budget_of] at dispatch. Unbudgeted sweeps never read the clock
+         here, preserving byte-identical output at every [--jobs]. *)
+      let deadline_s =
+        let d = Util.Parallel.task_deadline () in
+        if Float.is_finite d then Some (d -. Unix.gettimeofday ()) else None
+      in
       let r =
-        solve_relaxation ~solver ?reuse ~inject_nan model.Mcperf.Model.problem
+        solve_relaxation ~solver ?reuse ~inject_nan ?deadline_s
+          model.Mcperf.Model.problem
       in
       (match r.prep with
       | Some p -> Hashtbl.replace prep_cache label p
       | None -> ());
       match r.outcome with
-      | None -> infeasible_result cls worst_qos
+      | None -> infeasible_result ?ray:r.infeasible_ray cls worst_qos
       | Some sol ->
         finish ~round:Rounding.Round.round ~path:r.path model cls worst_qos sol
     end
@@ -589,8 +836,35 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
     | None -> ()
   in
   let t0 = Unix.gettimeofday () in
+  (* Time governor: apportion what is left of the global deadline across
+     the cells still outstanding. A cell's share is
+       min(cell cap, remaining, remaining * eff_jobs / cells_left)
+     — with [eff_jobs] concurrent workers, [cells_left] cells share
+     [remaining] wall-clock at [eff_jobs] cells a time. Re-evaluated at
+     every dispatch (so cells that finish early donate their slack to the
+     rest) and clamped at 0 so late cells still run their first
+     checkpointed block and return a valid, if loose, bound. Unbudgeted
+     sweeps pass no [budget_of] at all: no clocks, no behavior change. *)
+  let budget_of =
+    if not budgeted then None
+    else begin
+      let eff_jobs =
+        max 1 (min (if jobs <= 1 then 1 else jobs) (List.length pending))
+      in
+      Some
+        (fun _index ->
+          let remaining = deadline_s -. (Unix.gettimeofday () -. t0) in
+          let cells_left =
+            max 1 (List.length pending - (!completed_count - resumed))
+          in
+          let share =
+            remaining *. float_of_int eff_jobs /. float_of_int cells_left
+          in
+          Float.max 0. (Float.min cell_budget_s (Float.min remaining share)))
+    end
+  in
   let outcomes =
-    Util.Parallel.map ~jobs ?timeout_s ~on_result ~f:solve pending
+    Util.Parallel.map ~jobs ?timeout_s ?budget_of ~on_result ~f:solve pending
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   (match journal with
@@ -617,6 +891,8 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s ?journal
           wall_s;
           iterations = cell.lp_iterations;
           solved_exactly = cell.exact;
+          cell_quality = cell.quality;
+          cell_rel_gap = cell.rel_gap;
         })
       keyed_cells
   in
@@ -667,8 +943,17 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
       let worst_qos =
         Array.fold_left Float.min 1. (Mcperf.Permission.max_feasible_qos perm)
       in
-      if not (Mcperf.Permission.feasible perm) then
-        (fraction, infeasible_result cls worst_qos)
+      if not (Mcperf.Permission.feasible perm) then begin
+        let model =
+          match !base with
+          | Some m -> Mcperf.Model.with_fraction m fraction
+          | None -> Mcperf.Model.build perm
+        in
+        ( fraction,
+          infeasible_result
+            ?ray:(farkas_of model.Mcperf.Model.problem)
+            cls worst_qos )
+      end
       else begin
         let model =
           match !base with
@@ -685,7 +970,8 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
         (match r.prep with Some p -> prep := Some p | None -> ());
         (match r.warm with Some w -> warm := Some w | None -> ());
         match r.outcome with
-        | None -> (fraction, infeasible_result cls worst_qos)
+        | None ->
+          (fraction, infeasible_result ?ray:r.infeasible_ray cls worst_qos)
         | Some sol ->
           ( fraction,
             finish ~round:Rounding.Round.round ~path:r.path model cls

@@ -44,6 +44,33 @@ val all_paths : solve_path list
 
 val path_label : solve_path -> string
 
+(** How tight a cell's bound is, beyond the binary [exact] flag. The key
+    property of the anytime solver design is that every tag below the
+    first still labels a {e valid} lower bound — weak duality holds at
+    every dual iterate, so stopping early loosens the bound but never
+    invalidates it. *)
+type quality =
+  | Exact  (** exact LP optimum (simplex or presolve) *)
+  | Converged  (** PDHG met its relative-gap tolerance *)
+  | Iter_budget  (** PDHG hit its iteration cap before converging *)
+  | Time_budget  (** a wall-clock deadline stopped PDHG early *)
+
+val all_qualities : quality list
+(** Every tag, in a fixed display order. *)
+
+val quality_label : quality -> string
+
+(** Machine-checkable witness attached to a cell. [Dual y] certifies a
+    feasible cell's [lower_bound]: re-evaluating the dual bound at [y] on
+    the (Ge-normalized, presolve-reduced) model reproduces it. [Farkas r]
+    certifies an infeasible cell: [r] passes
+    {!Lp.Certificate.check_farkas} on the Ge-normalized full model
+    problem, proving no placement can meet the goal. {!certify} replays
+    either check from scratch. *)
+type certificate =
+  | Dual of float array
+  | Farkas of float array
+
 type t = {
   class_name : string;
   feasible : bool;
@@ -66,6 +93,15 @@ type t = {
   solve_path : solve_path;
       (** which fallback-chain leg produced the bound; never affects the
           numbers, only records how they were obtained *)
+  quality : quality;
+      (** how the solve stopped; anything below [Exact]/[Converged] means
+          the bound is valid but possibly loose *)
+  rel_gap : float;
+      (** solver's relative primal-dual gap estimate at stop (0 for exact
+          solves, [infinity] when no finite bound was certified) *)
+  certificate : certificate option;
+      (** independent witness for the bound or the infeasibility; [None]
+          only when no verifiable witness could be derived *)
 }
 
 val default_pdhg_options : Lp.Pdhg.options
@@ -96,6 +132,21 @@ val best_class : t list -> t option
 
 val pp : Format.formatter -> t -> unit
 
+val certify :
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  t ->
+  (unit, string) result
+(** Recheck a cell's certificate from scratch: rebuild the model from
+    [(spec, class)] (the spec must carry the goal the cell was computed
+    at, including its QoS fraction), replay the deterministic presolve,
+    and re-evaluate the certificate arithmetic — no solver runs. [Ok ()]
+    when a [Dual] witness reproduces [lower_bound] (tolerance
+    [1e-6 * (1 + |bound|)]) or a [Farkas] witness passes
+    {!Lp.Certificate.check_farkas}; [Error msg] otherwise, including when
+    no certificate is attached. *)
+
 val sweep_qos :
   ?solver:solver ->
   ?placeable:bool array ->
@@ -125,6 +176,8 @@ type task_stat = {
   wall_s : float;  (** cell wall-clock inside its worker *)
   iterations : int;  (** first-order solver iterations (0 for simplex) *)
   solved_exactly : bool;
+  cell_quality : quality;  (** the cell result's [quality] tag *)
+  cell_rel_gap : float;  (** the cell result's [rel_gap] *)
 }
 
 type sweep = {
@@ -143,11 +196,18 @@ val path_counts : sweep -> (solve_path * int) list
 (** How many cells each fallback-chain leg handled, over {!all_paths}
     (zero entries included). *)
 
+val quality_counts : sweep -> (quality * int) list
+(** How many cells stopped with each quality tag, over {!all_qualities}
+    (zero entries included). A budget-free sweep reports every cell
+    [Exact] or [Converged]. *)
+
 val sweep_classes :
   ?jobs:int ->
   ?solver:solver ->
   ?placeable:bool array ->
   ?timeout_s:float ->
+  ?deadline_s:float ->
+  ?cell_budget_s:float ->
   ?journal:string ->
   ?progress:(completed:int -> total:int -> unit) ->
   Mcperf.Spec.t ->
@@ -161,6 +221,22 @@ val sweep_classes :
 
     [timeout_s] is the per-cell deadline handed to the worker pool (a
     stalled cell's worker is killed and the cell retried).
+
+    [deadline_s] is a wall-clock budget for the {e whole} sweep: a
+    governor apportions what remains of it across the cells still
+    outstanding (re-evaluated at every dispatch, so fast cells donate
+    their slack) and each cell's share caps its first-order solver's
+    deadline. Cells that run out of time stop at a checkpoint and keep
+    their best certified-so-far bound — the sweep degrades to looser but
+    still valid bounds, recorded per cell in [quality]/[rel_gap], instead
+    of overrunning. The sweep finishes within roughly [deadline_s] plus
+    one cell's checkpoint granularity. [cell_budget_s] caps any single
+    cell's share independently of the global deadline. Omitting both
+    (or passing non-positive/infinite values) reads no clocks in any
+    solver and leaves the output byte-identical to previous releases at
+    every [jobs] value; budgets also fold into the journal fingerprint,
+    so degraded cells are never resumed into a differently-budgeted
+    sweep.
 
     [journal] names a checkpoint file: every completed cell is appended
     (atomic tmp+rename rewrite) so an interrupted sweep re-run with the

@@ -92,6 +92,7 @@ type timing_row = {
   wall_s : float;
   solver : string;
   iterations : int;
+  quality : string;
 }
 
 let timing_of_stats stats =
@@ -103,6 +104,7 @@ let timing_of_stats stats =
         wall_s = s.Bounds.Pipeline.wall_s;
         solver = (if s.Bounds.Pipeline.solved_exactly then "simplex" else "pdhg");
         iterations = s.Bounds.Pipeline.iterations;
+        quality = Bounds.Pipeline.quality_label s.Bounds.Pipeline.cell_quality;
       })
     stats
 
@@ -111,12 +113,12 @@ let print_timing ?(oc = stdout) ~title ~jobs ~elapsed_s rows =
   let col_width =
     List.fold_left (fun acc r -> max acc (String.length r.task)) 12 rows + 2
   in
-  Printf.fprintf oc "%-*s %-10s %10s %10s  %s\n" col_width "task" "x"
-    "wall(s)" "iters" "solver";
+  Printf.fprintf oc "%-*s %-10s %10s %10s  %-16s %s\n" col_width "task" "x"
+    "wall(s)" "iters" "solver" "quality";
   List.iter
     (fun r ->
-      Printf.fprintf oc "%-*s %-10.5g %10.3f %10d  %s\n" col_width r.task r.x
-        r.wall_s r.iterations r.solver)
+      Printf.fprintf oc "%-*s %-10.5g %10.3f %10d  %-16s %s\n" col_width
+        r.task r.x r.wall_s r.iterations r.solver r.quality)
     rows;
   let total = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
   Printf.fprintf oc

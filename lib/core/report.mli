@@ -38,6 +38,9 @@ type timing_row = {
   wall_s : float;  (** task wall-clock inside its worker *)
   solver : string;  (** ["simplex"], ["pdhg"], ["sim"], ... *)
   iterations : int;  (** 0 when not iteration-based *)
+  quality : string;
+      (** {!Bounds.Pipeline.quality_label} of the cell's stop quality;
+          ["-"] for rows with no LP bound (deployed-heuristic sims) *)
 }
 
 val timing_of_stats : Bounds.Pipeline.task_stat list -> timing_row list

@@ -28,3 +28,36 @@ val dual_bound_parts :
   Problem.t -> y:float array -> float * float array
 (** Bound together with the reduced-cost vector [r] (useful for tests and
     diagnostics). *)
+
+(** {2 Farkas infeasibility certificates}
+
+    Dropping the objective from the weak-duality bound turns a dual
+    vector into an infeasibility test: for any [ray] with [ray_i >= 0] on
+    Ge rows (free on Eq rows), the {e margin}
+
+        margin(ray) = b.ray - sup over the box of (A^T ray).x
+
+    satisfies [margin <= 0] whenever the problem has a feasible point
+    (plug the point into the supremum). A strictly positive margin is
+    therefore a self-contained proof of infeasibility — a Farkas
+    certificate — checkable by pure arithmetic, independent of whichever
+    solver produced the ray. *)
+
+val farkas_margin : Problem.t -> ray:float array -> float
+(** The margin above. The problem must be Ge-normalized; negative Ge
+    entries of [ray] are clamped to 0 (preserving the guarantee). *)
+
+val check_farkas : ?tol:float -> Problem.t -> ray:float array -> bool
+(** [check_farkas p ~ray] accepts iff [ray] has the right dimension, is
+    everywhere finite, and its margin strictly exceeds
+    [tol * (1 + sum_i |ray_i * b_i|)] (default [tol = 1e-9]) — i.e. the
+    infeasibility proof survives a conservative rounding-error allowance.
+    Never raises: malformed input is simply rejected. *)
+
+val row_farkas : ?tol:float -> Problem.t -> float array option
+(** Cheap single-row certificate scan: the first row whose left-hand side
+    cannot reach its rhs anywhere in the variable box yields a unit ray
+    (negated for an Eq row violated from above). This covers the MC-PERF
+    infeasibility pattern — a QoS row asking for more coverage than the
+    box allows — without running any solver. The returned ray always
+    passes {!check_farkas}. *)

@@ -4,6 +4,7 @@ type options = {
   rel_tol : float;
   restart_every : int;
   verbose : bool;
+  deadline_s : float;
 }
 
 let default_options =
@@ -13,7 +14,15 @@ let default_options =
     rel_tol = 1e-6;
     restart_every = 1_000;
     verbose = false;
+    deadline_s = infinity;
   }
+
+type stop_reason = Converged | Deadline | Budget
+
+let stop_label = function
+  | Converged -> "converged"
+  | Deadline -> "deadline"
+  | Budget -> "budget"
 
 type outcome = {
   x : float array;
@@ -24,6 +33,8 @@ type outcome = {
   primal_infeasibility : float;
   iterations : int;
   converged : bool;
+  stop : stop_reason;
+  rel_gap : float;
 }
 
 let src = Logs.Src.create "lp.pdhg" ~doc:"first-order LP solver"
@@ -146,6 +157,15 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
   let best_y = ref (Array.copy y) in
   let iterations = ref 0 in
   let converged = ref false in
+  let deadline_hit = ref false in
+  (* Wall-clock budget: checked only at checkpoints, and only when a
+     finite deadline was asked for — the default path never reads the
+     clock, so iterates are bit-identical with or without this feature. *)
+  let budgeted = Float.is_finite options.deadline_s in
+  let t_start = if budgeted then Unix.gettimeofday () else 0. in
+  let past_deadline () =
+    budgeted && Unix.gettimeofday () -. t_start >= options.deadline_s
+  in
   Sparse.mul_t a y aty;
   (try
      for iter = 1 to options.max_iters do
@@ -217,6 +237,10 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
          then begin
            converged := true;
            raise Exit
+         end;
+         if past_deadline () then begin
+           deadline_hit := true;
+           raise Exit
          end
        end
      done
@@ -227,15 +251,27 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
     best_bound := final_bound;
     best_y := Array.copy y
   end;
+  let primal_objective = Util.Vecops.dot c x in
+  let rel_gap =
+    if Float.is_finite !best_bound then
+      Float.abs (primal_objective -. !best_bound)
+      /. (1. +. Float.abs primal_objective +. Float.abs !best_bound)
+    else infinity
+  in
   {
     x;
     y;
     best_bound = !best_bound;
     best_y = !best_y;
-    primal_objective = Util.Vecops.dot c x;
+    primal_objective;
     primal_infeasibility = Problem.max_violation p x;
     iterations = !iterations;
     converged = !converged;
+    stop =
+      (if !converged then Converged
+       else if !deadline_hit then Deadline
+       else Budget);
+    rel_gap;
   }
 
 let solve ?options ?x0 ?y0 problem =
@@ -284,6 +320,12 @@ let solve_reference ?(options = default_options) ?x0 ?y0 problem =
   let best_y = ref (Array.copy y) in
   let iterations = ref 0 in
   let converged = ref false in
+  let deadline_hit = ref false in
+  let budgeted = Float.is_finite options.deadline_s in
+  let t_start = if budgeted then Unix.gettimeofday () else 0. in
+  let past_deadline () =
+    budgeted && Unix.gettimeofday () -. t_start >= options.deadline_s
+  in
   Sparse.mul_t a y aty;
   (try
      for iter = 1 to options.max_iters do
@@ -341,6 +383,10 @@ let solve_reference ?(options = default_options) ?x0 ?y0 problem =
          then begin
            converged := true;
            raise Exit
+         end;
+         if past_deadline () then begin
+           deadline_hit := true;
+           raise Exit
          end
        end
      done
@@ -350,13 +396,25 @@ let solve_reference ?(options = default_options) ?x0 ?y0 problem =
     best_bound := final_bound;
     best_y := Array.copy y
   end;
+  let primal_objective = Util.Vecops.dot c x in
+  let rel_gap =
+    if Float.is_finite !best_bound then
+      Float.abs (primal_objective -. !best_bound)
+      /. (1. +. Float.abs primal_objective +. Float.abs !best_bound)
+    else infinity
+  in
   {
     x;
     y;
     best_bound = !best_bound;
     best_y = !best_y;
-    primal_objective = Util.Vecops.dot c x;
+    primal_objective;
     primal_infeasibility = Problem.max_violation p x;
     iterations = !iterations;
     converged = !converged;
+    stop =
+      (if !converged then Converged
+       else if !deadline_hit then Deadline
+       else Budget);
+    rel_gap;
   }

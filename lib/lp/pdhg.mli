@@ -19,9 +19,25 @@ type options = {
           sublinear tail to fast linear convergence on most LPs — the
           core trick of Google's PDLP. *)
   verbose : bool;  (** log checkpoint progress via [logs] *)
+  deadline_s : float;
+      (** wall-clock budget for one solve (default [infinity] = none).
+          Checked at checkpoints only, so the precision is one
+          [check_every] block; when it fires, the solve returns the best
+          certified bound seen so far — still valid by weak duality, just
+          looser. With the default the clock is never read and iterates
+          are bit-identical to a build without this feature. *)
 }
 
 val default_options : options
+
+(** Why a solve returned. Every reason yields a valid [best_bound];
+    [Deadline] and [Budget] simply mean the bound may be loose. *)
+type stop_reason =
+  | Converged  (** met [rel_tol] *)
+  | Deadline  (** [deadline_s] expired at a checkpoint *)
+  | Budget  (** ran all [max_iters] iterations *)
+
+val stop_label : stop_reason -> string
 
 type outcome = {
   x : float array;  (** final primal iterate (approximately feasible) *)
@@ -32,6 +48,11 @@ type outcome = {
   primal_infeasibility : float;  (** max constraint/bound violation of x *)
   iterations : int;
   converged : bool;  (** met [rel_tol] before the iteration cap *)
+  stop : stop_reason;  (** why the solve returned ([converged] iff [Converged]) *)
+  rel_gap : float;
+      (** relative primal-dual gap estimate at exit:
+          [|c.x - best_bound| / (1 + |c.x| + |best_bound|)]; [infinity]
+          when no finite bound was certified *)
 }
 
 type prepared

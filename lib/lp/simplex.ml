@@ -3,6 +3,11 @@ type result =
   | Infeasible
   | Unbounded
 
+type certified =
+  | Cert_optimal of { x : float array; objective : float; dual : float array }
+  | Cert_infeasible of { ray : float array }
+  | Cert_unbounded
+
 let eps = 1e-9
 let feas_tol = 1e-7
 
@@ -106,7 +111,7 @@ let iterate t ~allowed ~budget =
   in
   step 0
 
-let solve ?(max_pivots = 100_000) (p : Problem.t) =
+let solve_certified ?(max_pivots = 100_000) (p : Problem.t) =
   let n = Problem.nvars p in
   Array.iter
     (fun l ->
@@ -114,54 +119,68 @@ let solve ?(max_pivots = 100_000) (p : Problem.t) =
         invalid_arg "Simplex.solve: all lower bounds must be finite")
     p.lower;
   (* Shift x = z + lower so z >= 0, and collect rows: original constraints
-     plus one Le row per finite upper bound. *)
+     plus one Le row per finite upper bound. [src] remembers which
+     original row a tableau row came from (-1 for the bound rows, whose
+     multipliers the certificate re-derives optimally from the box). *)
   let shifted_rows = ref [] in
-  Array.iter
-    (fun (r : Problem.row) ->
+  Array.iteri
+    (fun idx (r : Problem.row) ->
       let shift =
         Array.fold_left (fun acc (j, v) -> acc +. (v *. p.lower.(j))) 0. r.coeffs
       in
-      shifted_rows := (r.kind, r.rhs -. shift, Array.to_list r.coeffs) :: !shifted_rows)
+      shifted_rows :=
+        (r.kind, r.rhs -. shift, Array.to_list r.coeffs, idx) :: !shifted_rows)
     p.rows;
   Array.iteri
     (fun j u ->
       if Float.is_finite u then
-        shifted_rows := (Problem.Le, u -. p.lower.(j), [ (j, 1.) ]) :: !shifted_rows)
+        shifted_rows :=
+          (Problem.Le, u -. p.lower.(j), [ (j, 1.) ], -1) :: !shifted_rows)
     p.upper;
   let all_rows = List.rev !shifted_rows in
   let m = List.length all_rows in
   (* Count auxiliary columns: slack (Le), surplus (Ge), artificial (Ge with
      positive rhs, Eq always; Le with negative rhs becomes Ge after the
-     sign flip below). *)
+     sign flip below). [flip] records the sign flip so tableau multipliers
+     can be mapped back to the original row orientation. *)
   let rows_std =
     List.map
-      (fun (kind, rhs, coeffs) ->
+      (fun (kind, rhs, coeffs, src) ->
         if rhs < 0. then
           let flipped = List.map (fun (j, v) -> (j, -.v)) coeffs in
           let kind' =
             match kind with Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq
           in
-          (kind', -.rhs, flipped)
-        else (kind, rhs, coeffs))
+          (kind', -.rhs, flipped, src, -1.)
+        else (kind, rhs, coeffs, src, 1.))
       all_rows
   in
   let n_slack =
     List.length
-      (List.filter (fun (k, _, _) -> k <> Problem.Eq) rows_std)
+      (List.filter (fun (k, _, _, _, _) -> k <> Problem.Eq) rows_std)
   in
   let n_artificial =
     List.length
       (List.filter
-         (fun ((k : Problem.row_kind), _, _) -> k = Ge || k = Eq)
+         (fun ((k : Problem.row_kind), _, _, _, _) -> k = Ge || k = Eq)
          rows_std)
   in
   let ncols = n + n_slack + n_artificial in
   let tab = Array.make_matrix m (ncols + 1) 0. in
   let basis = Array.make m 0 in
+  let row_kind = Array.make m Problem.Eq in
+  let row_src = Array.make m (-1) in
+  let row_flip = Array.make m 1. in
+  (* The auxiliary column whose reduced cost carries row i's simplex
+     multiplier: the slack (Le), the surplus (Ge) or the artificial (Eq). *)
+  let row_dual_col = Array.make m 0 in
   let slack_cursor = ref n in
   let art_cursor = ref (n + n_slack) in
   List.iteri
-    (fun i (kind, rhs, coeffs) ->
+    (fun i (kind, rhs, coeffs, src, flip) ->
+      row_kind.(i) <- kind;
+      row_src.(i) <- src;
+      row_flip.(i) <- flip;
       List.iter (fun (j, v) -> tab.(i).(j) <- tab.(i).(j) +. v) coeffs;
       tab.(i).(ncols) <- rhs;
       (match kind with
@@ -169,11 +188,13 @@ let solve ?(max_pivots = 100_000) (p : Problem.t) =
         let s = !slack_cursor in
         incr slack_cursor;
         tab.(i).(s) <- 1.;
-        basis.(i) <- s
+        basis.(i) <- s;
+        row_dual_col.(i) <- s
       | Problem.Ge ->
         let s = !slack_cursor in
         incr slack_cursor;
         tab.(i).(s) <- -1.;
+        row_dual_col.(i) <- s;
         let a = !art_cursor in
         incr art_cursor;
         tab.(i).(a) <- 1.;
@@ -182,9 +203,39 @@ let solve ?(max_pivots = 100_000) (p : Problem.t) =
         let a = !art_cursor in
         incr art_cursor;
         tab.(i).(a) <- 1.;
-        basis.(i) <- a))
+        basis.(i) <- a;
+        row_dual_col.(i) <- a))
     rows_std;
   let t = { m; ncols; tab; basis; reduced = Array.make (ncols + 1) 0. } in
+  (* Read the simplex multipliers for the original rows out of the current
+     reduced-cost row and express them against the Ge-normalized problem.
+     With duals y = c_B B^-1, a column with coefficient +-e_i and cost c
+     has reduced cost c -+ y_i: slack (+e_i, cost 0) gives y_i =
+     -reduced, surplus (-e_i, cost 0) gives y_i = +reduced, artificial
+     (+e_i, cost [art_cost]) gives y_i = art_cost - reduced. [flip] undoes
+     the rhs<0 sign flip; the final map negates multipliers of original
+     Le rows because {!Problem.normalize_ge} negates those rows. *)
+  let multipliers ~art_cost =
+    let v = Array.make (Array.length p.rows) 0. in
+    for i = 0 to m - 1 do
+      let src = row_src.(i) in
+      if src >= 0 then begin
+        let w =
+          match row_kind.(i) with
+          | Problem.Le -> -.t.reduced.(row_dual_col.(i))
+          | Problem.Ge -> t.reduced.(row_dual_col.(i))
+          | Problem.Eq -> art_cost -. t.reduced.(row_dual_col.(i))
+        in
+        v.(src) <- v.(src) +. (row_flip.(i) *. w)
+      end
+    done;
+    Array.mapi
+      (fun i vi ->
+        match p.rows.(i).kind with
+        | Problem.Le -> -.vi
+        | Problem.Ge | Problem.Eq -> vi)
+      v
+  in
   (* Phase 1: minimize the sum of artificials. *)
   let phase1_cost = Array.make ncols 0. in
   for j = n + n_slack to ncols - 1 do
@@ -196,7 +247,10 @@ let solve ?(max_pivots = 100_000) (p : Problem.t) =
   | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | `Optimal -> ());
   let phase1_obj = -.t.reduced.(ncols) in
-  if phase1_obj > feas_tol then Infeasible
+  if phase1_obj > feas_tol then
+    (* The optimal phase-1 duals aggregate the rows into a constraint no
+       point in the box satisfies: a Farkas certificate. *)
+    Cert_infeasible { ray = multipliers ~art_cost:1. }
   else begin
     (* Drive remaining artificials out of the basis where possible. *)
     for i = 0 to m - 1 do
@@ -223,12 +277,23 @@ let solve ?(max_pivots = 100_000) (p : Problem.t) =
     recompute_reduced t phase2_cost;
     let allowed = Array.init ncols (fun j -> j < n + n_slack) in
     match iterate t ~allowed ~budget:max_pivots with
-    | `Unbounded -> Unbounded
+    | `Unbounded -> Cert_unbounded
     | `Optimal ->
       let z = Array.make n 0. in
       for i = 0 to m - 1 do
         if t.basis.(i) < n then z.(t.basis.(i)) <- t.tab.(i).(ncols)
       done;
       let x = Array.mapi (fun j zj -> zj +. p.lower.(j)) z in
-      Optimal { x; objective = Problem.objective_value p x }
+      Cert_optimal
+        {
+          x;
+          objective = Problem.objective_value p x;
+          dual = multipliers ~art_cost:0.;
+        }
   end
+
+let solve ?max_pivots p =
+  match solve_certified ?max_pivots p with
+  | Cert_optimal { x; objective; dual = _ } -> Optimal { x; objective }
+  | Cert_infeasible _ -> Infeasible
+  | Cert_unbounded -> Unbounded

@@ -20,3 +20,23 @@ val solve : ?max_pivots:int -> Problem.t -> result
     bounds may be infinite). [max_pivots] defaults to [100_000]; raises
     [Failure] if exceeded, which indicates a bug rather than a hard
     instance at the intended scale. *)
+
+(** Like {!result}, but every terminal verdict ships its witness:
+
+    - [Cert_optimal.dual] are the simplex multipliers of the original
+      rows, mapped onto {!Problem.normalize_ge}[ p] — feeding them to
+      {!Certificate.dual_bound} on that normalized problem reproduces
+      [objective] (up to rounding). Bound-row multipliers are omitted:
+      the certificate evaluator re-derives them optimally from the box,
+      which preserves both validity and tightness.
+    - [Cert_infeasible.ray] is the optimal phase-1 dual vector restricted
+      to the original rows, a Farkas ray on the normalized problem
+      accepted by {!Certificate.check_farkas}. *)
+type certified =
+  | Cert_optimal of { x : float array; objective : float; dual : float array }
+  | Cert_infeasible of { ray : float array }
+  | Cert_unbounded
+
+val solve_certified : ?max_pivots:int -> Problem.t -> certified
+(** {!solve} with certificates; identical pivot sequence, so the primal
+    answers are bit-identical to {!solve}'s. *)

@@ -47,6 +47,13 @@ let narrow_int ~jobs ~feasible lo hi =
   in
   scan lo (probes, flags)
 
+(* Both searches maintain "[hi] is known feasible" as their invariant, so
+   they can stop refining at any moment and still return a valid (merely
+   non-minimal) parameter. When the ambient task budget expires
+   ({!Util.Parallel.task_expired}) they do exactly that — the bisection
+   analogue of an anytime LP bound. Unbudgeted runs never read the clock
+   and keep their deterministic narrowing sequence. *)
+
 let min_feasible_int ?(jobs = 1) ~lo ~hi feasible =
   if lo > hi then invalid_arg "Search.min_feasible_int: lo > hi";
   if not (feasible hi) then None
@@ -54,7 +61,7 @@ let min_feasible_int ?(jobs = 1) ~lo ~hi feasible =
   else begin
     (* Invariant: feasible hi, not (feasible lo). *)
     let lo = ref lo and hi = ref hi in
-    while !hi - !lo > 1 do
+    while !hi - !lo > 1 && not (Util.Parallel.task_expired ()) do
       if jobs <= 1 then begin
         let mid = !lo + ((!hi - !lo) / 2) in
         if feasible mid then hi := mid else lo := mid
@@ -75,7 +82,7 @@ let min_feasible_float ?(jobs = 1) ~lo ~hi ~tol feasible =
   else if feasible lo then Some lo
   else begin
     let lo = ref lo and hi = ref hi in
-    while !hi -. !lo > tol do
+    while !hi -. !lo > tol && not (Util.Parallel.task_expired ()) do
       if jobs <= 1 then begin
         let mid = 0.5 *. (!lo +. !hi) in
         if feasible mid then hi := mid else lo := mid

@@ -12,7 +12,13 @@
     (through {!Util.Parallel}) and narrows the bracket to the segment
     where feasibility flips. For a monotone predicate the answer is
     identical to plain bisection — only the probe schedule changes — so
-    parallel and sequential searches return the same parameter. *)
+    parallel and sequential searches return the same parameter.
+
+    Both searches are {e anytime}: the upper bracket end is feasible by
+    invariant, so when the ambient per-task budget expires
+    ({!Util.Parallel.task_expired}) the search stops refining and returns
+    the current feasible end — a valid, merely non-minimal, parameter.
+    Unbudgeted runs never consult the clock. *)
 
 val min_feasible_int :
   ?jobs:int -> lo:int -> hi:int -> (int -> bool) -> int option

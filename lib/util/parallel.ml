@@ -43,6 +43,29 @@ let in_worker () = !worker_ctx <> None
 
 let task_attempt () = match !worker_ctx with Some a -> a | None -> 0
 
+(* Ambient per-task wall-clock deadline (an absolute [Unix.gettimeofday]
+   value; [infinity] = unbudgeted), installed around each task body on
+   every execution path — worker serve loop, sequential fallback, inline
+   recovery. Budget-aware task bodies (anytime LP solves, bisection
+   searches) poll it to degrade to a valid-but-looser answer instead of
+   overrunning a sweep deadline. Budgets travel with the dispatch message
+   because workers fork before the budgets are known. *)
+let task_deadline_ref = ref infinity
+
+let task_deadline () = !task_deadline_ref
+
+let task_expired () =
+  let d = !task_deadline_ref in
+  d < infinity && Unix.gettimeofday () >= d
+
+let with_task_deadline budget body =
+  let deadline =
+    if Float.is_finite budget then Unix.gettimeofday () +. Float.max 0. budget
+    else infinity
+  in
+  task_deadline_ref := deadline;
+  Fun.protect ~finally:(fun () -> task_deadline_ref := infinity) body
+
 (* --- supervision policy -------------------------------------------------- *)
 
 let max_task_attempts = 3
@@ -84,13 +107,16 @@ let default_jobs () = available_cores ()
 
 (* --- sequential fallback ------------------------------------------------ *)
 
-let sequential ?on_result ~f tasks =
+let sequential ?budget_of ?on_result ~f tasks =
   List.mapi
     (fun index task ->
+      let budget = match budget_of with Some g -> g index | None -> infinity in
       let t0 = Unix.gettimeofday () in
-      match f task with
+      match with_task_deadline budget (fun () -> f task) with
       | value ->
-        let r = { value; wall_s = Unix.gettimeofday () -. t0 } in
+        (* wall_s clamped: a backwards NTP step between the two clock
+           reads must not surface as a negative duration. *)
+        let r = { value; wall_s = Float.max 0. (Unix.gettimeofday () -. t0) } in
         (match on_result with Some g -> g index r | None -> ());
         Ok r
       | exception e ->
@@ -141,17 +167,17 @@ let spawn ~inherited ~tasks ~f =
     let ic = Unix.in_channel_of_descr req_r in
     let oc = Unix.out_channel_of_descr resp_w in
     let rec serve () =
-      match (Marshal.from_channel ic : int * int) with
+      match (Marshal.from_channel ic : int * int * float) with
       | exception (End_of_file | Failure _) -> ()
-      | index, attempt ->
+      | index, attempt, budget_s ->
         let t0 = Unix.gettimeofday () in
         worker_ctx := Some attempt;
         let res =
-          try Ok (f tasks.(index))
+          try Ok (with_task_deadline budget_s (fun () -> f tasks.(index)))
           with e -> Error (Printexc.to_string e)
         in
         worker_ctx := None;
-        let wall = Unix.gettimeofday () -. t0 in
+        let wall = Float.max 0. (Unix.gettimeofday () -. t0) in
         (Marshal.to_channel oc (index, res, wall : _ response) [];
          flush oc);
         serve ()
@@ -187,7 +213,7 @@ let reap ?(grace_s = 0.05) w ~kill =
     (try close_out_noerr w.req_oc with _ -> ());
     (try close_in_noerr w.resp_ic with _ -> ());
     if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-    let deadline = Unix.gettimeofday () +. grace_s in
+    let deadline = ref (Unix.gettimeofday () +. grace_s) in
     let rec blocking_wait () =
       match Unix.waitpid [] w.pid with
       | _, status -> Some status
@@ -198,7 +224,11 @@ let reap ?(grace_s = 0.05) w ~kill =
     let rec poll () =
       match Unix.waitpid [ Unix.WNOHANG ] w.pid with
       | 0, _ ->
-        if Unix.gettimeofday () >= deadline then begin
+        let now = Unix.gettimeofday () in
+        (* Re-derive after a backwards clock step so the grace period can
+           never stretch beyond [grace_s] of real polling. *)
+        if !deadline -. now > grace_s then deadline := now +. grace_s;
+        if now >= !deadline then begin
           (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
           (* SIGKILL cannot be caught; a blocking wait now terminates. *)
           blocking_wait ()
@@ -219,7 +249,10 @@ let rec select_eintr fds timeout =
   try Unix.select fds [] [] timeout
   with Unix.Unix_error (Unix.EINTR, _, _) -> select_eintr fds timeout
 
-let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
+let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
+  let budget_for index =
+    match budget_of with Some g -> g index | None -> infinity
+  in
   let n = Array.length tasks in
   let results = Array.make n None in
   let failures : task_error option array = Array.make n None in
@@ -250,9 +283,10 @@ let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
     (* Last-resort path: compute in the parent (also the drain path once
        every worker is gone). Exceptions become structured failures. *)
     let t0 = Unix.gettimeofday () in
-    match f tasks.(index) with
+    match with_task_deadline (budget_for index) (fun () -> f tasks.(index)) with
     | value ->
-      complete_ok index { value; wall_s = Unix.gettimeofday () -. t0 }
+      complete_ok index
+        { value; wall_s = Float.max 0. (Unix.gettimeofday () -. t0) }
     | exception e ->
       complete_err index (Printexc.to_string e) (attempt + 1)
   in
@@ -332,7 +366,9 @@ let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
       | None -> ()
       | Some (index, attempt) -> (
         match
-          Marshal.to_channel w.req_oc ((index, attempt) : int * int) [];
+          Marshal.to_channel w.req_oc
+            ((index, attempt, budget_for index) : int * int * float)
+            [];
           flush w.req_oc
         with
         | () ->
@@ -455,6 +491,18 @@ let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
             end
             else begin
               let now = Unix.gettimeofday () in
+              (* A backwards clock step (NTP) would leave absolute
+                 deadlines far in the future and stretch the select
+                 below by the size of the jump; re-derive so no
+                 in-flight task ever has more than the configured
+                 timeout left. *)
+              (match timeout_s with
+              | Some t ->
+                List.iter
+                  (fun w ->
+                    if w.deadline > now +. t then w.deadline <- now +. t)
+                  in_flight
+              | None -> ());
               let horizon =
                 List.fold_left
                   (fun acc w -> Float.min acc w.deadline)
@@ -497,20 +545,20 @@ let run_pool ~jobs ~timeout_s ?on_result ~f tasks =
 
 (* --- public maps --------------------------------------------------------- *)
 
-let run ?jobs ?timeout_s ?on_result ~f tasks =
+let run ?jobs ?timeout_s ?budget_of ?on_result ~f tasks =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let arr = Array.of_list tasks in
   if (not fork_available) || jobs <= 1 || Array.length arr <= 1 then begin
     stats_ref := zero_stats;
-    sequential ?on_result ~f tasks
+    sequential ?budget_of ?on_result ~f tasks
   end
-  else Array.to_list (run_pool ~jobs ~timeout_s ?on_result ~f arr)
+  else Array.to_list (run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f arr)
 
-let map_results ?jobs ?timeout_s ?on_result ~f tasks =
-  run ?jobs ?timeout_s ?on_result ~f tasks
+let map_results ?jobs ?timeout_s ?budget_of ?on_result ~f tasks =
+  run ?jobs ?timeout_s ?budget_of ?on_result ~f tasks
 
-let map ?jobs ?timeout_s ?on_result ~f tasks =
-  let outcomes = run ?jobs ?timeout_s ?on_result ~f tasks in
+let map ?jobs ?timeout_s ?budget_of ?on_result ~f tasks =
+  let outcomes = run ?jobs ?timeout_s ?budget_of ?on_result ~f tasks in
   (* Report the lowest-index failure, matching the sequential order a
      plain [List.map] would have surfaced it in. *)
   List.iter
@@ -521,5 +569,5 @@ let map ?jobs ?timeout_s ?on_result ~f tasks =
     outcomes;
   List.map (function Ok r -> r | Error _ -> assert false) outcomes
 
-let map_values ?jobs ?timeout_s ?on_result ~f tasks =
-  List.map (fun r -> r.value) (map ?jobs ?timeout_s ?on_result ~f tasks)
+let map_values ?jobs ?timeout_s ?budget_of ?on_result ~f tasks =
+  List.map (fun r -> r.value) (map ?jobs ?timeout_s ?budget_of ?on_result ~f tasks)

@@ -87,6 +87,18 @@ val task_attempt : unit -> int
 (** The current task's 0-based attempt number inside a worker (0 in the
     parent). Fault injectors use it to fail only first attempts. *)
 
+val task_deadline : unit -> float
+(** Absolute [Unix.gettimeofday] deadline of the currently running task,
+    or [infinity] when it has no budget. Installed around every task body
+    (worker, sequential path, inline recovery) from the [budget_of]
+    callback; budget-aware bodies poll it to degrade to a looser-but-valid
+    answer instead of overrunning. *)
+
+val task_expired : unit -> bool
+(** [task_deadline () < infinity] and the clock has passed it. Never
+    reads the clock for unbudgeted tasks, so budget-free runs stay
+    byte-identical. *)
+
 val available_cores : unit -> int
 (** Processor count from [/proc/cpuinfo] (fallback: [getconf
     _NPROCESSORS_ONLN]; 1 when neither is readable). *)
@@ -100,6 +112,7 @@ val fork_available : bool
 val map :
   ?jobs:int ->
   ?timeout_s:float ->
+  ?budget_of:(int -> float) ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->
@@ -110,11 +123,19 @@ val map :
     [on_result] is invoked in the {e parent}, in completion order, as
     each task finishes (checkpoint journals hang off this). If any task
     failed, {!Task_failed} is raised for the lowest failing index after
-    the whole pool has drained. *)
+    the whole pool has drained.
+
+    [budget_of index] is evaluated in the parent at each dispatch of task
+    [index] (including retries) and travels with the request; the task
+    body observes it via {!task_deadline}/{!task_expired}. [infinity]
+    (and any non-finite value) means unbudgeted. Unlike [timeout_s] —
+    which is enforced by killing the worker — a budget is advisory: only
+    bodies that poll it degrade. *)
 
 val map_results :
   ?jobs:int ->
   ?timeout_s:float ->
+  ?budget_of:(int -> float) ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->
@@ -126,6 +147,7 @@ val map_results :
 val map_values :
   ?jobs:int ->
   ?timeout_s:float ->
+  ?budget_of:(int -> float) ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->

@@ -22,12 +22,31 @@ json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
 # worker_deaths, the solve-path counts) appear in both the clean and the
 # faulted sections, and json_num would take the clean one first.
 json_num_faulted() { # json_num_faulted FILE KEY
+  # The solve-path and pool counters sit on one line each, so the key is
+  # matched anywhere in the line, not only at line start.
   sed -n '/"faulted"/,$p' "$1" \
+    | sed -n "s/.*\"$2\": *\([0-9.eE+-][0-9.eE+-]*\).*/\1/p" | head -n 1
+}
+# And scoped to the "deadline" object (budget_s, elapsed_s, the quality
+# counts), which also shares key names with earlier sections. Booleans
+# are matched separately since json_num only takes numbers.
+json_num_deadline() { # json_num_deadline FILE KEY
+  sed -n '/"deadline"/,$p' "$1" \
     | sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\).*/\1/p" | head -n 1
+}
+json_bool_deadline() { # json_bool_deadline FILE KEY
+  sed -n '/"deadline"/,$p' "$1" \
+    | sed -n "s/^ *\"$2\": *\(true\|false\).*/\1/p" | head -n 1
+}
+# Quality counters live on one line inside the deadline object's
+# "quality" map, so match the key anywhere in the line.
+json_qcount_deadline() { # json_qcount_deadline FILE KEY
+  sed -n '/"deadline"/,$p' "$1" \
+    | sed -n "s/.*\"$2\": *\([0-9][0-9]*\).*/\1/p" | head -n 1
 }
 
 log=BENCH_LOG.tsv
-header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns'
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells'
 # Rotate a log whose header predates the robustness columns rather than
 # appending rows that no longer line up with it.
 if [ -f "$log" ] && [ "$(head -n 1 "$log")" != "$(printf "$header\n" | head -n 1)" ]; then
@@ -38,7 +57,7 @@ if [ ! -f "$log" ]; then
   printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -52,6 +71,11 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(json_num_faulted BENCH_sweep.json simplex-fallback)" \
   "$(json_num_faulted BENCH_sweep.json worker_deaths)" \
   "$(json_num_faulted BENCH_sweep.json respawns)" \
+  "$(json_num_deadline BENCH_sweep.json budget_s)" \
+  "$(json_num_deadline BENCH_sweep.json elapsed_s)" \
+  "$(json_bool_deadline BENCH_sweep.json within_budget)" \
+  "$(json_qcount_deadline BENCH_sweep.json time-budget)" \
+  "$(json_qcount_deadline BENCH_sweep.json iter-budget)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"

@@ -15,3 +15,15 @@ echo "== faults stage: injection suite at --jobs 1 =="
 FAULTS_JOBS=1 ./_build/default/test/test_faults.exe
 echo "== faults stage: injection suite at --jobs 4 =="
 FAULTS_JOBS=4 ./_build/default/test/test_faults.exe
+
+# Deadline stage: a budgeted figure sweep must finish within its budget
+# plus one cell's grace, degrade cells to looser-but-still-certified
+# bounds, and pass the from-scratch certificate recheck (--certify makes
+# any overrun or failed recheck exit nonzero) — at both pool widths.
+for j in 1 4; do
+  echo "== deadline stage: governed sweep + certificate recheck at --jobs $j =="
+  out=_build/deadline-check-j$j.out
+  ./_build/default/bin/experiments.exe fig2 --quick --scale 0.02 \
+    --deadline 10 --certify --jobs "$j" -w web > "$out"
+  grep -E 'deadline|certificates' "$out"
+done
