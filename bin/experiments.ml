@@ -59,6 +59,67 @@ let pool_summary (p : Util.Parallel.pool_stats) =
    scripted runs can gate on them. *)
 let violations = ref 0
 
+(* --- observability ------------------------------------------------------- *)
+
+(* The ambient Obs configuration is installed once, before any sweep
+   forks workers. --trace keeps the deterministic logical clock (the
+   trace is byte-identical at every --jobs); --profile switches on
+   wall-clock attributes and timing histograms for performance triage. *)
+let setup_obs ~trace ~metrics ~profile =
+  if trace <> None || metrics <> None || profile then
+    Obs.Config.install
+      {
+        Obs.Config.trace = trace <> None || profile;
+        metrics = metrics <> None || profile;
+        wall_clock = profile;
+        sink =
+          (match trace with
+          | Some f -> Obs.Config.Jsonl_file f
+          | None -> Obs.Config.Null);
+        metrics_path = metrics;
+      }
+
+(* The counters worth a line in the per-sweep summary: enough to see at
+   a glance where a sweep's work went (solver iterations, fallback hops,
+   pool supervision) when triaging a degraded or slow cell. *)
+let summary_counters =
+  lazy
+    (List.map
+       (fun n -> (n, Obs.Metrics.counter n))
+       [
+         "pipeline.cells"; "pipeline.fallback_hops"; "pdhg.solves";
+         "pdhg.iterations"; "pdhg.restarts"; "pdhg.deadline_stops";
+         "simplex.solves"; "simplex.pivots"; "branch_bound.nodes";
+         "sim.heuristic_runs"; "pool.tasks_dispatched"; "pool.worker_deaths";
+         "pool.task_retries"; "pool.inline_recoveries"; "pool.timeouts";
+       ])
+
+(* Metrics accumulate for the whole process, so the per-sweep table
+   shows the movement across one sweep: value-after minus value-before
+   for every counter that moved. *)
+let with_metrics_summary ~name f =
+  if not (Obs.Config.metering ()) then f ()
+  else begin
+    let counters = Lazy.force summary_counters in
+    let before =
+      List.map (fun (n, c) -> (n, Obs.Metrics.counter_value c)) counters
+    in
+    let r = f () in
+    let moved =
+      List.filter_map
+        (fun ((n, c), (_, b)) ->
+          let d = Obs.Metrics.counter_value c - b in
+          if d > 0 then Some (n, d) else None)
+        (List.combine counters before)
+    in
+    if moved <> [] then begin
+      Printf.printf "metrics %s:\n" name;
+      List.iter (fun (n, d) -> Printf.printf "  %-28s %12d\n" n d) moved;
+      Printf.printf "%!"
+    end;
+    r
+  end
+
 let print_sweep_robustness ~name (sweep : Bounds.Pipeline.sweep) =
   let paths =
     List.filter (fun (_, n) -> n > 0) (Bounds.Pipeline.path_counts sweep)
@@ -177,9 +238,19 @@ let sweep_figure ?placeable ?journal_dir ?(deadline_s = infinity)
         Filename.concat dir (name ^ ".journal"))
       journal_dir
   in
+  let cfg =
+    {
+      Bounds.Pipeline.Sweep_config.default with
+      jobs;
+      placeable;
+      deadline_s;
+      cell_budget_s;
+      journal;
+    }
+  in
   let sweep =
-    Bounds.Pipeline.sweep_classes ~jobs ?placeable ~deadline_s ~cell_budget_s
-      ?journal spec ~fractions:points classes
+    with_metrics_summary ~name (fun () ->
+        Bounds.Pipeline.sweep_classes cfg spec ~fractions:points classes)
   in
   print_sweep_robustness ~name sweep;
   print_sweep_quality ~name ~deadline_s ~cell_budget_s sweep;
@@ -820,6 +891,38 @@ let certify_t =
            verified Farkas ray. Any failure makes the command exit \
            nonzero.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Record a structured trace (solver spans, sweep cells, worker \
+           tasks) and write it to $(docv) as JSON lines. Worker spans \
+           from every job merge into one trace, ordered by logical \
+           counters, so the file is byte-identical at every $(b,--jobs) \
+           setting (unless $(b,--profile) adds wall-clock attributes).")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE.json"
+        ~doc:
+          "Collect solver / pipeline / pool counters and write the final \
+           registry snapshot to $(docv) as JSON. Also prints a per-sweep \
+           summary of the counters that moved.")
+
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable tracing and metrics with wall-clock attributes and \
+           timing histograms (per-task wall clock, span durations). \
+           Implies the per-sweep metrics summary; combine with \
+           $(b,--trace) to keep the timed trace.")
+
 let setup_faults inject =
   let spec =
     match inject with
@@ -849,9 +952,10 @@ let resolve_jobs jobs = if jobs <= 0 then Util.Parallel.default_jobs () else job
 
 let run_figure f =
   let run verbose quick scale seed zeta csv_dir jobs inject journal_dir
-      deadline cell_budget certify workloads =
+      deadline cell_budget certify trace metrics profile workloads =
     setup_logs verbose;
     setup_faults inject;
+    setup_obs ~trace ~metrics ~profile;
     let jobs = resolve_jobs jobs in
     (* Non-positive budgets mean "no budget", matching sweep_classes —
        the overrun check must not treat them as already blown. *)
@@ -864,12 +968,21 @@ let run_figure f =
           (f ?csv_dir ?journal_dir ~quick ~scale ~seed ~zeta ~jobs ~deadline_s
              ~cell_budget_s ~certify w))
       workloads;
+    (* Write the merged trace / metrics snapshot (no-op when neither
+       --trace, --metrics nor --profile was given). *)
+    Obs.Sink.flush ();
+    (match trace with
+    | Some file -> Printf.printf "wrote trace %s\n%!" file
+    | None -> ());
+    (match metrics with
+    | Some file -> Printf.printf "wrote metrics %s\n%!" file
+    | None -> ());
     if !violations > 0 then exit 1
   in
   Term.(
     const run $ verbose_t $ quick_t $ scale_t $ seed_t $ zeta_t $ csv_t
     $ jobs_t $ inject_t $ journal_t $ deadline_t $ cell_budget_t $ certify_t
-    $ workload_t)
+    $ trace_t $ metrics_t $ profile_t $ workload_t)
 
 let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Lower bounds per class vs QoS (Figure 1).")

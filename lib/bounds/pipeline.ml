@@ -64,6 +64,18 @@ let src = Logs.Src.create "bounds" ~doc:"lower-bound pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Observability instruments: one counter per fallback-chain leg, so the
+   metrics snapshot shows at a glance how cells were obtained. *)
+let m_paths =
+  lazy
+    (List.map
+       (fun p -> (p, Obs.Metrics.counter ("pipeline.path." ^ path_label p)))
+       all_paths)
+
+let count_path p = Obs.Metrics.incr (List.assoc p (Lazy.force m_paths))
+let m_cells = lazy (Obs.Metrics.counter "pipeline.cells")
+let m_fallbacks = lazy (Obs.Metrics.counter "pipeline.fallback_hops")
+
 let default_pdhg_options =
   { Lp.Pdhg.default_options with max_iters = 40_000; rel_tol = 1e-4 }
 
@@ -185,7 +197,7 @@ let pdhg_healthy prep (out : Lp.Pdhg.outcome) =
   && Float.abs (recheck -. out.Lp.Pdhg.best_bound)
      <= 1e-9 *. (1. +. Float.abs out.Lp.Pdhg.best_bound)
 
-let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
+let solve_relaxation_raw ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
     ?deadline_s problem =
   let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
   let pre = Lp.Presolve.run problem in
@@ -318,11 +330,31 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
                  retrying cold on a clean rebuild"
                 out1.Lp.Pdhg.best_bound out1.Lp.Pdhg.primal_infeasibility
                 out1.Lp.Pdhg.iterations);
+          Obs.Metrics.incr (Lazy.force m_fallbacks);
+          if Obs.Config.tracing () then
+            Obs.Trace.event "pipeline.pdhg_unhealthy"
+              ~attrs:
+                [
+                  ("cause", Obs.Trace.Str "primary");
+                  ("bound", Obs.Trace.Float out1.Lp.Pdhg.best_bound);
+                  ("pinf", Obs.Trace.Float out1.Lp.Pdhg.primal_infeasibility);
+                  ("iters", Obs.Trace.Int out1.Lp.Pdhg.iterations);
+                ];
           let prep2, out2 = attempt ~poisoned:false in
           if pdhg_healthy prep2 out2 then accept Path_pdhg_retry prep2 out2
           else begin
             Log.warn (fun f ->
                 f "pdhg retry unhealthy: rescuing with exact simplex");
+            Obs.Metrics.incr (Lazy.force m_fallbacks);
+            if Obs.Config.tracing () then
+              Obs.Trace.event "pipeline.pdhg_unhealthy"
+                ~attrs:
+                  [
+                    ("cause", Obs.Trace.Str "retry");
+                    ("bound", Obs.Trace.Float out2.Lp.Pdhg.best_bound);
+                    ("pinf", Obs.Trace.Float out2.Lp.Pdhg.primal_infeasibility);
+                    ("iters", Obs.Trace.Int out2.Lp.Pdhg.iterations);
+                  ];
             match Lp.Simplex.solve_certified red with
             | Lp.Simplex.Cert_optimal { x; objective; dual } ->
               {
@@ -340,6 +372,31 @@ let solve_relaxation ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
         end
       end
     end
+
+(* Instrumented entry point: a span around the whole fallback chain,
+   tagged with the leg that finally produced the bound. The span and
+   path counters never touch the numbers — the raw chain above is the
+   entire computation. *)
+let solve_relaxation ?solver ?reuse ?warm ?inject_nan ?deadline_s problem =
+  let sp =
+    Obs.Trace.span_begin "pipeline.solve_relaxation"
+      ~attrs:
+        [
+          ("vars", Obs.Trace.Int (Lp.Problem.nvars problem));
+          ("rows", Obs.Trace.Int (Lp.Problem.nrows problem));
+        ]
+  in
+  match
+    solve_relaxation_raw ?solver ?reuse ?warm ?inject_nan ?deadline_s problem
+  with
+  | r ->
+    count_path r.path;
+    Obs.Trace.span_end sp
+      ~attrs:[ ("path", Obs.Trace.Str (path_label r.path)) ];
+    r
+  | exception e ->
+    Obs.Trace.span_end sp ~attrs:[ ("path", Obs.Trace.Str "exception") ];
+    raise e
 
 (* Turn a feasible relaxation outcome into a pipeline result: round the
    fractional point, evaluate the integral placement, report the gap. *)
@@ -698,9 +755,66 @@ let write_journal ~fingerprint path entries =
   close_out oc;
   Sys.rename tmp path
 
-let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
-    ?(deadline_s = infinity) ?(cell_budget_s = infinity) ?journal ?progress
-    spec ~fractions classes =
+(* One value instead of ~10 optional arguments: [sweep_classes] had
+   accreted jobs/solver/placeable/timeout/deadline/cell-budget/journal/
+   progress (and now an observability handle); a config record with
+   [with_*] builders keeps call sites readable and lets new knobs ride
+   along without touching every caller. *)
+module Sweep_config = struct
+  type t = {
+    jobs : int;
+    solver : solver;
+    placeable : bool array option;
+    timeout_s : float option;
+    deadline_s : float;
+    cell_budget_s : float;
+    journal : string option;
+    progress : (completed:int -> total:int -> unit) option;
+    obs : Obs.Config.t option;
+  }
+
+  let default =
+    {
+      jobs = 1;
+      solver = Auto;
+      placeable = None;
+      timeout_s = None;
+      deadline_s = infinity;
+      cell_budget_s = infinity;
+      journal = None;
+      progress = None;
+      obs = None;
+    }
+
+  let with_jobs jobs t = { t with jobs }
+  let with_solver solver t = { t with solver }
+  let with_placeable placeable t = { t with placeable = Some placeable }
+  let with_timeout timeout_s t = { t with timeout_s = Some timeout_s }
+  let with_deadline deadline_s t = { t with deadline_s }
+  let with_cell_budget cell_budget_s t = { t with cell_budget_s }
+  let with_journal journal t = { t with journal = Some journal }
+  let with_progress progress t = { t with progress = Some progress }
+  let with_obs obs t = { t with obs = Some obs }
+end
+
+let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
+  let {
+    Sweep_config.jobs;
+    solver;
+    placeable;
+    timeout_s;
+    deadline_s;
+    cell_budget_s;
+    journal;
+    progress;
+    obs;
+  } =
+    cfg
+  in
+  (* Install the sweep's observability view before any instrumentation
+     fires (and before workers fork, so they inherit it). [None] keeps
+     whatever the caller installed ambiently. *)
+  (match obs with Some o -> Obs.Config.install o | None -> ());
   let tlat_ms =
     match spec.Mcperf.Spec.goal with
     | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
@@ -747,7 +861,7 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
     Hashtbl.create 8
   in
   let prep_cache : (string, Lp.Pdhg.prepared) Hashtbl.t = Hashtbl.create 8 in
-  let solve (key, label, cls, fraction) =
+  let solve_cell (key, label, cls, fraction) =
     (* Deterministic fault-injection points: both fire only inside a pool
        worker on a task's first attempt, so the supervisor's retry always
        completes the cell. *)
@@ -815,6 +929,31 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
         finish ~round:Rounding.Round.round ~path:r.path model cls worst_qos sol
     end
   in
+  (* Each cell gets a span in its task scope, tagged with the class and
+     fraction it computed and how the solve went. *)
+  let solve ((_, label, _, fraction) as cell) =
+    Obs.Metrics.incr (Lazy.force m_cells);
+    let sp =
+      Obs.Trace.span_begin "pipeline.cell"
+        ~attrs:
+          [
+            ("class", Obs.Trace.Str label);
+            ("fraction", Obs.Trace.Float fraction);
+          ]
+    in
+    match solve_cell cell with
+    | r ->
+      Obs.Trace.span_end sp
+        ~attrs:
+          [
+            ("path", Obs.Trace.Str (path_label r.solve_path));
+            ("quality", Obs.Trace.Str (quality_label r.quality));
+          ];
+      r
+    | exception e ->
+      Obs.Trace.span_end sp;
+      raise e
+  in
   let total = List.length keyed_cells in
   let completed_count = ref resumed in
   let journal_entries =
@@ -834,6 +973,16 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
     match progress with
     | Some f -> f ~completed:!completed_count ~total
     | None -> ()
+  in
+  let sweep_sp =
+    Obs.Trace.span_begin "pipeline.sweep"
+      ~attrs:
+        [
+          ("classes", Obs.Trace.Int (List.length classes));
+          ("fractions", Obs.Trace.Int (List.length fractions));
+          ("cells", Obs.Trace.Int total);
+          ("resumed", Obs.Trace.Int resumed);
+        ]
   in
   let t0 = Unix.gettimeofday () in
   (* Time governor: apportion what is left of the global deadline across
@@ -867,6 +1016,8 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
     Util.Parallel.map ~jobs ?timeout_s ?budget_of ~on_result ~f:solve pending
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  Obs.Trace.span_end sweep_sp
+    ~attrs:[ ("wall_elapsed_s", Obs.Trace.Float elapsed_s) ];
   (match journal with
   | Some path ->
     if Sys.file_exists path then Sys.remove path;
@@ -915,6 +1066,23 @@ let sweep_classes ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
     pool = Util.Parallel.last_pool_stats ();
     resumed;
   }
+
+let sweep_classes_args ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
+    ?(deadline_s = infinity) ?(cell_budget_s = infinity) ?journal ?progress
+    spec ~fractions classes =
+  sweep_classes
+    {
+      Sweep_config.jobs;
+      solver;
+      placeable;
+      timeout_s;
+      deadline_s;
+      cell_budget_s;
+      journal;
+      progress;
+      obs = None;
+    }
+    spec ~fractions classes
 
 let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
   let tlat_ms =

@@ -201,23 +201,59 @@ val quality_counts : sweep -> (quality * int) list
     (zero entries included). A budget-free sweep reports every cell
     [Exact] or [Converged]. *)
 
+(** Sweep configuration as one value. [sweep_classes] had accreted ~10
+    optional arguments; build a config from {!Sweep_config.default} with
+    the [with_*] builders instead:
+
+    {[
+      Pipeline.(
+        sweep_classes
+          Sweep_config.(default |> with_jobs 4 |> with_deadline 30.)
+          spec ~fractions classes)
+    ]} *)
+module Sweep_config : sig
+  type t = {
+    jobs : int;  (** worker processes; <= 1 means sequential *)
+    solver : solver;
+    placeable : bool array option;
+        (** replica-hosting node restriction (Section 6.2 phase two) *)
+    timeout_s : float option;
+        (** per-cell hard deadline enforced by killing the worker *)
+    deadline_s : float;  (** whole-sweep wall-clock budget; [infinity] = none *)
+    cell_budget_s : float;  (** per-cell budget cap; [infinity] = none *)
+    journal : string option;  (** checkpoint journal path *)
+    progress : (completed:int -> total:int -> unit) option;
+    obs : Obs.Config.t option;
+        (** observability view to install for the sweep (and inherit into
+            its workers); [None] keeps the ambient {!Obs.Config} *)
+  }
+
+  val default : t
+  (** Sequential, [Auto] solver, unbudgeted, no journal, ambient
+      observability — the old defaults, as one value. *)
+
+  val with_jobs : int -> t -> t
+  val with_solver : solver -> t -> t
+  val with_placeable : bool array -> t -> t
+  val with_timeout : float -> t -> t
+  val with_deadline : float -> t -> t
+  val with_cell_budget : float -> t -> t
+  val with_journal : string -> t -> t
+  val with_progress : (completed:int -> total:int -> unit) -> t -> t
+  val with_obs : Obs.Config.t -> t -> t
+end
+
 val sweep_classes :
-  ?jobs:int ->
-  ?solver:solver ->
-  ?placeable:bool array ->
-  ?timeout_s:float ->
-  ?deadline_s:float ->
-  ?cell_budget_s:float ->
-  ?journal:string ->
-  ?progress:(completed:int -> total:int -> unit) ->
+  Sweep_config.t ->
   Mcperf.Spec.t ->
   fractions:float list ->
   (string * Mcperf.Classes.t) list ->
   sweep
-(** [sweep_classes spec ~fractions classes] computes {!compute} for every
-    (class, fraction) cell, fanned out over [jobs] worker processes
-    (default 1 = sequential; {!Util.Parallel.default_jobs} is a good
-    explicit choice). Requires a QoS-goal spec.
+(** [sweep_classes cfg spec ~fractions classes] computes {!compute} for
+    every (class, fraction) cell, fanned out over [cfg.jobs] worker
+    processes ({!Util.Parallel.default_jobs} is a good explicit choice).
+    Requires a QoS-goal spec. The field names below refer to
+    {!Sweep_config.t}.
 
     [timeout_s] is the per-cell deadline handed to the worker pool (a
     stalled cell's worker is killed and the cell retried).
@@ -254,3 +290,21 @@ val sweep_classes :
     selected by [diverge] get their first PDHG attempt poisoned with a
     NaN rhs — exercising, deterministically, the supervision and fallback
     machinery without changing any reported number. *)
+
+val sweep_classes_args :
+  ?jobs:int ->
+  ?solver:solver ->
+  ?placeable:bool array ->
+  ?timeout_s:float ->
+  ?deadline_s:float ->
+  ?cell_budget_s:float ->
+  ?journal:string ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  Mcperf.Spec.t ->
+  fractions:float list ->
+  (string * Mcperf.Classes.t) list ->
+  sweep
+(** @deprecated The pre-{!Sweep_config} optional-argument signature of
+    {!sweep_classes}, kept as a thin wrapper while remaining callers
+    migrate. Identical semantics; it cannot set [obs]. New code should
+    build a {!Sweep_config.t}. *)

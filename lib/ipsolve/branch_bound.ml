@@ -7,6 +7,12 @@ let src = Logs.Src.create "ipsolve" ~doc:"branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Observability instruments (cached registry lookups). *)
+let m_solves = lazy (Obs.Metrics.counter "branch_bound.solves")
+let m_nodes = lazy (Obs.Metrics.counter "branch_bound.nodes")
+let m_incumbents = lazy (Obs.Metrics.counter "branch_bound.incumbent_updates")
+let m_truncated = lazy (Obs.Metrics.counter "branch_bound.node_limit_hits")
+
 let solve ?(max_nodes = 100_000) ?integer_vars ?(integrality_tol = 1e-6) p =
   let integer_vars =
     match integer_vars with
@@ -69,6 +75,14 @@ let solve ?(max_nodes = 100_000) ?integer_vars ?(integrality_tol = 1e-6) p =
           | None ->
             Log.debug (fun f ->
                 f "node %d: new incumbent %.6g" !nodes objective);
+            Obs.Metrics.incr (Lazy.force m_incumbents);
+            if Obs.Config.tracing () then
+              Obs.Trace.event "branch_bound.incumbent"
+                ~attrs:
+                  [
+                    ("node", Obs.Trace.Int !nodes);
+                    ("objective", Obs.Trace.Float objective);
+                  ];
             incumbent := Some (Array.copy x, objective)
           | Some (j, _) ->
             let v = x.(j) in
@@ -99,7 +113,29 @@ let solve ?(max_nodes = 100_000) ?integer_vars ?(integrality_tol = 1e-6) p =
         end
     end
   in
-  explore p;
+  Obs.Metrics.incr (Lazy.force m_solves);
+  let sp =
+    Obs.Trace.span_begin "branch_bound.solve"
+      ~attrs:
+        [
+          ("vars", Obs.Trace.Int (Lp.Problem.nvars p));
+          ("max_nodes", Obs.Trace.Int max_nodes);
+        ]
+  in
+  (match explore p with
+  | () -> ()
+  | exception e ->
+    Obs.Trace.span_end sp;
+    raise e);
+  Obs.Metrics.incr ~by:!nodes (Lazy.force m_nodes);
+  if !truncated then Obs.Metrics.incr (Lazy.force m_truncated);
+  Obs.Trace.span_end sp
+    ~attrs:
+      [
+        ("nodes", Obs.Trace.Int !nodes);
+        ("truncated", Obs.Trace.Bool !truncated);
+        ("incumbent", Obs.Trace.Bool (!incumbent <> None));
+      ];
   if !truncated then Node_limit { incumbent = !incumbent }
   else
     match !incumbent with

@@ -41,6 +41,16 @@ let src = Logs.Src.create "lp.pdhg" ~doc:"first-order LP solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Observability instruments (cached registry lookups). Only
+   [solve_prepared] is instrumented; [solve_reference] stays a pristine
+   oracle for the differential tests. *)
+let m_solves = lazy (Obs.Metrics.counter "pdhg.solves")
+let m_iters = lazy (Obs.Metrics.counter "pdhg.iterations")
+let m_restarts = lazy (Obs.Metrics.counter "pdhg.restarts")
+let m_checkpoints = lazy (Obs.Metrics.counter "pdhg.checkpoints")
+let m_converged = lazy (Obs.Metrics.counter "pdhg.converged")
+let m_deadline = lazy (Obs.Metrics.counter "pdhg.deadline_stops")
+
 (* --- prepared problems --------------------------------------------------- *)
 
 type prepared = {
@@ -166,6 +176,10 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
   let past_deadline () =
     budgeted && Unix.gettimeofday () -. t_start >= options.deadline_s
   in
+  let sp =
+    Obs.Trace.span_begin "pdhg.solve"
+      ~attrs:[ ("n", Obs.Trace.Int n); ("m", Obs.Trace.Int m) ]
+  in
   Sparse.mul_t a y aty;
   (try
      for iter = 1 to options.max_iters do
@@ -203,6 +217,10 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
        incr since_restart;
        if options.restart_every > 0 && !since_restart >= options.restart_every
        then begin
+         if Obs.Config.tracing () then
+           Obs.Trace.event "pdhg.restart"
+             ~attrs:[ ("iter", Obs.Trace.Int iter) ];
+         Obs.Metrics.incr (Lazy.force m_restarts);
          let inv = 1. /. float_of_int !since_restart in
          for j = 0 to n - 1 do
            x.(j) <- x_sum.(j) *. inv;
@@ -230,6 +248,16 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
            Log.info (fun f ->
                f "iter %6d  obj %.6g  bound %.6g  gap %.2e  pinf %.2e" iter
                  pobj !best_bound gap pinf);
+         Obs.Metrics.incr (Lazy.force m_checkpoints);
+         if Obs.Config.tracing () then
+           Obs.Trace.event "pdhg.checkpoint"
+             ~attrs:
+               [
+                 ("iter", Obs.Trace.Int iter);
+                 ("bound", Obs.Trace.Float !best_bound);
+                 ("gap", Obs.Trace.Float gap);
+                 ("pinf", Obs.Trace.Float pinf);
+               ];
          if
            Float.is_finite !best_bound
            && gap < options.rel_tol
@@ -258,6 +286,23 @@ let solve_prepared ?(options = default_options) ?x0 ?y0 pr =
       /. (1. +. Float.abs primal_objective +. Float.abs !best_bound)
     else infinity
   in
+  Obs.Metrics.incr (Lazy.force m_solves);
+  Obs.Metrics.incr ~by:!iterations (Lazy.force m_iters);
+  if !converged then Obs.Metrics.incr (Lazy.force m_converged);
+  if !deadline_hit then Obs.Metrics.incr (Lazy.force m_deadline);
+  Obs.Trace.span_end sp
+    ~attrs:
+      [
+        ("iterations", Obs.Trace.Int !iterations);
+        ( "stop",
+          Obs.Trace.Str
+            (stop_label
+               (if !converged then Converged
+                else if !deadline_hit then Deadline
+                else Budget)) );
+        ("bound", Obs.Trace.Float !best_bound);
+        ("rel_gap", Obs.Trace.Float rel_gap);
+      ];
   {
     x;
     y;

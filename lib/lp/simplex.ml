@@ -11,6 +11,12 @@ type certified =
 let eps = 1e-9
 let feas_tol = 1e-7
 
+(* Observability instruments (cached registry lookups). *)
+let m_solves = lazy (Obs.Metrics.counter "simplex.solves")
+let m_pivots = lazy (Obs.Metrics.counter "simplex.pivots")
+let m_infeasible = lazy (Obs.Metrics.counter "simplex.infeasible")
+let m_unbounded = lazy (Obs.Metrics.counter "simplex.unbounded")
+
 (* Tableau layout: [tab] has one row per constraint, each of length
    [ncols + 1]; the last entry is the rhs. [basis.(i)] is the variable
    basic in row i. The reduced-cost row is recomputed from scratch at the
@@ -70,7 +76,8 @@ let recompute_reduced t cost =
 
 (* Bland's rule: entering variable is the allowed column with the smallest
    index whose reduced cost is negative; leaving row breaks ratio ties by
-   the smallest basic variable index. *)
+   the smallest basic variable index. Returns the verdict together with
+   the number of pivots performed (the phase's work, for telemetry). *)
 let iterate t ~allowed ~budget =
   let rec step pivots =
     if pivots > budget then failwith "Simplex: pivot budget exceeded";
@@ -83,7 +90,7 @@ let iterate t ~allowed ~budget =
          end
        done
      with Exit -> ());
-    if !entering < 0 then `Optimal
+    if !entering < 0 then (`Optimal, pivots)
     else begin
       let col = !entering in
       let best_row = ref (-1) in
@@ -102,7 +109,7 @@ let iterate t ~allowed ~budget =
           end
         end
       done;
-      if !best_row < 0 then `Unbounded
+      if !best_row < 0 then (`Unbounded, pivots)
       else begin
         pivot t ~row:!best_row ~col;
         step (pivots + 1)
@@ -241,16 +248,37 @@ let solve_certified ?(max_pivots = 100_000) (p : Problem.t) =
   for j = n + n_slack to ncols - 1 do
     phase1_cost.(j) <- 1.
   done;
+  let sp =
+    Obs.Trace.span_begin "simplex.solve"
+      ~attrs:[ ("rows", Obs.Trace.Int m); ("cols", Obs.Trace.Int ncols) ]
+  in
+  Obs.Metrics.incr (Lazy.force m_solves);
+  let finish ?(attrs = []) ~pivots verdict =
+    Obs.Metrics.incr ~by:pivots (Lazy.force m_pivots);
+    Obs.Trace.span_end sp
+      ~attrs:
+        ((("verdict", Obs.Trace.Str verdict)
+          :: ("pivots", Obs.Trace.Int pivots) :: attrs))
+  in
   recompute_reduced t phase1_cost;
   let allowed_all = Array.make ncols true in
-  (match iterate t ~allowed:allowed_all ~budget:max_pivots with
-  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-  | `Optimal -> ());
+  let p1_pivots =
+    match iterate t ~allowed:allowed_all ~budget:max_pivots with
+    | `Unbounded, _ ->
+      assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal, pivots -> pivots
+  in
+  if Obs.Config.tracing () then
+    Obs.Trace.event "simplex.phase1_done"
+      ~attrs:[ ("pivots", Obs.Trace.Int p1_pivots) ];
   let phase1_obj = -.t.reduced.(ncols) in
-  if phase1_obj > feas_tol then
+  if phase1_obj > feas_tol then begin
     (* The optimal phase-1 duals aggregate the rows into a constraint no
        point in the box satisfies: a Farkas certificate. *)
+    Obs.Metrics.incr (Lazy.force m_infeasible);
+    finish ~pivots:p1_pivots "infeasible";
     Cert_infeasible { ray = multipliers ~art_cost:1. }
+  end
   else begin
     (* Drive remaining artificials out of the basis where possible. *)
     for i = 0 to m - 1 do
@@ -275,21 +303,25 @@ let solve_certified ?(max_pivots = 100_000) (p : Problem.t) =
       phase2_cost.(j) <- p.objective.(j)
     done;
     recompute_reduced t phase2_cost;
+    if Obs.Config.tracing () then Obs.Trace.event "simplex.phase2_start";
     let allowed = Array.init ncols (fun j -> j < n + n_slack) in
     match iterate t ~allowed ~budget:max_pivots with
-    | `Unbounded -> Cert_unbounded
-    | `Optimal ->
+    | `Unbounded, p2_pivots ->
+      Obs.Metrics.incr (Lazy.force m_unbounded);
+      finish ~pivots:(p1_pivots + p2_pivots) "unbounded";
+      Cert_unbounded
+    | `Optimal, p2_pivots ->
       let z = Array.make n 0. in
       for i = 0 to m - 1 do
         if t.basis.(i) < n then z.(t.basis.(i)) <- t.tab.(i).(ncols)
       done;
       let x = Array.mapi (fun j zj -> zj +. p.lower.(j)) z in
-      Cert_optimal
-        {
-          x;
-          objective = Problem.objective_value p x;
-          dual = multipliers ~art_cost:0.;
-        }
+      let objective = Problem.objective_value p x in
+      finish
+        ~pivots:(p1_pivots + p2_pivots)
+        ~attrs:[ ("objective", Obs.Trace.Float objective) ]
+        "optimal";
+      Cert_optimal { x; objective; dual = multipliers ~art_cost:0. }
   end
 
 let solve ?max_pivots p =

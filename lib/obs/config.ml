@@ -1,0 +1,35 @@
+type sink_spec = Null | Memory | Jsonl_file of string
+
+type t = {
+  trace : bool;
+  metrics : bool;
+  wall_clock : bool;
+  sink : sink_spec;
+  metrics_path : string option;
+}
+
+let disabled =
+  {
+    trace = false;
+    metrics = false;
+    wall_clock = false;
+    sink = Null;
+    metrics_path = None;
+  }
+
+let default = { disabled with trace = true; metrics = true }
+let state = ref disabled
+
+(* Trace / Metrics register their reset functions here at module-init
+   time; Config cannot call them directly without a dependency cycle. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_install f = reset_hooks := f :: !reset_hooks
+
+let install t =
+  state := t;
+  List.iter (fun f -> f ()) !reset_hooks
+
+let current () = !state
+let tracing () = !state.trace
+let metering () = !state.metrics
+let wall_clock () = !state.wall_clock

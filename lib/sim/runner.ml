@@ -12,6 +12,34 @@ type deployed = {
 
 let worst arr = Array.fold_left Float.min 1. arr
 
+(* Every heuristic run gets a span tagged with its name and, on success,
+   the provisioning parameter and cost it settled on — enough to see
+   from a trace which heuristic dominated a sweep's wall-clock. *)
+let m_runs = lazy (Obs.Metrics.counter "sim.heuristic_runs")
+
+let with_run_obs name f =
+  Obs.Metrics.incr (Lazy.force m_runs);
+  let sp =
+    Obs.Trace.span_begin "sim.heuristic"
+      ~attrs:[ ("name", Obs.Trace.Str name) ]
+  in
+  match f () with
+  | r ->
+    Obs.Trace.span_end sp
+      ~attrs:
+        (match r with
+        | None -> [ ("found", Obs.Trace.Bool false) ]
+        | Some d ->
+          [
+            ("found", Obs.Trace.Bool true);
+            ("parameter", Obs.Trace.Int d.parameter);
+            ("cost", Obs.Trace.Float d.cost);
+          ]);
+    r
+  | exception e ->
+    Obs.Trace.span_end sp;
+    raise e
+
 let goal_parts spec =
   match spec.Mcperf.Spec.goal with
   | Mcperf.Spec.Qos { tlat_ms; fraction } -> (tlat_ms, `Qos fraction)
@@ -33,6 +61,7 @@ let cache_meets spec (o : Heuristics.Event_cache.outcome) =
 
 let cache_heuristic ?jobs ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace
     () =
+  with_run_obs name @@ fun () ->
   let objects = Workload.Trace.object_count trace in
   let outcome_at c =
     cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity:c ~mode
@@ -82,6 +111,7 @@ let policy_caching ?jobs ?placeable ~policy ~spec ~trace () =
 let placement_meets (e : Mcperf.Costing.evaluation) = e.Mcperf.Costing.meets_goal
 
 let greedy_global ?jobs ?placeable ~spec () =
+  with_run_obs "greedy-global" @@ fun () ->
   let total_weight =
     Util.Vecops.sum spec.Mcperf.Spec.demand.Workload.Demand.weight
   in
@@ -105,6 +135,7 @@ let greedy_global ?jobs ?placeable ~spec () =
       }
 
 let greedy_replica ?jobs ?placeable ~spec () =
+  with_run_obs "greedy-replica" @@ fun () ->
   let hi = Mcperf.Spec.node_count spec - 1 in
   let eval_at r =
     Heuristics.Greedy_replica.evaluate ?placeable ~spec ~replicas:r ()

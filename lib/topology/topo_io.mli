@@ -11,46 +11,61 @@
     v}
 
     Real AS-level measurements (the paper used a Telstra-derived topology)
-    can be converted to this format and loaded with {!load_system}. *)
+    can be converted to this format and loaded with {!load_system_result}.
+
+    The result-returning entry points below are the primary API: they
+    never raise on malformed input, and every field is validated at the
+    boundary — non-finite or negative latencies are rejected as an
+    {!error} carrying the offending line, before they can corrupt any
+    downstream shortest path. The [Failure]-raising twins at the bottom
+    are legacy wrappers that delegate to them. *)
+
+(** {1 Writing} *)
 
 val save : ?origin:int -> Graph.t -> path:string -> unit
+val to_string : ?origin:int -> Graph.t -> string
 
-type error = {
+(** {1 Reading (primary, result-returning API)} *)
+
+type error = Util.Parse_error.t = {
   file : string;  (** path, or ["<topology>"] when parsed from a string *)
   line : int;  (** 1-based line of the offending record; 0 = whole file *)
   msg : string;
 }
-(** Structured parse failure: a truncated, corrupt or poisoned file is a
-    reportable condition, not a crash. Latencies are validated at the
-    boundary — non-finite or negative values are rejected with the line
-    that carries them, before they can corrupt any downstream shortest
-    path. *)
+(** Shared structured parse failure (see {!Util.Parse_error}); the
+    re-export keeps field access working without opening [Util]. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+val of_string_result : string -> (Graph.t * int option, error) result
+(** The graph plus the origin recorded in the header, if any. Never
+    raises on malformed input; errors are labelled ["<topology>"]. *)
+
 val parse : ?file:string -> string -> (Graph.t * int option, error) result
-(** Never raises on malformed input; [file] only labels the error. *)
+(** {!of_string_result} with an explicit [file] label for errors. *)
 
 val load_result : path:string -> (Graph.t * int option, error) result
 (** {!parse} on the file's contents; an unreadable file (missing,
     permission) is reported as an [error] with [line = 0]. *)
 
 val load_system_result : path:string -> (System.t, error) result
-(** {!load_result} followed by {!System.make}; an origin outside the
-    graph is reported as an [error] rather than raised. *)
+(** {!load_result} followed by {!System.make} (using the recorded
+    origin, or the highest-degree node); an origin outside the graph is
+    reported as an [error] rather than raised. *)
 
-val load : path:string -> Graph.t * int option
-(** The graph plus the origin recorded in the header, if any. Raises
-    [Failure] with a line-numbered message on malformed input (legacy
-    wrapper over {!load_result}). *)
+(** {1 Legacy raising API}
 
-val load_system : path:string -> System.t
-(** {!load} followed by {!System.make} (using the recorded origin, or the
-    highest-degree node). *)
-
-val to_string : ?origin:int -> Graph.t -> string
+    Thin wrappers over the result API, kept for callers that treat any
+    malformed input as fatal. Each raises [Failure] with the rendered
+    {!error} message. *)
 
 val of_string : string -> Graph.t * int option
-(** Exception-raising twin of {!parse}, kept for callers that treat any
-    malformed input as fatal. *)
+(** Raising twin of {!of_string_result}. *)
+
+val load : path:string -> Graph.t * int option
+(** Raising twin of {!load_result}. *)
+
+val load_system : path:string -> System.t
+(** Raising twin of {!load_system_result} (may also propagate
+    [Invalid_argument] from {!System.make}). *)

@@ -66,6 +66,68 @@ let with_task_deadline budget body =
   task_deadline_ref := deadline;
   Fun.protect ~finally:(fun () -> task_deadline_ref := infinity) body
 
+(* --- observability ------------------------------------------------------- *)
+
+(* Task bodies run under a per-task trace scope ("task:<phase>.<index>")
+   with fresh logical counters, on every execution path — worker serve
+   loop, sequential fallback, inline recovery. A task's events are
+   therefore identical whichever process ran it, which is what lets a
+   --jobs 4 trace merge byte-identically with a --jobs 1 trace.
+
+   The phase number distinguishes [run] invocations: a program that maps
+   twice (say a bound sweep, then a deployment search) reuses task
+   indices, and in a forked pool the second phase's workers restart each
+   scope's counters from zero — without the namespace the two phases
+   would collide on (scope, seq) keys, which sequential execution (where
+   counters resume across phases) would merge differently. The counter
+   bumps in the parent before workers fork, so every process agrees on
+   it, and it resets on [Obs.Config.install] so identical traced runs
+   stay identical. *)
+let phase = ref 0
+let () = Obs.Config.on_install (fun () -> phase := 0)
+
+let with_task_obs index ~attempt body =
+  if not (Obs.Config.tracing ()) then body ()
+  else begin
+    let prev = Obs.Trace.scope () in
+    Obs.Trace.set_scope (Printf.sprintf "task:%d.%d" !phase index);
+    let sp =
+      Obs.Trace.span_begin ~attrs:[ ("attempt", Obs.Trace.Int attempt) ] "task"
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.span_end sp;
+        Obs.Trace.set_scope prev)
+      body
+  end
+
+(* Supervision events (dispatch, deaths, respawns, backoff) depend on
+   worker scheduling, so they are only traced in wall-clock mode — in
+   logical mode they would break the any-jobs byte-identity contract. *)
+let pool_event name attrs =
+  if Obs.Config.tracing () && Obs.Config.wall_clock () then begin
+    let prev = Obs.Trace.scope () in
+    Obs.Trace.set_scope "pool";
+    Obs.Trace.event ~attrs name;
+    Obs.Trace.set_scope prev
+  end
+
+let m_dispatched = lazy (Obs.Metrics.counter "pool.tasks_dispatched")
+let m_deaths = lazy (Obs.Metrics.counter "pool.worker_deaths")
+let m_respawns = lazy (Obs.Metrics.counter "pool.respawns")
+let m_retries = lazy (Obs.Metrics.counter "pool.task_retries")
+let m_timeouts = lazy (Obs.Metrics.counter "pool.timeouts")
+let m_inline = lazy (Obs.Metrics.counter "pool.inline_recoveries")
+let m_backoff = lazy (Obs.Metrics.counter "pool.backoff_sleeps")
+let h_task_wall = lazy (Obs.Metrics.histogram "pool.task_wall_s")
+
+let observe_task_wall wall =
+  (* Time-based, hence only meaningful (and only deterministic to skip)
+     in wall-clock mode; logical-mode metric snapshots stay identical at
+     every --jobs. *)
+  if Obs.Config.wall_clock () then
+    Obs.Metrics.observe (Lazy.force h_task_wall) wall
+
 (* --- supervision policy -------------------------------------------------- *)
 
 let max_task_attempts = 3
@@ -112,11 +174,15 @@ let sequential ?budget_of ?on_result ~f tasks =
     (fun index task ->
       let budget = match budget_of with Some g -> g index | None -> infinity in
       let t0 = Unix.gettimeofday () in
-      match with_task_deadline budget (fun () -> f task) with
+      match
+        with_task_deadline budget (fun () ->
+            with_task_obs index ~attempt:0 (fun () -> f task))
+      with
       | value ->
         (* wall_s clamped: a backwards NTP step between the two clock
            reads must not surface as a negative duration. *)
         let r = { value; wall_s = Float.max 0. (Unix.gettimeofday () -. t0) } in
+        observe_task_wall r.wall_s;
         (match on_result with Some g -> g index r | None -> ());
         Ok r
       | exception e ->
@@ -138,8 +204,11 @@ type worker = {
 
 (* One response per dispatched request, so the parent's buffered [resp_ic]
    is empty whenever it selects on [resp_fd]; readability of the raw fd is
-   therefore an accurate "a full response is coming" signal. *)
-type 'b response = int * ('b, string) Stdlib.result * float
+   therefore an accurate "a full response is coming" signal. The fourth
+   element is the worker's drained observability buffer (trace events +
+   metric deltas, Marshal-framed by [Obs.Sink.payload]); it is [""] — and
+   costs one length word on the pipe — whenever observability is off. *)
+type 'b response = int * ('b, string) Stdlib.result * float * string
 
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -164,6 +233,12 @@ let spawn ~inherited ~tasks ~f =
     List.iter close_noerr inherited;
     Unix.close req_w;
     Unix.close resp_r;
+    (* The fork copied the parent's accumulated trace buffer and metric
+       registry into this child. Those events belong to the parent — it
+       still has them, and shipping them back would duplicate them in
+       the merged trace — so discard the inherited state; payloads must
+       carry only what this worker records itself. *)
+    ignore (Obs.Sink.payload ());
     let ic = Unix.in_channel_of_descr req_r in
     let oc = Unix.out_channel_of_descr resp_w in
     let rec serve () =
@@ -173,12 +248,16 @@ let spawn ~inherited ~tasks ~f =
         let t0 = Unix.gettimeofday () in
         worker_ctx := Some attempt;
         let res =
-          try Ok (with_task_deadline budget_s (fun () -> f tasks.(index)))
+          try
+            Ok
+              (with_task_deadline budget_s (fun () ->
+                   with_task_obs index ~attempt (fun () -> f tasks.(index))))
           with e -> Error (Printexc.to_string e)
         in
         worker_ctx := None;
         let wall = Float.max 0. (Unix.gettimeofday () -. t0) in
-        (Marshal.to_channel oc (index, res, wall : _ response) [];
+        let payload = Obs.Sink.payload () in
+        (Marshal.to_channel oc (index, res, wall, payload : _ response) [];
          flush oc);
         serve ()
     in
@@ -270,6 +349,7 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
     if results.(index) = None && failures.(index) = None then begin
       results.(index) <- Some r;
       incr completed;
+      observe_task_wall r.wall_s;
       match on_result with Some g -> g index r | None -> ()
     end
   in
@@ -283,7 +363,10 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
     (* Last-resort path: compute in the parent (also the drain path once
        every worker is gone). Exceptions become structured failures. *)
     let t0 = Unix.gettimeofday () in
-    match with_task_deadline (budget_for index) (fun () -> f tasks.(index)) with
+    match
+      with_task_deadline (budget_for index) (fun () ->
+          with_task_obs index ~attempt (fun () -> f tasks.(index)))
+    with
     | value ->
       complete_ok index
         { value; wall_s = Float.max 0. (Unix.gettimeofday () -. t0) }
@@ -322,6 +405,9 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
       match try_fork () with
       | Some w ->
         incr respawns;
+        Obs.Metrics.incr (Lazy.force m_respawns);
+        pool_event "respawn"
+          [ ("slot", Obs.Trace.Int slot); ("pid", Obs.Trace.Int w.pid) ];
         workers.(slot) <- Some w
       | None ->
         workers.(slot) <- None;
@@ -334,6 +420,8 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
      parent computes it inline — and respawn the slot. *)
   let on_death slot w =
     incr worker_deaths;
+    Obs.Metrics.incr (Lazy.force m_deaths);
+    pool_event "worker_death" [ ("pid", Obs.Trace.Int w.pid) ];
     ignore (reap w ~kill:false);
     (match w.task with
     | Some (index, attempt) ->
@@ -341,10 +429,20 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
       let attempt = attempt + 1 in
       if attempt >= max_task_attempts then begin
         incr inline_recoveries;
+        Obs.Metrics.incr (Lazy.force m_inline);
+        pool_event "inline_recovery" [ ("index", Obs.Trace.Int index) ];
         run_inline (index, attempt)
       end
       else begin
         incr task_retries;
+        Obs.Metrics.incr (Lazy.force m_retries);
+        Obs.Metrics.incr (Lazy.force m_backoff);
+        pool_event "backoff"
+          [
+            ("index", Obs.Trace.Int index);
+            ("attempt", Obs.Trace.Int attempt);
+            ("wall_sleep_s", Obs.Trace.Float (backoff_delay (attempt - 1)));
+          ];
         Unix.sleepf (backoff_delay (attempt - 1));
         Queue.push (index, attempt) retries
       end
@@ -372,6 +470,13 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
           flush w.req_oc
         with
         | () ->
+          Obs.Metrics.incr (Lazy.force m_dispatched);
+          pool_event "dispatch"
+            [
+              ("index", Obs.Trace.Int index);
+              ("attempt", Obs.Trace.Int attempt);
+              ("slot", Obs.Trace.Int slot);
+            ];
           w.task <- Some (index, attempt);
           w.deadline <-
             (match timeout_s with
@@ -387,10 +492,15 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
   let on_response slot w =
     match (Marshal.from_channel w.resp_ic : _ response) with
     | exception (End_of_file | Failure _) -> on_death slot w
-    | index, res, wall -> (
+    | index, res, wall, payload -> (
       let attempt = match w.task with Some (_, a) -> a | None -> 0 in
       w.task <- None;
       w.deadline <- infinity;
+      (* Absorb the worker's trace/metrics buffer only for the attempt
+         that is actually accepted, so a retried task can never be
+         double-counted in the merged trace. *)
+      if results.(index) = None && failures.(index) = None then
+        Obs.Sink.absorb_payload payload;
       match res with
       | Ok value -> complete_ok index { value; wall_s = wall }
       | Error message ->
@@ -405,6 +515,13 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
      run. *)
   let on_timeout slot w =
     incr timeouts;
+    Obs.Metrics.incr (Lazy.force m_timeouts);
+    pool_event "timeout"
+      [
+        ("pid", Obs.Trace.Int w.pid);
+        ( "index",
+          Obs.Trace.Int (match w.task with Some (i, _) -> i | None -> -1) );
+      ];
     let pending = w.task in
     w.task <- None;
     ignore (reap w ~kill:true);
@@ -417,6 +534,8 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
              { index; timeout_s = Option.value timeout_s ~default:0. })
       else begin
         incr task_retries;
+        Obs.Metrics.incr (Lazy.force m_retries);
+        Obs.Metrics.incr (Lazy.force m_backoff);
         Unix.sleepf (backoff_delay (attempt - 1));
         Queue.push (index, attempt) retries
       end
@@ -546,6 +665,7 @@ let run_pool ~jobs ~timeout_s ?budget_of ?on_result ~f tasks =
 (* --- public maps --------------------------------------------------------- *)
 
 let run ?jobs ?timeout_s ?budget_of ?on_result ~f tasks =
+  incr phase;
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let arr = Array.of_list tasks in
   if (not fork_available) || jobs <= 1 || Array.length arr <= 1 then begin

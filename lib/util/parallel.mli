@@ -36,7 +36,18 @@
 
     Results must be marshallable (no closures, no custom blocks beyond
     the stdlib's); everything the sweep layers return — floats, arrays,
-    records of those — qualifies. *)
+    records of those — qualifies.
+
+    {b Observability.} When [Obs] is enabled, each task body runs under
+    a per-task trace scope ([task:<index>]) with fresh logical counters
+    on every execution path, and workers ship their drained trace /
+    metrics buffers back on the result pipe; the parent absorbs a
+    buffer only for the attempt it accepts. Supervision events
+    (dispatch, deaths, respawns, backoff, timeouts) are traced only in
+    wall-clock mode because they depend on scheduling; in logical mode
+    the merged trace is byte-identical at every [jobs]. With [Obs]
+    disabled (the default) the only addition to the pipe protocol is an
+    empty payload string per response. *)
 
 type 'a result = {
   value : 'a;

@@ -1,0 +1,7 @@
+type t = { file : string; line : int; msg : string }
+
+let pp ppf e =
+  if e.line = 0 then Format.fprintf ppf "%s: %s" e.file e.msg
+  else Format.fprintf ppf "%s:%d: %s" e.file e.line e.msg
+
+let to_string e = Format.asprintf "%a" pp e

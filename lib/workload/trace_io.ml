@@ -26,13 +26,10 @@ let save t ~path =
 
 (* --- parsing ------------------------------------------------------------- *)
 
-type error = { file : string; line : int; msg : string }
+type error = Util.Parse_error.t = { file : string; line : int; msg : string }
 
-let pp_error ppf e =
-  if e.line = 0 then Format.fprintf ppf "%s: %s" e.file e.msg
-  else Format.fprintf ppf "%s:%d: %s" e.file e.line e.msg
-
-let error_to_string e = Format.asprintf "%a" pp_error e
+let pp_error = Util.Parse_error.pp
+let error_to_string = Util.Parse_error.to_string
 
 (* Internal parse abort: line 0 means the failure is not tied to a
    specific line (wrong magic, empty file). *)
@@ -129,16 +126,15 @@ let parse ?(file = "<trace>") s =
   | v -> Ok v
   | exception Err (line, msg) -> Error { file; line; msg }
 
+let of_string_result s = parse s
+
 (* Legacy exception-raising entry point, kept for callers (and tests)
-   that treat any malformed file as a fatal [Failure]. *)
+   that treat any malformed file as a fatal [Failure]. Delegates to the
+   result API and renders the structured error. *)
 let of_string s =
-  match parse_exn s with
-  | v -> v
-  | exception Err (0, msg) -> failwith ("trace: " ^ msg)
-  | exception Err (1, msg) ->
-    failwith ("trace: malformed header (" ^ msg ^ ")")
-  | exception Err (line, msg) ->
-    failwith (Printf.sprintf "trace line %d: %s" line msg)
+  match of_string_result s with
+  | Ok v -> v
+  | Error e -> failwith (error_to_string e)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -148,9 +144,12 @@ let read_file path =
       let n = in_channel_length ic in
       really_input_string ic n)
 
-let load ~path = of_string (read_file path)
-
 let load_result ~path =
   match read_file path with
   | s -> parse ~file:path s
   | exception Sys_error msg -> Error { file = path; line = 0; msg }
+
+let load ~path =
+  match load_result ~path with
+  | Ok v -> v
+  | Error e -> failwith (error_to_string e)

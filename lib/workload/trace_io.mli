@@ -12,37 +12,53 @@
 
     Intended for exchanging synthetic workloads between runs and for
     importing real traces (convert to this format, then
-    {!Workload.Demand.of_trace} buckets them). *)
+    {!Workload.Demand.of_trace} buckets them).
+
+    The result-returning entry points below are the primary API: they
+    never raise on malformed input, and every field is validated at the
+    boundary — non-finite timestamps or durations are rejected as an
+    {!error} carrying the offending line, and node/object ids are
+    checked against the header dimensions. The [Failure]-raising twins
+    at the bottom are legacy wrappers that delegate to them. *)
+
+(** {1 Writing} *)
 
 val save : Trace.t -> path:string -> unit
 (** Writes the trace; overwrites an existing file. *)
 
-type error = {
+val to_string : Trace.t -> string
+
+(** {1 Reading (primary, result-returning API)} *)
+
+type error = Util.Parse_error.t = {
   file : string;  (** path, or ["<trace>"] when parsed from a string *)
   line : int;  (** 1-based line of the offending record; 0 = whole file *)
   msg : string;
 }
-(** Structured parse failure: a truncated, corrupt or poisoned file is a
-    reportable condition, not a crash. Timestamps are validated at the
-    boundary (finite, non-negative) and node/object ids checked against
-    the header dimensions, with the offending line reported. *)
+(** Shared structured parse failure (see {!Util.Parse_error}); the
+    re-export keeps field access working without opening [Util]. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+val of_string_result : string -> (Trace.t, error) result
+(** Never raises on malformed input; errors are labelled ["<trace>"]. *)
+
 val parse : ?file:string -> string -> (Trace.t, error) result
-(** Never raises on malformed input; [file] only labels the error. *)
+(** {!of_string_result} with an explicit [file] label for errors. *)
 
 val load_result : path:string -> (Trace.t, error) result
 (** {!parse} on the file's contents; an unreadable file (missing,
     permission) is reported as an [error] with [line = 0]. *)
 
-val load : path:string -> Trace.t
-(** Raises [Failure] with a line-numbered message on malformed input
-    (legacy wrapper over {!load_result}). *)
+(** {1 Legacy raising API}
 
-val to_string : Trace.t -> string
+    Thin wrappers over the result API, kept for callers that treat any
+    malformed input as fatal. Each raises [Failure] with the rendered
+    {!error} message. *)
 
 val of_string : string -> Trace.t
-(** Exception-raising twin of {!parse}, kept for callers that treat any
-    malformed input as fatal. *)
+(** Raising twin of {!of_string_result}. *)
+
+val load : path:string -> Trace.t
+(** Raising twin of {!load_result}. *)

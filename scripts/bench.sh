@@ -6,13 +6,16 @@
 # visible across revisions. The sweep benchmark also re-runs the sweep
 # under an injected-fault spec (worker crashes + poisoned PDHG cells);
 # the row records that leg's overhead and fallback-path counts so the
-# cost of the recovery machinery is tracked alongside raw speed.
+# cost of the recovery machinery is tracked alongside raw speed. The
+# obs benchmark then pins the instrumentation overhead (null sink and
+# JSONL trace) so the always-on guards stay effectively free.
 set -e
 cd "$(dirname "$0")/.."
 
 dune build bench/main.exe
 ./_build/default/bench/main.exe lp
 ./_build/default/bench/main.exe sweep
+./_build/default/bench/main.exe obs
 
 # One summary row: pull the headline numbers out of the two JSON files.
 json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
@@ -46,18 +49,21 @@ json_qcount_deadline() { # json_qcount_deadline FILE KEY
 }
 
 log=BENCH_LOG.tsv
-header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells'
-# Rotate a log whose header predates the robustness columns rather than
-# appending rows that no longer line up with it.
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio'
+# Rotate a log whose header predates the current column set rather than
+# appending rows that no longer line up with it. Numbered suffixes so a
+# rotation never clobbers an earlier generation's history.
 if [ -f "$log" ] && [ "$(head -n 1 "$log")" != "$(printf "$header\n" | head -n 1)" ]; then
-  mv "$log" "$log.old"
-  echo "rotated stale $log to $log.old"
+  n=1
+  while [ -e "$log.old.$n" ]; do n=$((n + 1)); done
+  mv "$log" "$log.old.$n"
+  echo "rotated stale $log to $log.old.$n"
 fi
 if [ ! -f "$log" ]; then
   printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -76,6 +82,8 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n
   "$(json_bool_deadline BENCH_sweep.json within_budget)" \
   "$(json_qcount_deadline BENCH_sweep.json time-budget)" \
   "$(json_qcount_deadline BENCH_sweep.json iter-budget)" \
+  "$(json_num BENCH_obs.json null_sink_overhead_ratio)" \
+  "$(json_num BENCH_obs.json jsonl_sink_overhead_ratio)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"

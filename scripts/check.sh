@@ -16,6 +16,36 @@ FAULTS_JOBS=1 ./_build/default/test/test_faults.exe
 echo "== faults stage: injection suite at --jobs 4 =="
 FAULTS_JOBS=4 ./_build/default/test/test_faults.exe
 
+# Obs stage (DESIGN.md §11): instrumentation must not change what a
+# sweep computes (the untraced and traced CSVs are byte-identical), and
+# the trace merged from four workers must be byte-identical to the
+# sequential one — logical-mode events carry no clocks, so any diff is
+# a merge bug. The traces must also be well-formed: every line a JSON
+# object, span begins balanced by span ends.
+echo "== obs stage: traced sweep at --jobs 1 and 4 =="
+obsdir=_build/obs-check
+rm -rf "$obsdir"
+mkdir -p "$obsdir"
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.02 \
+  --jobs 1 -w web --csv "$obsdir/plain" > /dev/null
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.02 \
+  --jobs 1 -w web --csv "$obsdir/j1" --trace "$obsdir/j1.jsonl" > /dev/null
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.02 \
+  --jobs 4 -w web --csv "$obsdir/j4" --trace "$obsdir/j4.jsonl" > /dev/null
+cmp "$obsdir/plain/fig2-web.csv" "$obsdir/j1/fig2-web.csv" \
+  || { echo "obs stage: tracing changed the figure output"; exit 1; }
+cmp "$obsdir/j1/fig2-web.csv" "$obsdir/j4/fig2-web.csv" \
+  || { echo "obs stage: figure output differs across --jobs"; exit 1; }
+cmp "$obsdir/j1.jsonl" "$obsdir/j4.jsonl" \
+  || { echo "obs stage: merged trace differs between --jobs 1 and 4"; exit 1; }
+lines=$(wc -l < "$obsdir/j4.jsonl")
+bad=$(grep -cv '^{"scope":".*}$' "$obsdir/j4.jsonl" || true)
+begins=$(grep -c '"kind":"B"' "$obsdir/j4.jsonl")
+ends=$(grep -c '"kind":"E"' "$obsdir/j4.jsonl")
+[ "$lines" -gt 0 ] && [ "$bad" -eq 0 ] && [ "$begins" -eq "$ends" ] \
+  || { echo "obs stage: malformed trace ($lines lines, $bad bad, $begins B vs $ends E)"; exit 1; }
+echo "obs stage OK: $lines events, $begins spans, traces and CSVs identical"
+
 # Deadline stage: a budgeted figure sweep must finish within its budget
 # plus one cell's grace, degrade cells to looser-but-still-certified
 # bounds, and pass the from-scratch certificate recheck (--certify makes

@@ -313,11 +313,11 @@ let fo_solver =
 let test_budgeted_sweep_bounds_dominated () =
   let spec = qos_spec () in
   let free =
-    Bounds.Pipeline.sweep_classes ~jobs:1 ~solver:fo_solver spec
+    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver spec
       ~fractions:sweep_fractions sweep_fixture
   in
   let tight =
-    Bounds.Pipeline.sweep_classes ~jobs:1 ~solver:fo_solver
+    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver
       ~cell_budget_s:1e-4 spec ~fractions:sweep_fractions sweep_fixture
   in
   List.iter2
@@ -352,7 +352,7 @@ let test_budgeted_sweep_certificates_verify () =
   (* Every cell of a budgeted sweep — degraded, converged and infeasible
      alike — must recheck from scratch. *)
   let sweep =
-    Bounds.Pipeline.sweep_classes ~jobs:1 ~solver:fo_solver
+    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver
       ~cell_budget_s:1e-4 (qos_spec ()) ~fractions:sweep_fractions
       sweep_fixture
   in

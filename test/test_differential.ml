@@ -303,8 +303,8 @@ let strip_walls (sweep : Bounds.Pipeline.sweep) =
 let test_sweep_determinism () =
   let spec, _ = quickstart_spec () in
   let fractions = [ 0.95; 0.99; 0.999 ] in
-  let seq = Bounds.Pipeline.sweep_classes ~jobs:1 spec ~fractions sweep_fixture in
-  let par = Bounds.Pipeline.sweep_classes ~jobs:4 spec ~fractions sweep_fixture in
+  let seq = Bounds.Pipeline.sweep_classes_args ~jobs:1 spec ~fractions sweep_fixture in
+  let par = Bounds.Pipeline.sweep_classes_args ~jobs:4 spec ~fractions sweep_fixture in
   (* The rendered report must be byte-identical, and so must everything
      under it except the wall-clock fields. *)
   Alcotest.(check string)
@@ -368,7 +368,7 @@ let test_sweep_matches_percell_compute () =
   let spec, _ = quickstart_spec () in
   let fractions = [ 0.95; 0.99; 0.999 ] in
   let sweep =
-    Bounds.Pipeline.sweep_classes ~jobs:1 spec ~fractions sweep_fixture
+    Bounds.Pipeline.sweep_classes_args ~jobs:1 spec ~fractions sweep_fixture
   in
   List.iter2
     (fun (label, cls) (label', cells) ->

@@ -49,7 +49,7 @@ let classes =
 
 let run_sweep ?jobs ?solver ?timeout_s ?journal ?progress
     ?(fractions = std_fractions) () =
-  P.sweep_classes ?jobs ?solver ?timeout_s ?journal ?progress (qos_spec ())
+  P.sweep_classes_args ?jobs ?solver ?timeout_s ?journal ?progress (qos_spec ())
     ~fractions classes
 
 (* Everything a sweep reports except wall-clock and the solve-path tags:

@@ -275,11 +275,11 @@ let test_topo_io_structured_errors () =
     Alcotest.(check string) "truncated record"
       "expected 3 comma-separated fields" e.Topology.Topo_io.msg
   | Ok _ -> Alcotest.fail "truncated record must be rejected");
-  (* The legacy wrapper carries the same line number in its message. *)
+  (* The legacy wrapper renders the structured error, line included. *)
   match Topology.Topo_io.of_string (topo_header ^ "0,1,100\n1,2,nan\n") with
   | exception Failure msg ->
     Alcotest.(check string) "legacy failure"
-      "topology line 4: non-finite latency" msg
+      "<topology>:4: non-finite latency" msg
   | _ -> Alcotest.fail "legacy of_string must also reject"
 
 let test_topo_io_load_result_missing_file () =
