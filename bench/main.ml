@@ -721,6 +721,99 @@ let obs_benchmark () =
   close_out oc;
   Printf.printf "wrote BENCH_obs.json\n%!"
 
+(* --- tree: the exact DP vs the LP substrate on tree instances ------------- *)
+
+(* `main.exe tree` times Bounds.Pipeline.compute with the Auto solver —
+   which routes tree-eligible general cells through the closest-
+   allocation DP — against the same cell forced through exact simplex
+   (40-node random tree) and through PDHG (121-node balanced tree). The
+   DP must win by construction (it is O(pareto-front) on the tree while
+   the LP rebuilds the full MC-PERF model); the JSON records by how
+   much, and the bound orderings are asserted on every run. *)
+
+module TS = Replica_select.Tree_scenario
+
+let min_time reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let s = Unix.gettimeofday () -. t0 in
+    if s < !best then best := s;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let tree_benchmark () =
+  let reps = 5 in
+  let leg name (scen : TS.t) forced =
+    let spec = scen.TS.spec in
+    let dp_s, dp_cell =
+      min_time reps (fun () ->
+          Bounds.Pipeline.compute ?placeable:scen.TS.placeable spec
+            Mcperf.Classes.general)
+    in
+    if dp_cell.Bounds.Pipeline.solve_path <> Bounds.Pipeline.Path_tree_dp
+    then failwith (name ^ ": Auto did not route through the tree DP");
+    let lp_s, lp_cell =
+      min_time reps (fun () ->
+          Bounds.Pipeline.compute ~solver:forced
+            ?placeable:scen.TS.placeable spec Mcperf.Classes.general)
+    in
+    let dp = dp_cell.Bounds.Pipeline.lower_bound in
+    let lp = lp_cell.Bounds.Pipeline.lower_bound in
+    if lp > dp +. (1e-6 *. (1. +. Float.abs dp)) then
+      failwith (name ^ ": LP bound above the DP optimum");
+    Printf.printf
+      "%-22s dp %8.4fs (bound %8.2f)   lp %8.4fs (bound %8.2f)   speedup %6.1fx\n%!"
+      name dp_s dp lp_s lp (lp_s /. dp_s);
+    (dp_s, dp, lp_s, lp)
+  in
+  Printf.printf
+    "tree benchmark: exact DP vs forced LP producers, min of %d runs\n%!" reps;
+  let small = TS.make ~seed:7 (TS.Random { nodes = 40 }) in
+  let large = TS.make ~seed:9 (TS.Balanced { fanout = 3; depth = 4 }) in
+  let sm_dp_s, sm_dp, sm_lp_s, sm_lp =
+    leg "random-40/simplex" small Bounds.Pipeline.Exact_simplex
+  in
+  let lg_dp_s, lg_dp, lg_lp_s, lg_lp =
+    leg "balanced-121/pdhg" large
+      (Bounds.Pipeline.First_order
+         {
+           Lp.Pdhg.default_options with
+           Lp.Pdhg.max_iters = 20_000;
+           rel_tol = 1e-6;
+         })
+  in
+  let speedup dp lp = if dp > 0. then lp /. dp else 1. in
+  let oc = open_out "BENCH_tree.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "exact tree DP vs forced LP producers",
+  "runs_per_leg": %d,
+  "small": {
+    "instance": "%s",
+    "tree_dp_s": %.4f,
+    "tree_dp_bound": %.4f,
+    "tree_lp_s": %.4f,
+    "tree_lp_bound": %.4f,
+    "tree_dp_speedup": %.2f
+  },
+  "large": {
+    "instance": "%s",
+    "tree_dp_large_s": %.4f,
+    "tree_dp_large_bound": %.4f,
+    "tree_pdhg_s": %.4f,
+    "tree_pdhg_bound": %.4f,
+    "tree_pdhg_speedup": %.2f
+  }
+}
+|}
+    reps small.TS.name sm_dp_s sm_dp sm_lp_s sm_lp (speedup sm_dp_s sm_lp_s)
+    large.TS.name lg_dp_s lg_dp lg_lp_s lg_lp (speedup lg_dp_s lg_lp_s);
+  close_out oc;
+  Printf.printf "wrote BENCH_tree.json\n%!"
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let benchmark test =
@@ -764,6 +857,8 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "sweep" then sweep_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "lp" then lp_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "obs" then obs_benchmark ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "tree" then
+    tree_benchmark ()
   else
     List.iter
       (fun test ->

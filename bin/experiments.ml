@@ -643,6 +643,211 @@ let validate ~seed () =
       end)
     [ Mcperf.Classes.general; Mcperf.Classes.replica_constrained ]
 
+(* --- validate --family tree: the exact DP as ground truth ----------------- *)
+
+module TS = Replica_select.Tree_scenario
+
+(* Every number printed here is deterministic (no wall clocks), so
+   scripted runs can [cmp] the output across --jobs settings. *)
+let validate_tree ~seed ~count ~jobs () =
+  let tol x = 1e-6 *. (1. +. Float.abs x) in
+  let fail name fmt =
+    incr violations;
+    Printf.printf "FAIL %s: " name;
+    Printf.kfprintf (fun oc -> output_char oc '\n') stdout fmt
+  in
+  Printf.printf
+    "\n=== Tree family: exact DP vs every other producer (%d instances, seed %d) ===\n"
+    count seed;
+  Printf.printf "%-22s %5s %5s %9s %9s %9s %9s %9s %9s %12s\n" "instance"
+    "nodes" "sites" "dp" "simplex" "pdhg" "lagrange" "rounded" "propor"
+    "path";
+  let family = TS.family ~seed ~count () in
+  List.iter
+    (fun (scen : TS.t) ->
+      let spec = scen.TS.spec and placeable = scen.TS.placeable in
+      let name = scen.TS.name in
+      let nodes = Mcperf.Spec.node_count spec in
+      let sites =
+        match placeable with
+        | None -> nodes
+        | Some p -> Array.fold_left (fun n b -> if b then n + 1 else n) 0 p
+      in
+      let dp_cell = Bounds.Pipeline.compute ?placeable spec Mcperf.Classes.general in
+      if not dp_cell.Bounds.Pipeline.feasible then
+        fail name "general class infeasible";
+      if dp_cell.Bounds.Pipeline.solve_path <> Bounds.Pipeline.Path_tree_dp
+      then
+        fail name "not routed through tree-dp (%s)"
+          (Bounds.Pipeline.path_label dp_cell.Bounds.Pipeline.solve_path);
+      let dp = dp_cell.Bounds.Pipeline.lower_bound in
+      (match
+         Bounds.Pipeline.certify ?placeable spec Mcperf.Classes.general
+           dp_cell
+       with
+      | Ok () -> ()
+      | Error msg -> fail name "certify rejected the DP cell: %s" msg);
+      let lp_cell =
+        Bounds.Pipeline.compute ~solver:Bounds.Pipeline.Exact_simplex
+          ?placeable spec Mcperf.Classes.general
+      in
+      let lp = lp_cell.Bounds.Pipeline.lower_bound in
+      if lp > dp +. tol dp then fail name "simplex LP %.6f above DP %.6f" lp dp;
+      let rounded =
+        match lp_cell.Bounds.Pipeline.rounded with
+        | None -> nan
+        | Some r ->
+          let ev = r.Rounding.Round.evaluation in
+          if not ev.Mcperf.Costing.meets_goal then
+            fail name "rounded LP placement misses the goal";
+          if ev.Mcperf.Costing.total < dp -. tol dp then
+            fail name "rounded LP cost %.6f below DP optimum %.6f"
+              ev.Mcperf.Costing.total dp;
+          ev.Mcperf.Costing.total
+      in
+      let pdhg_cell =
+        Bounds.Pipeline.compute
+          ~solver:
+            (Bounds.Pipeline.First_order
+               {
+                 Lp.Pdhg.default_options with
+                 Lp.Pdhg.max_iters = 20_000;
+                 rel_tol = 1e-6;
+               })
+          ?placeable spec Mcperf.Classes.general
+      in
+      let pdhg = pdhg_cell.Bounds.Pipeline.lower_bound in
+      if pdhg > dp +. tol dp then
+        fail name "PDHG bound %.6f above DP %.6f" pdhg dp;
+      (* the Lagrangian producer has no placeable support; compare only
+         on unrestricted instances *)
+      let lagr =
+        match placeable with
+        | Some _ -> nan
+        | None ->
+          let b =
+            (Bounds.Lagrangian.bound ~iterations:40 spec
+               Mcperf.Classes.general)
+              .Bounds.Lagrangian.bound
+          in
+          if b > dp +. tol dp then
+            fail name "Lagrangian %.6f above DP %.6f" b dp;
+          b
+      in
+      let prop =
+        match Heuristics.Proportional.search ?placeable ~spec () with
+        | None ->
+          fail name "proportional search found no feasible budget";
+          nan
+        | Some (_, ev) ->
+          if ev.Mcperf.Costing.total < dp -. tol dp then
+            fail name "proportional cost %.6f below DP optimum %.6f"
+              ev.Mcperf.Costing.total dp;
+          ev.Mcperf.Costing.total
+      in
+      Printf.printf "%-22s %5d %5d %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %12s\n%!"
+        name nodes sites dp lp pdhg lagr rounded prop
+        (Bounds.Pipeline.path_label dp_cell.Bounds.Pipeline.solve_path))
+    family;
+  (* Sweep layer: the same instances through sweep_classes at the
+     requested --jobs; every general cell must take the DP path and the
+     printed grid is identical at any --jobs (which is why the header
+     does not echo the jobs count). *)
+  Printf.printf "\n=== Tree sweeps (general + caching) ===\n";
+  List.iter
+    (fun (scen : TS.t) ->
+      let cfg =
+        {
+          Bounds.Pipeline.Sweep_config.default with
+          Bounds.Pipeline.Sweep_config.jobs;
+          placeable = scen.TS.placeable;
+        }
+      in
+      let sweep =
+        Bounds.Pipeline.sweep_classes cfg scen.TS.spec
+          ~fractions:TS.default_fractions
+          [
+            ("general", Mcperf.Classes.general);
+            ( "caching",
+              Mcperf.Classes.allow_intra_interval_reaction
+                Mcperf.Classes.caching );
+          ]
+      in
+      List.iter
+        (fun (label, cells) ->
+          Printf.printf "%-22s %-8s" scen.TS.name label;
+          List.iter
+            (fun (q, (r : Bounds.Pipeline.t)) ->
+              if
+                String.equal label "general"
+                && r.Bounds.Pipeline.feasible
+                && r.Bounds.Pipeline.solve_path
+                   <> Bounds.Pipeline.Path_tree_dp
+              then
+                fail scen.TS.name "sweep cell @ %g not on the DP path" q;
+              Printf.printf "  %g:%s" q
+                (if r.Bounds.Pipeline.feasible then
+                   Printf.sprintf "%.2f" r.Bounds.Pipeline.lower_bound
+                 else "-"))
+            cells;
+          print_newline ())
+        sweep.Bounds.Pipeline.per_class)
+    family;
+  Printf.printf "\ntree validation: %s\n%!"
+    (if !violations = 0 then "all checks passed"
+     else Printf.sprintf "%d violations" !violations)
+
+(* --- tree figure: how much the rule-of-thumb leaves on the table ---------- *)
+
+(* On trees the general bound is the exact optimum (the DP), so the
+   figure reads as ground truth vs the caching class's bound vs the
+   proportional heuristic's deployed cost — the paper's bound-vs-deployed
+   comparison, but with the bound known to be tight. *)
+let figtree ?csv_dir ~seed ~jobs () =
+  let scen = TS.make ~seed (TS.Random { nodes = 24 }) in
+  let spec = scen.TS.spec in
+  let points = [ 0.9; 0.95; 0.99; 0.999 ] in
+  let classes =
+    [
+      ("Exact tree optimum (general)", Mcperf.Classes.general);
+      ( "Caching",
+        Mcperf.Classes.allow_intra_interval_reaction Mcperf.Classes.caching );
+    ]
+  in
+  let name = Printf.sprintf "figtree-n24-s%d" seed in
+  let series, timing, elapsed_s =
+    sweep_figure ~name ~jobs spec points classes
+  in
+  (match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Avg_latency _ -> ()
+  | Mcperf.Spec.Qos { tlat_ms; _ } ->
+    let prop =
+      Report.series_of ~label:"Proportional (deployed)"
+        (List.map
+           (fun q ->
+             let spec =
+               {
+                 spec with
+                 Mcperf.Spec.goal = Mcperf.Spec.Qos { tlat_ms; fraction = q };
+               }
+             in
+             ( q,
+               Option.map
+                 (fun (_, (ev : Mcperf.Costing.evaluation)) ->
+                   ev.Mcperf.Costing.total)
+                 (Heuristics.Proportional.search ~spec ()) ))
+           points)
+    in
+    let series = series @ [ prop ] in
+    Report.print_figure
+      ~title:
+        (Printf.sprintf
+           "Tree figure (random 24-node tree, seed %d): exact optimum vs \
+            caching bound vs proportional heuristic"
+           seed)
+      ~xlabel:"QoS" series;
+    Report.print_timing ~title:"figtree" ~jobs ~elapsed_s timing;
+    maybe_write_csv ~csv_dir ~name series)
 
 (* --- ablations: the design choices DESIGN.md calls out -------------------- *)
 
@@ -1053,16 +1258,53 @@ let ablation_cmd =
     Term.(const run $ verbose_t $ seed_t)
 
 let validate_cmd =
-  let run verbose seed =
+  let family_t =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("tree", `Tree) ]) `Default
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Instance family to validate: $(b,default) cross-checks the \
+             case-study instance; $(b,tree) runs the tree scenario family, \
+             where the closest-allocation DP is the exact optimum and \
+             every other producer must sandwich it. Tree output carries no \
+             wall clocks, so runs at different $(b,--jobs) compare \
+             byte-for-byte.")
+  in
+  let count_t =
+    Arg.(
+      value & opt int 10
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Tree-family instances to validate (tree family only).")
+  in
+  let run verbose seed family count jobs =
     setup_logs verbose;
-    validate ~seed ()
+    (match family with
+    | `Default -> validate ~seed ()
+    | `Tree -> validate_tree ~seed ~count ~jobs:(resolve_jobs jobs) ());
+    if !violations > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:
          "Cross-check all bound producers (simplex, PDHG, Lagrangian, exact \
-          IP, rounding) on a small instance.")
-    Term.(const run $ verbose_t $ seed_t)
+          IP, tree DP, rounding) on small instances; exits nonzero on any \
+          violated bound ordering.")
+    Term.(const run $ verbose_t $ seed_t $ family_t $ count_t $ jobs_t)
+
+let figtree_cmd =
+  let run verbose seed csv_dir jobs =
+    setup_logs verbose;
+    figtree ?csv_dir ~seed ~jobs:(resolve_jobs jobs) ();
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "figtree"
+       ~doc:
+         "Tree-network figure: the exact DP optimum (general class) vs the \
+          caching-class bound vs the proportional heuristic's deployed \
+          cost, across QoS goals on a random tree.")
+    Term.(const run $ verbose_t $ seed_t $ csv_t $ jobs_t)
 
 let scale_cmd =
   let run verbose seed =
@@ -1099,8 +1341,8 @@ let main =
          "Regenerate the evaluation of 'Choosing Replica Placement \
           Heuristics for Wide-Area Systems' (ICDCS 2004).")
     [
-      fig1_cmd; fig2_cmd; fig3_cmd; select_cmd; scale_cmd; validate_cmd;
-      ablation_cmd; workload_cmd; baselines_cmd; all_cmd;
+      fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; select_cmd; scale_cmd;
+      validate_cmd; ablation_cmd; workload_cmd; baselines_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,7 @@ type solver =
 
 type solve_path =
   | Path_presolve
+  | Path_tree_dp
   | Path_simplex
   | Path_pdhg
   | Path_pdhg_retry
@@ -14,6 +15,7 @@ type solve_path =
 let all_paths =
   [
     Path_presolve;
+    Path_tree_dp;
     Path_simplex;
     Path_pdhg;
     Path_pdhg_retry;
@@ -23,6 +25,7 @@ let all_paths =
 
 let path_label = function
   | Path_presolve -> "presolve"
+  | Path_tree_dp -> "tree-dp"
   | Path_simplex -> "simplex"
   | Path_pdhg -> "pdhg"
   | Path_pdhg_retry -> "pdhg-retry"
@@ -449,6 +452,78 @@ let finish ~round ~path model cls worst_qos sol =
     certificate = Option.map (fun d -> Dual d) sol.dual;
   }
 
+(* --- exact tree producer ------------------------------------------------- *)
+
+(* Third bound producer: on tree instances where {!Tree_dp.of_spec}
+   proves the closest-allocation DP exact, the cell's lower bound and its
+   rounded solution are the same integer optimum and the gap is zero by
+   construction — no LP is built at all. Belt and braces before claiming
+   exactness: the DP placement is re-evaluated through [Costing] (the
+   same arithmetic that judges heuristics and rounded LP points) and must
+   meet the goal, respect permissions, and reproduce the DP's own cost;
+   any disagreement — e.g. a demand sitting exactly on the QoS threshold
+   where accumulated path sums and the Dijkstra latency matrix could
+   round differently — silently falls back to the LP chain. Eligibility
+   is a pure function of (spec, class, fraction, placeable), so sweeps
+   stay byte-identical at every [--jobs]. *)
+let tree_cell ?placeable spec cls perm worst_qos =
+  match Tree_dp.of_spec ?placeable spec cls with
+  | Error reason ->
+    Log.debug (fun f ->
+        f "class %s: tree-dp ineligible (%s)" cls.Mcperf.Classes.name reason);
+    None
+  | Ok inst -> (
+    match Tree_dp.solve inst with
+    | Tree_dp.Unsatisfiable _ ->
+      (* Let the LP chain certify infeasibility with a Farkas ray. *)
+      None
+    | Tree_dp.Optimal { cost; placement } ->
+      let pl = Tree_dp.placement_of inst placement in
+      let ev = Mcperf.Costing.evaluate perm pl in
+      if
+        ev.Mcperf.Costing.meets_goal
+        && Mcperf.Costing.respects_permissions perm pl
+        && Float.abs (ev.Mcperf.Costing.total -. cost)
+           <= 1e-6 *. (1. +. Float.abs cost)
+      then begin
+        count_path Path_tree_dp;
+        let lower_bound = ev.Mcperf.Costing.total in
+        Some
+          {
+            class_name = cls.Mcperf.Classes.name;
+            feasible = true;
+            lower_bound;
+            rounded =
+              Some
+                {
+                  Rounding.Round.placement = pl;
+                  evaluation = ev;
+                  rounded_up = 0;
+                  rounded_down = 0;
+                  repaired = 0;
+                };
+            gap = (if lower_bound > 0. then Some 0. else None);
+            exact = true;
+            lp_iterations = 0;
+            vars = 0;
+            rows = 0;
+            max_feasible_qos = worst_qos;
+            solve_path = Path_tree_dp;
+            quality = Exact;
+            rel_gap = 0.;
+            certificate = None;
+          }
+      end
+      else begin
+        Log.warn (fun f ->
+            f
+              "class %s: tree-dp solution failed Costing verification \
+               (dp %g, evaluated %g, meets_goal %b): falling back to LP"
+              cls.Mcperf.Classes.name cost ev.Mcperf.Costing.total
+              ev.Mcperf.Costing.meets_goal);
+        None
+      end)
+
 let compute ?(solver = Auto) ?placeable spec cls =
   let perm = Mcperf.Permission.compute ?placeable spec cls in
   let worst_qos =
@@ -467,20 +542,28 @@ let compute ?(solver = Auto) ?placeable spec cls =
       cls worst_qos
   end
   else begin
-    let model = Mcperf.Model.build perm in
-    Log.info (fun f ->
-        f "class %s: %a" cls.Mcperf.Classes.name Mcperf.Model.pp_stats model);
-    let round =
-      match spec.Mcperf.Spec.goal with
-      | Mcperf.Spec.Qos _ -> Rounding.Round.round
-      | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
+    let dp =
+      match solver with
+      | Auto -> tree_cell ?placeable spec cls perm worst_qos
+      | Exact_simplex | First_order _ -> None
     in
-    let r = solve_relaxation ~solver model.Mcperf.Model.problem in
-    match r.outcome with
-    | None ->
-      (* The LP disagreed with the coverage oracle: conservative report. *)
-      infeasible_result ?ray:r.infeasible_ray cls worst_qos
-    | Some sol -> finish ~round ~path:r.path model cls worst_qos sol
+    match dp with
+    | Some cell -> cell
+    | None -> (
+      let model = Mcperf.Model.build perm in
+      Log.info (fun f ->
+          f "class %s: %a" cls.Mcperf.Classes.name Mcperf.Model.pp_stats model);
+      let round =
+        match spec.Mcperf.Spec.goal with
+        | Mcperf.Spec.Qos _ -> Rounding.Round.round
+        | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
+      in
+      let r = solve_relaxation ~solver model.Mcperf.Model.problem in
+      match r.outcome with
+      | None ->
+        (* The LP disagreed with the coverage oracle: conservative report. *)
+        infeasible_result ?ray:r.infeasible_ray cls worst_qos
+      | Some sol -> finish ~round ~path:r.path model cls worst_qos sol)
   end
 
 let compare_classes ?solver ?placeable spec classes =
@@ -523,6 +606,40 @@ let pp ppf t =
 let certify ?placeable spec cls cell =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   match cell.certificate with
+  | None when cell.solve_path = Path_tree_dp ->
+    (* Tree-DP cells carry no LP certificate; their witness is the DP
+       itself. Replay it from scratch — eligibility, solve, and the
+       Costing evaluation of the optimal placement must all reproduce the
+       recorded bound. The DP is deterministic, so this is as strong as
+       re-running the cell. *)
+    if not cell.feasible then
+      fail "%s: tree-dp path on an infeasible cell" cell.class_name
+    else (
+      match Tree_dp.of_spec ?placeable spec cls with
+      | Error reason ->
+        fail "%s: tree-dp replay ineligible: %s" cell.class_name reason
+      | Ok inst -> (
+        match Tree_dp.solve inst with
+        | Tree_dp.Unsatisfiable { object_id } ->
+          fail "%s: tree-dp replay unsatisfiable for object %d"
+            cell.class_name object_id
+        | Tree_dp.Optimal { cost = _; placement } ->
+          let perm = Mcperf.Permission.compute ?placeable spec cls in
+          let ev =
+            Mcperf.Costing.evaluate perm (Tree_dp.placement_of inst placement)
+          in
+          if not ev.Mcperf.Costing.meets_goal then
+            fail "%s: replayed tree-dp placement misses the goal"
+              cell.class_name
+          else if
+            Float.abs (ev.Mcperf.Costing.total -. cell.lower_bound)
+            <= 1e-6 *. (1. +. Float.abs cell.lower_bound)
+          then Ok ()
+          else
+            fail
+              "%s: replayed tree-dp optimum %.12g does not match recorded \
+               %.12g"
+              cell.class_name ev.Mcperf.Costing.total cell.lower_bound))
   | None -> fail "%s: no certificate attached" cell.class_name
   | Some (Farkas ray) ->
     if cell.feasible then
@@ -581,6 +698,7 @@ type task_stat = {
   wall_s : float;
   iterations : int;
   solved_exactly : bool;
+  cell_path : solve_path;
   cell_quality : quality;
   cell_rel_gap : float;
 }
@@ -639,8 +757,11 @@ let cell_key label fraction = Printf.sprintf "%s|%.17g" label fraction
 (* v2: cell payloads gained quality/certificate fields and the
    fingerprint covers the time-budget configuration, so a journal written
    under one budget is never replayed into a sweep running under another
-   (degraded bounds must not masquerade as unconstrained ones). *)
-let journal_magic = "# replica-select sweep journal v2"
+   (degraded bounds must not masquerade as unconstrained ones).
+   v3: [solve_path] gained the [Path_tree_dp] constructor, which shifts
+   the Marshal tags of every later constructor — a v2 payload would
+   deserialize into the wrong path, so v2 journals are discarded. *)
+let journal_magic = "# replica-select sweep journal v3"
 
 let sweep_fingerprint ?(deadline_s = infinity) ?(cell_budget_s = infinity)
     ~tlat_ms ~fractions classes =
@@ -899,6 +1020,17 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
         cls worst_qos
     end
     else begin
+      (* Exact tree cells bypass the model/prep caches entirely; LP cells
+         behave exactly as before, so mixed tree/LP series (atomicity can
+         hold at one fraction and fail at another) stay deterministic. *)
+      let dp =
+        match solver with
+        | Auto -> tree_cell ?placeable spec cls perm worst_qos
+        | Exact_simplex | First_order _ -> None
+      in
+      match dp with
+      | Some cell -> cell
+      | None ->
       let model =
         match cached with
         | Some (base, _) -> Mcperf.Model.with_fraction base fraction
@@ -1042,6 +1174,7 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
           wall_s;
           iterations = cell.lp_iterations;
           solved_exactly = cell.exact;
+          cell_path = cell.solve_path;
           cell_quality = cell.quality;
           cell_rel_gap = cell.rel_gap;
         })
@@ -1123,6 +1256,14 @@ let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
             cls worst_qos )
       end
       else begin
+        let dp =
+          match solver with
+          | Auto -> tree_cell ?placeable spec cls perm worst_qos
+          | Exact_simplex | First_order _ -> None
+        in
+        match dp with
+        | Some cell -> (fraction, cell)
+        | None ->
         let model =
           match !base with
           | Some m -> Mcperf.Model.with_fraction m fraction

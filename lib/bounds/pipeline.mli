@@ -13,7 +13,15 @@
       from above.
 
     The designer then compares classes on [lower_bound] (Figure 1) and
-    checks deployed heuristics against them (Figure 2). *)
+    checks deployed heuristics against them (Figure 2).
+
+    A third producer rides in front of the LP chain: when the spec is a
+    tree instance within {!Tree_dp}'s proven-exact scope (and the solver
+    is [Auto]), the closest-allocation DP computes the true integer
+    optimum directly — the cell's [lower_bound] and [rounded] solution
+    coincide, [quality] is [Exact], [solve_path] is [Path_tree_dp] and
+    the gap is zero by construction. Ineligible or unverified instances
+    fall through to the LP producers unchanged. *)
 
 type solver =
   | Auto
@@ -33,6 +41,10 @@ type solver =
     produces — only this tag records that recovery happened. *)
 type solve_path =
   | Path_presolve  (** presolve fixed every variable; no solver ran *)
+  | Path_tree_dp
+      (** {!Tree_dp} solved the cell exactly — tree topology within the
+          DP's proven-exact scope; no LP was built, the bound is the true
+          integer optimum and the gap is zero by construction *)
   | Path_simplex  (** primary exact simplex (small models) *)
   | Path_pdhg  (** primary PDHG solve, numerically healthy *)
   | Path_pdhg_retry  (** first PDHG attempt unhealthy; clean retry accepted *)
@@ -101,7 +113,9 @@ type t = {
           solves, [infinity] when no finite bound was certified) *)
   certificate : certificate option;
       (** independent witness for the bound or the infeasibility; [None]
-          only when no verifiable witness could be derived *)
+          only when no verifiable witness could be derived — except
+          [Path_tree_dp] cells, whose witness is the deterministic DP
+          itself (replayed by {!certify}) *)
 }
 
 val default_pdhg_options : Lp.Pdhg.options
@@ -145,7 +159,10 @@ val certify :
     when a [Dual] witness reproduces [lower_bound] (tolerance
     [1e-6 * (1 + |bound|)]) or a [Farkas] witness passes
     {!Lp.Certificate.check_farkas}; [Error msg] otherwise, including when
-    no certificate is attached. *)
+    no certificate is attached. [Path_tree_dp] cells are the exception to
+    the no-certificate failure: their witness is the DP itself, so
+    {!certify} replays {!Tree_dp.of_spec} + {!Tree_dp.solve} and checks
+    that the re-evaluated optimum reproduces the recorded bound. *)
 
 val sweep_qos :
   ?solver:solver ->
@@ -176,6 +193,7 @@ type task_stat = {
   wall_s : float;  (** cell wall-clock inside its worker *)
   iterations : int;  (** first-order solver iterations (0 for simplex) *)
   solved_exactly : bool;
+  cell_path : solve_path;  (** which fallback-chain leg produced the cell *)
   cell_quality : quality;  (** the cell result's [quality] tag *)
   cell_rel_gap : float;  (** the cell result's [rel_gap] *)
 }

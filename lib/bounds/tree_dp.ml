@@ -1,0 +1,479 @@
+(* Exact tree placement via leaf-up Pareto dynamic programs.
+
+   Everything here is per object: with a single interval and no
+   cross-object cost terms, MC-PERF on a tree decouples into independent
+   minimum-cardinality covering problems, one per object, each solved by a
+   postorder sweep that carries a small Pareto frontier of partial
+   solutions. DESIGN.md §12 develops the recurrences and the dominance
+   arguments; the brute-force oracle in test/test_tree_dp.ml checks both
+   disciplines exhaustively on every tree shape up to 12 nodes. *)
+
+type service = Any_replica | Closest_ancestor of { capacity : float }
+
+type instance = {
+  nodes : int;
+  root : int;
+  parent : int array;
+  up_ms : float array;
+  children : int list array;
+  permitted : bool array;
+  demand : float array array;
+  budget_ms : float array;
+  replica_cost : float array;
+  service : service;
+}
+
+let check_finite name a =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x < 0. then
+        invalid_arg (Printf.sprintf "Tree_dp.make: %s must be finite and >= 0" name))
+    a
+
+let make ~parent ~up_ms ?permitted ~demand ~budget_ms ~replica_cost
+    ?(service = Any_replica) () =
+  let nodes = Array.length parent in
+  if nodes = 0 then invalid_arg "Tree_dp.make: empty tree";
+  if Array.length up_ms <> nodes || Array.length budget_ms <> nodes then
+    invalid_arg "Tree_dp.make: up_ms/budget_ms length must equal node count";
+  let root =
+    match
+      Array.to_list (Array.mapi (fun v p -> (v, p)) parent)
+      |> List.filter (fun (_, p) -> p < 0)
+    with
+    | [ (r, _) ] -> r
+    | _ -> invalid_arg "Tree_dp.make: exactly one node must have parent -1"
+  in
+  let children = Array.make nodes [] in
+  for v = nodes - 1 downto 0 do
+    if v <> root then begin
+      let p = parent.(v) in
+      if p < 0 || p >= nodes || p = v then
+        invalid_arg "Tree_dp.make: parent id out of range";
+      children.(p) <- v :: children.(p)
+    end
+  done;
+  (* Reachability from the root doubles as the acyclicity check. *)
+  let seen = ref 1 in
+  let visited = Array.make nodes false in
+  visited.(root) <- true;
+  let rec visit v =
+    List.iter
+      (fun c ->
+        if not visited.(c) then begin
+          visited.(c) <- true;
+          incr seen;
+          visit c
+        end)
+      children.(v)
+  in
+  visit root;
+  if !seen <> nodes then invalid_arg "Tree_dp.make: parent array has a cycle";
+  check_finite "up_ms" up_ms;
+  check_finite "budget_ms" budget_ms;
+  check_finite "replica_cost" replica_cost;
+  Array.iter (fun row ->
+      if Array.length row <> nodes then
+        invalid_arg "Tree_dp.make: demand rows must have one entry per node";
+      check_finite "demand" row)
+    demand;
+  if Array.length replica_cost <> Array.length demand then
+    invalid_arg "Tree_dp.make: one replica_cost per object";
+  (match service with
+  | Any_replica -> ()
+  | Closest_ancestor { capacity } ->
+    if not (Float.is_finite capacity) || capacity < 0. then
+      invalid_arg "Tree_dp.make: capacity must be finite and >= 0");
+  let permitted =
+    match permitted with
+    | None -> Array.init nodes (fun v -> v <> root)
+    | Some p ->
+      if Array.length p <> nodes then
+        invalid_arg "Tree_dp.make: permitted length must equal node count";
+      Array.init nodes (fun v -> p.(v) && v <> root)
+  in
+  {
+    nodes;
+    root;
+    parent = Array.copy parent;
+    up_ms = Array.copy up_ms;
+    children;
+    permitted;
+    demand = Array.map Array.copy demand;
+    budget_ms = Array.copy budget_ms;
+    replica_cost = Array.copy replica_cost;
+    service;
+  }
+
+type solution = { cost : float; placement : int list array }
+
+type outcome = Optimal of solution | Unsatisfiable of { object_id : int }
+
+let postorder inst =
+  let order = Array.make inst.nodes inst.root in
+  let idx = ref 0 in
+  let rec go v =
+    List.iter go inst.children.(v);
+    order.(!idx) <- v;
+    incr idx
+  in
+  go inst.root;
+  order
+
+(* Pareto pruning, shared shape for both disciplines: sort by a canonical
+   key (replica count, then the two frontier coordinates), keep a state
+   only if nothing kept before it weakly dominates it. List.sort is
+   stable, so identical keys keep their construction order and the whole
+   sweep is deterministic — byte-identical placements at every --jobs. *)
+let pareto ~key ~dominates states =
+  let sorted = List.sort (fun x y -> compare (key x) (key y)) states in
+  let kept = ref [] in
+  List.iter
+    (fun st ->
+      if not (List.exists (fun k -> dominates k st) !kept) then
+        kept := st :: !kept)
+    sorted;
+  List.rev !kept
+
+(* --- any-replica discipline --------------------------------------------
+
+   State of a subtree rooted at v, seen from v:
+     [n]      replicas placed in the subtree;
+     [a]      distance from v to the nearest replica below (inf if none);
+     [s]      worst remaining slack among the subtree's uncovered demands:
+              min over them of (their budget - their distance to v), inf
+              if everything below is already covered. A replica placed at
+              distance d above v covers them all iff d <= s, so the
+              minimum is the only number the future needs — the invariant
+              s >= 0 (negative-slack states are pruned as dead) is the
+              closest-allocation invariant of DESIGN.md §12. *)
+
+type astate = { an : int; a : float; s : float; a_placed : int list }
+
+let aprune =
+  pareto
+    ~key:(fun st -> (st.an, st.a, -.st.s))
+    ~dominates:(fun k st -> k.an <= st.an && k.a <= st.a && k.s >= st.s)
+
+let solve_object_any inst order k =
+  let states = Array.make inst.nodes [] in
+  Array.iter
+    (fun v ->
+      let acc =
+        ref [ { an = 0; a = Float.infinity; s = Float.infinity; a_placed = [] } ]
+      in
+      List.iter
+        (fun c ->
+          let e = inst.up_ms.(c) in
+          let shifted =
+            List.filter_map
+              (fun st ->
+                let s = if st.s = Float.infinity then st.s else st.s -. e in
+                if s < 0. then None (* uncovered demand out of reach: dead *)
+                else
+                  Some
+                    {
+                      st with
+                      a = (if st.a = Float.infinity then st.a else st.a +. e);
+                      s;
+                    })
+              states.(c)
+          in
+          states.(c) <- [];
+          acc :=
+            aprune
+              (List.concat_map
+                 (fun x ->
+                   List.map
+                     (fun y ->
+                       (* Cross-coverage at the merge point: one side's
+                          uncovered demands are all covered by the other
+                          side's nearest replica iff that replica is
+                          within the side's worst slack. *)
+                       let sx = if y.a <= x.s then Float.infinity else x.s in
+                       let sy = if x.a <= y.s then Float.infinity else y.s in
+                       {
+                         an = x.an + y.an;
+                         a = Float.min x.a y.a;
+                         s = Float.min sx sy;
+                         a_placed = x.a_placed @ y.a_placed;
+                       })
+                     shifted)
+                 !acc))
+        inst.children.(v);
+      if inst.demand.(k).(v) > 0. then
+        acc :=
+          List.filter_map
+            (fun st ->
+              if st.a <= inst.budget_ms.(v) then Some st
+              else
+                let s = Float.min st.s inst.budget_ms.(v) in
+                if s < 0. then None else Some { st with s })
+            !acc;
+      if inst.permitted.(v) then
+        acc :=
+          aprune
+            (!acc
+            @ List.map
+                (fun st ->
+                  (* Placing at v covers every uncovered demand below: all
+                     carry slack >= s >= 0 and the new replica is at
+                     distance 0. *)
+                  {
+                    an = st.an + 1;
+                    a = 0.;
+                    s = Float.infinity;
+                    a_placed = v :: st.a_placed;
+                  })
+                !acc);
+      states.(v) <- !acc)
+    order;
+  (* Nothing sits above the root, so demand still uncovered there is
+     unservable (origin-covered demand was cleared before the DP ran). *)
+  match List.filter (fun st -> st.s = Float.infinity) states.(inst.root) with
+  | [] -> None
+  | st :: rest ->
+    let best = List.fold_left (fun b st -> if st.an < b.an then st else b) st rest in
+    Some (best.an, List.sort compare best.a_placed)
+
+(* --- closest-ancestor (bandwidth) discipline ----------------------------
+
+   Requests flow towards the root and are served by the first replica on
+   the way (the Closest policy), each replica serving at most [capacity]
+   units; the root serves the residue uncapped. State of a subtree at v:
+     [n]  replicas placed below;
+     [u]  unserved flow passing up through v;
+     [s]  tightest remaining distance budget among that flow (inf when
+          u = 0) — serving it anywhere at or above v needs s >= 0. *)
+
+type cstate = { cn : int; u : float; cs : float; c_placed : int list }
+
+let cprune =
+  pareto
+    ~key:(fun st -> (st.cn, st.u, -.st.cs))
+    ~dominates:(fun k st -> k.cn <= st.cn && k.u <= st.u && k.cs >= st.cs)
+
+let solve_object_closest inst ~capacity order k =
+  let states = Array.make inst.nodes [] in
+  Array.iter
+    (fun v ->
+      let acc = ref [ { cn = 0; u = 0.; cs = Float.infinity; c_placed = [] } ] in
+      List.iter
+        (fun c ->
+          let e = inst.up_ms.(c) in
+          let shifted =
+            List.filter_map
+              (fun st ->
+                let cs = if st.cs = Float.infinity then st.cs else st.cs -. e in
+                if st.u > 0. && cs < 0. then None else Some { st with cs })
+              states.(c)
+          in
+          states.(c) <- [];
+          acc :=
+            cprune
+              (List.concat_map
+                 (fun x ->
+                   List.map
+                     (fun y ->
+                       {
+                         cn = x.cn + y.cn;
+                         u = x.u +. y.u;
+                         cs = Float.min x.cs y.cs;
+                         c_placed = x.c_placed @ y.c_placed;
+                       })
+                     shifted)
+                 !acc))
+        inst.children.(v);
+      let d = inst.demand.(k).(v) in
+      if d > 0. then
+        acc :=
+          List.map
+            (fun st ->
+              { st with u = st.u +. d; cs = Float.min st.cs inst.budget_ms.(v) })
+            !acc;
+      if inst.permitted.(v) then
+        acc :=
+          cprune
+            (!acc
+            @ List.filter_map
+                (fun st ->
+                  (* Closest forces a replica at v to serve all passing
+                     flow, so placing is only an option when it fits. *)
+                  if st.u <= capacity then
+                    Some
+                      {
+                        cn = st.cn + 1;
+                        u = 0.;
+                        cs = Float.infinity;
+                        c_placed = v :: st.c_placed;
+                      }
+                  else None)
+                !acc);
+      states.(v) <- !acc)
+    order;
+  (* The root serves whatever still flows, uncapped; the per-shift slack
+     filter already killed states whose flow overran its budget. *)
+  match states.(inst.root) with
+  | [] -> None
+  | st :: rest ->
+    let best = List.fold_left (fun b st -> if st.cn < b.cn then st else b) st rest in
+    Some (best.cn, List.sort compare best.c_placed)
+
+let solve inst =
+  let order = postorder inst in
+  let objects = Array.length inst.demand in
+  let solve_object =
+    match inst.service with
+    | Any_replica -> solve_object_any inst order
+    | Closest_ancestor { capacity } -> solve_object_closest inst ~capacity order
+  in
+  let placement = Array.make objects [] in
+  let rec go k cost =
+    if k = objects then Optimal { cost; placement }
+    else
+      match solve_object k with
+      | None -> Unsatisfiable { object_id = k }
+      | Some (count, sites) ->
+        placement.(k) <- sites;
+        go (k + 1) (cost +. (float_of_int count *. inst.replica_cost.(k)))
+  in
+  go 0 0.
+
+(* --- MC-PERF mapping ----------------------------------------------------- *)
+
+let structurally_general (cls : Mcperf.Classes.t) =
+  cls.Mcperf.Classes.storage = Mcperf.Classes.Sc_none
+  && cls.Mcperf.Classes.replicas = Mcperf.Classes.Rc_none
+  && cls.Mcperf.Classes.routing = Topology.System.Route_global
+  && cls.Mcperf.Classes.knowledge = Topology.System.Know_global
+  && cls.Mcperf.Classes.history = Mcperf.Classes.All_intervals
+  && cls.Mcperf.Classes.timing = Mcperf.Classes.Proactive
+
+(* Strict margin on the atomicity condition: a demanding pair sitting
+   exactly at the uncoverable share could legally be dropped by an
+   integral solution, which would break the full-coverage equivalence the
+   DP's exactness rests on. Near-ties go to the LP producers instead. *)
+let atomicity_margin = 1e-9
+
+let of_spec ?placeable (spec : Mcperf.Spec.t) (cls : Mcperf.Classes.t) =
+  match spec.Mcperf.Spec.goal with
+  | Mcperf.Spec.Avg_latency _ -> Error "tree-dp: requires a QoS goal"
+  | Mcperf.Spec.Qos { tlat_ms; fraction } ->
+    if Mcperf.Spec.interval_count spec <> 1 then
+      Error "tree-dp: requires a single evaluation interval"
+    else if not (structurally_general cls) then
+      Error "tree-dp: exact only for the unconstrained (general) class"
+    else begin
+      let costs = spec.Mcperf.Spec.costs in
+      if
+        costs.Mcperf.Spec.gamma <> 0.
+        || costs.Mcperf.Spec.delta <> 0.
+        || costs.Mcperf.Spec.zeta <> 0.
+      then Error "tree-dp: gamma/delta/zeta cost terms are out of scope"
+      else begin
+        let sys = spec.Mcperf.Spec.system in
+        let g = sys.Topology.System.graph in
+        if not (Topology.Graph.is_tree g) then
+          Error "tree-dp: topology is not a tree"
+        else begin
+          let nodes = Mcperf.Spec.node_count spec in
+          let objects = Mcperf.Spec.object_count spec in
+          let origin = sys.Topology.System.origin in
+          (* Root the tree at the origin. *)
+          let parent = Array.make nodes (-1) in
+          let up_ms = Array.make nodes 0. in
+          let seen = Array.make nodes false in
+          seen.(origin) <- true;
+          let q = Queue.create () in
+          Queue.add origin q;
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            List.iter
+              (fun (v, w) ->
+                if not seen.(v) then begin
+                  seen.(v) <- true;
+                  parent.(v) <- u;
+                  up_ms.(v) <- w;
+                  Queue.add v q
+                end)
+              (Topology.Graph.neighbors g u)
+          done;
+          (* Weighted per-(object, node) demand at the single interval. *)
+          let demand = Array.make_matrix objects nodes 0. in
+          let weight = spec.Mcperf.Spec.demand.Workload.Demand.weight in
+          Array.iteri
+            (fun k cells ->
+              Array.iter
+                (fun (c : Workload.Demand.cell) ->
+                  demand.(k).(c.node) <-
+                    demand.(k).(c.node) +. (weight.(k) *. c.count))
+                cells)
+            spec.Mcperf.Spec.demand.Workload.Demand.reads;
+          let totals = Workload.Demand.node_read_totals spec.Mcperf.Spec.demand in
+          (* Origin coverage uses the same latency matrix as Permission
+             and Costing, so the cleared set matches always_covered
+             exactly. *)
+          let origin_covered v =
+            sys.Topology.System.latency.(v).(origin) <= tlat_ms
+          in
+          let violation = ref None in
+          for v = 0 to nodes - 1 do
+            if origin_covered v then
+              for k = 0 to objects - 1 do
+                demand.(k).(v) <- 0.
+              done
+            else begin
+              let slack = (1. -. fraction) *. totals.(v) in
+              for k = 0 to objects - 1 do
+                if
+                  demand.(k).(v) > 0.
+                  && demand.(k).(v) <= slack *. (1. +. atomicity_margin)
+                  && !violation = None
+                then violation := Some (v, k)
+              done
+            end
+          done;
+          match !violation with
+          | Some (v, k) ->
+            Error
+              (Printf.sprintf
+                 "tree-dp: atomicity margin violated at node %d, object %d \
+                  (a feasible solution may leave the pair uncovered)"
+                 v k)
+          | None ->
+            let permitted =
+              match placeable with
+              | None -> Array.init nodes (fun v -> v <> origin)
+              | Some p ->
+                if Array.length p <> nodes then
+                  invalid_arg
+                    "Tree_dp.of_spec: placeable length must equal node count";
+                Array.init nodes (fun v -> p.(v) && v <> origin)
+            in
+            let replica_cost =
+              Array.init objects (fun k ->
+                  weight.(k) *. (costs.Mcperf.Spec.alpha +. costs.Mcperf.Spec.beta))
+            in
+            Ok
+              (make ~parent ~up_ms ~permitted ~demand
+                 ~budget_ms:(Array.make nodes tlat_ms)
+                 ~replica_cost ())
+        end
+      end
+    end
+
+let placement_of inst sites =
+  let objects = Array.length inst.demand in
+  if Array.length sites <> objects then
+    invalid_arg "Tree_dp.placement_of: one site list per object";
+  let p = Array.make_matrix inst.nodes objects 0 in
+  Array.iteri
+    (fun k vs ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= inst.nodes then
+            invalid_arg "Tree_dp.placement_of: site out of range";
+          p.(v).(k) <- 1)
+        vs)
+    sites;
+  p

@@ -1,0 +1,110 @@
+(** Exact replica placement on tree networks: the closest-allocation
+    dynamic program of Benoit, Rehn-Sonigo and Robert ("Strategies for
+    Replica Placement in Tree Networks") and its QoS + bandwidth variant
+    ("Optimal Replica Placement in Tree Networks with QoS and Bandwidth
+    Constraints").
+
+    On a tree rooted at the origin the per-object placement problem
+    decouples and a leaf-up Pareto dynamic program finds the true integer
+    optimum in polynomial time — the only topology family where the repo
+    has an {e exact} oracle rather than an LP/Lagrangian lower bound.
+    {!Bounds.Pipeline} registers [of_spec]-eligible MC-PERF instances as a
+    third bound producer with quality [Exact] and zero gap by
+    construction; the brute-force/differential tests in
+    [test/test_tree_dp.ml] anchor everything else against it.
+
+    Two service disciplines are supported:
+
+    - {!Any_replica} (the paper's global routing): a demand is served by
+      any replica within its QoS distance budget. This is the variant that
+      maps to MC-PERF and feeds the pipeline.
+    - {!Closest_ancestor} (the bandwidth variant): requests flow up the
+      tree and are served by the first ancestor holding a replica (the
+      {e Closest} policy), each replica serving at most [capacity] units
+      of demand; the root serves any residue without a cap. Native-only —
+      MC-PERF has no bandwidth term — but solved by the same Pareto DP
+      with a flow/slack state.
+
+    Exactness scope for [of_spec] (checked, never assumed): tree topology
+    rooted at the origin, a single evaluation interval, a QoS goal,
+    [gamma = delta = zeta = 0], the unconstrained "general" class, and the
+    {e atomicity} condition — every demanding (node, object) pair that the
+    origin does not already cover carries more read mass than the node's
+    allowed uncovered share [(1 - fraction) * R_n], so any feasible
+    integral solution covers every such pair and the fraction-q optimum
+    equals the full-coverage optimum. Per-node storage capacities are
+    expressed as the permitted set (a node may host replicas or not);
+    multi-object storage-slot caps couple objects and are out of scope
+    (heterogeneous Closest is NP-complete, Benoit et al.). *)
+
+type service =
+  | Any_replica
+  | Closest_ancestor of { capacity : float }
+      (** Per-replica, per-object service capacity; the root is uncapped. *)
+
+type instance = private {
+  nodes : int;
+  root : int;
+  parent : int array;  (** parent id; [-1] for the root *)
+  up_ms : float array;  (** latency of the edge to the parent; 0 at root *)
+  children : int list array;  (** increasing id order *)
+  permitted : bool array;  (** replica sites; the root is never permitted *)
+  demand : float array array;
+      (** [demand.(k).(v)]: weighted read mass of object [k] at node [v]
+          that must be served by a placed replica (origin-covered demand
+          is cleared by {!of_spec} before it gets here) *)
+  budget_ms : float array;
+      (** per-node QoS distance budget: a replica serves node [v] only
+          within [budget_ms.(v)] *)
+  replica_cost : float array;  (** cost of one replica of object [k] *)
+  service : service;
+}
+
+val make :
+  parent:int array ->
+  up_ms:float array ->
+  ?permitted:bool array ->
+  demand:float array array ->
+  budget_ms:float array ->
+  replica_cost:float array ->
+  ?service:service ->
+  unit ->
+  instance
+(** Build a native instance. [parent] must describe a tree: exactly one
+    root ([-1]) and every other node's parent a valid id with no cycles.
+    [permitted] defaults to everywhere but the root; the root is forced
+    non-permitted. Demands, budgets, latencies and costs must be finite
+    and non-negative. [service] defaults to [Any_replica]. *)
+
+type solution = {
+  cost : float;  (** sum over objects of replicas * [replica_cost] *)
+  placement : int list array;
+      (** per object, the replica sites in increasing id order *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Unsatisfiable of { object_id : int }
+      (** no permitted placement serves every demand of this object *)
+
+val solve : instance -> outcome
+(** The exact optimum, by a per-object leaf-up Pareto DP over states
+    (replica count, distance to the nearest replica below, worst remaining
+    slack of the uncovered demand below) — see DESIGN.md §12 for the
+    recurrence and the dominance argument. Deterministic: identical
+    instances produce identical placements. *)
+
+val of_spec :
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  (instance, string) result
+(** Map an MC-PERF spec to a native instance when the DP is provably
+    exact for it (see the exactness scope above); [Error reason]
+    otherwise. The caller decides what to do with ineligible specs —
+    {!Bounds.Pipeline} falls back to the LP producers. *)
+
+val placement_of : instance -> int list array -> Mcperf.Costing.placement
+(** Express a per-object site list as an MC-PERF placement (interval-0
+    bitmasks), e.g. to evaluate a solution with {!Mcperf.Costing.evaluate}
+    or to hand it to the pipeline as a rounded result. *)

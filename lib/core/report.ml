@@ -102,7 +102,7 @@ let timing_of_stats stats =
         task = s.Bounds.Pipeline.label;
         x = s.Bounds.Pipeline.x;
         wall_s = s.Bounds.Pipeline.wall_s;
-        solver = (if s.Bounds.Pipeline.solved_exactly then "simplex" else "pdhg");
+        solver = Bounds.Pipeline.path_label s.Bounds.Pipeline.cell_path;
         iterations = s.Bounds.Pipeline.iterations;
         quality = Bounds.Pipeline.quality_label s.Bounds.Pipeline.cell_quality;
       })

@@ -1,0 +1,118 @@
+type shape =
+  | Balanced of { fanout : int; depth : int }
+  | Random of { nodes : int }
+  | Cdn of { fanouts : int list }
+
+let shape_name = function
+  | Balanced { fanout; depth } -> Printf.sprintf "balanced-f%dd%d" fanout depth
+  | Random { nodes } -> Printf.sprintf "random-n%d" nodes
+  | Cdn { fanouts } ->
+    Printf.sprintf "cdn-%s"
+      (String.concat "x" (List.map string_of_int fanouts))
+
+type t = {
+  name : string;
+  shape : shape;
+  system : Topology.System.t;
+  spec : Mcperf.Spec.t;
+  placeable : bool array option;
+}
+
+(* Per-node object counts and read volumes are chosen so the atomicity
+   condition of Tree_dp.of_spec holds at every swept fraction: a node
+   reads 2-3 of the [objects] objects with counts in [30, 60], so the
+   smallest per-object share of a node's reads is 30/150 = 0.2, safely
+   above the 1 - fraction uncovered allowance for every fraction >= 0.85.
+   One evaluation interval, unit weights — exactly the DP's scope. *)
+let demand_of ~rng ~nodes ~objects =
+  if objects < 3 then invalid_arg "Tree_scenario: need at least 3 objects";
+  let reads = Array.make objects [] in
+  let ids = Array.init objects Fun.id in
+  for v = 1 to nodes - 1 do
+    let wanted = 2 + Util.Prng.int rng 2 in
+    let pool = Array.copy ids in
+    Util.Prng.shuffle rng pool;
+    for i = 0 to wanted - 1 do
+      let k = pool.(i) in
+      let count = float_of_int (30 + Util.Prng.int rng 31) in
+      reads.(k) <-
+        { Workload.Demand.node = v; interval = 0; count } :: reads.(k)
+    done
+  done;
+  (* Cells were appended per node in ascending id order at a single
+     interval, so reversing restores the required (interval, node) sort. *)
+  let reads = Array.map (fun cells -> Array.of_list (List.rev cells)) reads in
+  Workload.Demand.create ~nodes ~intervals:1 ~interval_s:3600. ~reads ()
+
+let default_tlat_ms = 250.
+let default_fraction = 0.95
+let default_fractions = [ 0.95; 0.99; 0.999 ]
+
+let make ?(seed = 11) ?(objects = 6) ?(tlat_ms = default_tlat_ms)
+    ?(fraction = default_fraction)
+    ?(latency = Topology.Generate.default_hop_latency)
+    ?(restrict_sites = false) shape =
+  let rng = Util.Prng.create ~seed in
+  let graph =
+    match shape with
+    | Balanced { fanout; depth } ->
+      Topology.Generate.balanced_tree ~rng ~fanout ~depth ~latency
+    | Random { nodes } -> Topology.Generate.random_tree ~rng ~nodes ~latency
+    | Cdn { fanouts } ->
+      (* Fast backbone links up high, the given (slow) range at the
+         edge: the heterogeneous-latency axis of the family. *)
+      let tiers = List.length fanouts in
+      let tier_latency =
+        List.mapi
+          (fun i _ ->
+            if i < tiers - 1 then
+              { Topology.Generate.lo_ms = 40.; hi_ms = 90. }
+            else latency)
+          fanouts
+      in
+      Topology.Generate.cdn_hierarchy ~rng ~fanouts ~tier_latency ()
+  in
+  let nodes = Topology.Graph.node_count graph in
+  if nodes < 2 then
+    invalid_arg "Tree_scenario.make: need at least two nodes for demand";
+  let system = Topology.System.make ~origin:0 graph in
+  let demand = demand_of ~rng ~nodes ~objects in
+  let spec =
+    Mcperf.Spec.make ~system ~demand
+      ~goal:(Mcperf.Spec.Qos { tlat_ms; fraction })
+      ()
+  in
+  let placeable =
+    if not restrict_sites then None
+    else
+      (* Heterogeneous storage as permitted sets. Nodes the origin already
+         covers lose hosting rights with probability ~0.4; nodes beyond
+         the threshold always keep them, so every uncovered demand can at
+         worst be served by a replica at its own node and the instance
+         stays feasible by construction. *)
+      Some
+        (Array.init nodes (fun v ->
+             system.Topology.System.latency.(v).(0) > tlat_ms
+             || Util.Prng.float rng 1. >= 0.4))
+  in
+  {
+    name = Printf.sprintf "%s-s%d%s" (shape_name shape) seed
+        (if restrict_sites then "-sites" else "");
+    shape;
+    system;
+    spec;
+    placeable;
+  }
+
+let family ?(seed = 11) ~count () =
+  List.init count (fun i ->
+      let shape =
+        match i mod 5 with
+        | 0 -> Balanced { fanout = 2; depth = 3 }
+        | 1 -> Balanced { fanout = 3; depth = 2 }
+        | 2 -> Random { nodes = 8 + (i * 7 mod 17) }
+        | 3 -> Cdn { fanouts = [ 2; 3 ] }
+        | _ -> Random { nodes = 20 + (i mod 13) }
+      in
+      let tlat_ms = if i mod 4 = 1 then 180. else default_tlat_ms in
+      make ~seed:(seed + i) ~tlat_ms ~restrict_sites:(i mod 3 = 2) shape)

@@ -1,0 +1,57 @@
+(** Proportional placement: a cheap tree-aware heuristic that splits a
+    global replica budget across objects in proportion to their weighted
+    read share, then spends each object's quota on the sites whose
+    subtrees generate the most demand for it.
+
+    This is the "obvious" CDN rule of thumb — popular objects get more
+    replicas, replicas sit above the heaviest demand — and the natural
+    comparison point for the exact tree DP ({!Bounds.Tree_dp}): on tree
+    instances the validate harness reports its cost alongside the DP
+    optimum and the LP/Lagrangian bounds, quantifying how much the rule
+    of thumb leaves on the table. On a tree the site score is the full
+    weighted demand of the subtree hanging below the site (computed from
+    the origin outward); on general graphs it degrades to the site's own
+    local demand, i.e. the hotspot score of {!Placement_baselines}.
+
+    Placements store for the whole horizon and are restricted to sites
+    with store support, so the heuristic respects its class's
+    permissions. *)
+
+val place :
+  perm:Mcperf.Permission.t ->
+  total_replicas:int ->
+  unit ->
+  Mcperf.Costing.placement
+(** [place ~perm ~total_replicas ()] splits [total_replicas] across the
+    objects with demand (largest-remainder rounding of the weighted read
+    shares, at least one replica per demanded object when the budget
+    allows; with fewer replicas than demanded objects, the heaviest
+    objects win) and places each object's quota at its highest-scoring
+    permitted sites. A quota exceeding an object's permitted-site pool is
+    clamped and the surplus re-dealt to demanded objects with room left,
+    heaviest first, so a budget equal to the total pool saturates every
+    site. Deterministic: ties break towards lower node and object
+    ids. *)
+
+val evaluate :
+  ?placeable:bool array ->
+  spec:Mcperf.Spec.t ->
+  total_replicas:int ->
+  unit ->
+  Mcperf.Costing.evaluation
+(** Place under the unconstrained general class and evaluate. *)
+
+val search :
+  ?placeable:bool array ->
+  ?max_total:int ->
+  spec:Mcperf.Spec.t ->
+  unit ->
+  (int * Mcperf.Costing.evaluation) option
+(** Smallest total budget whose proportional placement meets the spec's
+    goal: scan budgets upward from zero (the empty placement wins when
+    the origin already covers everything) and return the first
+    evaluation with [meets_goal] (with the budget that achieved it), or
+    [None] if none does by [max_total] (default: every permitted site of
+    every demanded object — beyond that the placement cannot change).
+    The scan is monotone in spirit but the split is not strictly nested,
+    so this is a heuristic search, not a proof of minimality. *)

@@ -76,6 +76,84 @@ let clique ~rng ~nodes ~latency =
   done;
   g
 
+(* --- tree family ---------------------------------------------------------
+   Rooted trees for the exact closest-allocation DP (Bounds.Tree_dp): the
+   root is always node 0 and plays the origin/data-center role, children
+   carry higher ids than their parents, so a single left-to-right scan of
+   the node ids is already a valid top-down order. *)
+
+let balanced_tree ~rng ~fanout ~depth ~latency =
+  if fanout < 1 then invalid_arg "Generate.balanced_tree: fanout must be >= 1";
+  if depth < 0 then invalid_arg "Generate.balanced_tree: negative depth";
+  (* nodes = 1 + f + f^2 + ... + f^depth *)
+  let nodes = ref 1 and layer = ref 1 in
+  for _ = 1 to depth do
+    layer := !layer * fanout;
+    nodes := !nodes + !layer
+  done;
+  let g = Graph.create !nodes in
+  let next = ref 1 in
+  let rec grow parent level =
+    if level < depth then
+      for _ = 1 to fanout do
+        let v = !next in
+        incr next;
+        Graph.add_edge g parent v (draw_latency rng latency);
+        grow v (level + 1)
+      done
+  in
+  grow 0 0;
+  g
+
+let random_tree ~rng ~nodes ~latency =
+  if nodes < 1 then invalid_arg "Generate.random_tree: need at least one node";
+  let g = Graph.create nodes in
+  (* Uniform random attachment: node v picks any earlier node as its
+     parent, giving the broad mix of stars, paths and caterpillars the
+     differential tests want to sample. *)
+  for v = 1 to nodes - 1 do
+    Graph.add_edge g v (Util.Prng.int rng v) (draw_latency rng latency)
+  done;
+  g
+
+let cdn_hierarchy ~rng ~fanouts ~tier_latency () =
+  if fanouts = [] then invalid_arg "Generate.cdn_hierarchy: empty fanouts";
+  if List.length fanouts <> List.length tier_latency then
+    invalid_arg "Generate.cdn_hierarchy: one latency range per tier";
+  List.iter
+    (fun f -> if f < 1 then invalid_arg "Generate.cdn_hierarchy: bad fanout")
+    fanouts;
+  let nodes = ref 1 and layer = ref 1 in
+  List.iter
+    (fun f ->
+      layer := !layer * f;
+      nodes := !nodes + !layer)
+    fanouts;
+  let g = Graph.create !nodes in
+  let next = ref 1 in
+  (* Tier by tier: the origin feeds regional servers over fast backbone
+     links, regions feed edge clusters over slower links, so storage
+     trade-offs differ per level — the heterogeneous-latency axis of the
+     tree scenario family. *)
+  let rec grow parents tiers =
+    match tiers with
+    | [] -> ()
+    | (fanout, latency) :: rest ->
+      let children =
+        List.concat_map
+          (fun parent ->
+            List.init fanout (fun _ ->
+                let v = !next in
+                incr next;
+                Graph.add_edge g parent v (draw_latency rng latency);
+                v))
+          parents
+      in
+      grow children rest
+  in
+  grow [ 0 ] (List.combine fanouts tier_latency);
+  g
+
 let headquarters g =
   let n = Graph.node_count g in
   if n = 0 then invalid_arg "Generate.headquarters: empty graph";

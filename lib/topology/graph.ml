@@ -68,6 +68,8 @@ let is_connected g =
     Array.for_all Fun.id seen
   end
 
+let is_tree g = g.n >= 1 && g.edge_count = g.n - 1 && is_connected g
+
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph with %d nodes, %d edges" g.n g.edge_count;
   List.iter

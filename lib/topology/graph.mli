@@ -36,4 +36,8 @@ val of_edges : int -> (int * int * float) list -> t
 val is_connected : t -> bool
 (** Whether the graph is connected (the empty graph is connected). *)
 
+val is_tree : t -> bool
+(** Whether the graph is a tree: connected with exactly [node_count - 1]
+    edges. The empty graph is not a tree; the single node is. *)
+
 val pp : Format.formatter -> t -> unit

@@ -8,7 +8,9 @@
 # the row records that leg's overhead and fallback-path counts so the
 # cost of the recovery machinery is tracked alongside raw speed. The
 # obs benchmark then pins the instrumentation overhead (null sink and
-# JSONL trace) so the always-on guards stay effectively free.
+# JSONL trace) so the always-on guards stay effectively free. The tree
+# benchmark times the exact tree DP against the forced LP producers on
+# the same cells, so the third producer's speedup claim stays measured.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,7 @@ dune build bench/main.exe
 ./_build/default/bench/main.exe lp
 ./_build/default/bench/main.exe sweep
 ./_build/default/bench/main.exe obs
+./_build/default/bench/main.exe tree
 
 # One summary row: pull the headline numbers out of the two JSON files.
 json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
@@ -49,7 +52,16 @@ json_qcount_deadline() { # json_qcount_deadline FILE KEY
 }
 
 log=BENCH_LOG.tsv
-header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio'
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio\ttree_dp_s\ttree_lp_s\ttree_dp_speedup'
+# An early bench.sh rotated to an unnumbered "$log.old", which the next
+# rotation would clobber. Fold any such straggler into the numbered
+# scheme before rotating.
+if [ -e "$log.old" ]; then
+  n=1
+  while [ -e "$log.old.$n" ]; do n=$((n + 1)); done
+  mv "$log.old" "$log.old.$n"
+  echo "migrated legacy $log.old to $log.old.$n"
+fi
 # Rotate a log whose header predates the current column set rather than
 # appending rows that no longer line up with it. Numbered suffixes so a
 # rotation never clobbers an earlier generation's history.
@@ -63,7 +75,7 @@ if [ ! -f "$log" ]; then
   printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -84,6 +96,15 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t
   "$(json_qcount_deadline BENCH_sweep.json iter-budget)" \
   "$(json_num BENCH_obs.json null_sink_overhead_ratio)" \
   "$(json_num BENCH_obs.json jsonl_sink_overhead_ratio)" \
+  "$(json_num BENCH_tree.json tree_dp_s)" \
+  "$(json_num BENCH_tree.json tree_lp_s)" \
+  "$(json_num BENCH_tree.json tree_dp_speedup)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"
+# The migration above must have retired every unnumbered rotation; a
+# straggler here means a regression in this script's own bookkeeping.
+if [ -e "$log.old" ]; then
+  echo "error: unnumbered $log.old left behind" >&2
+  exit 1
+fi

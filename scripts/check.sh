@@ -57,3 +57,23 @@ for j in 1 4; do
     --deadline 10 --certify --jobs "$j" -w web > "$out"
   grep -E 'deadline|certificates' "$out"
 done
+
+# Tree stage: on seeded tree instances the closest-allocation DP is the
+# exact optimum, so validate --family tree checks every other producer
+# against it (simplex/PDHG/Lagrangian below, rounded LP and heuristics
+# above) and exits nonzero on any inversion. The validate output prints
+# no wall clocks, so sequential and four-worker runs must agree to the
+# byte — any diff is sweep nondeterminism.
+echo "== tree stage: DP-vs-LP agreement at --jobs 1 and 4 =="
+treedir=_build/tree-check
+rm -rf "$treedir"
+mkdir -p "$treedir"
+./_build/default/bin/experiments.exe validate --family tree --count 3 \
+  --jobs 1 > "$treedir/j1.out"
+./_build/default/bin/experiments.exe validate --family tree --count 3 \
+  --jobs 4 > "$treedir/j4.out"
+cmp "$treedir/j1.out" "$treedir/j4.out" \
+  || { echo "tree stage: validate output differs across --jobs"; exit 1; }
+grep -q 'all checks passed' "$treedir/j1.out" \
+  || { echo "tree stage: bound ordering violations"; exit 1; }
+echo "tree stage OK: $(grep -c 'tree-dp' "$treedir/j1.out") DP cells, outputs identical across --jobs"

@@ -45,6 +45,43 @@ let test_trace_round_trip () =
     "write o read is a fixpoint" printed
     (Workload.Trace_io.to_string trace2)
 
+(* Tree-family fixtures (the hand-verified DP instances of
+   test_tree_dp.ml) are committed in canonical form too. *)
+let test_tree_fixtures_round_trip () =
+  List.iter
+    (fun (name, nodes) ->
+      let path = Filename.concat "fixtures" name in
+      let golden = read_file path in
+      match Topology.Topo_io.load_result ~path with
+      | Error e ->
+        Alcotest.failf "%s: %s" name (Topology.Topo_io.error_to_string e)
+      | Ok (graph, origin) ->
+        Alcotest.(check int)
+          (name ^ ": node count")
+          nodes
+          (Topology.Graph.node_count graph);
+        Alcotest.(check (option int)) (name ^ ": origin") (Some 0) origin;
+        Alcotest.(check bool)
+          (name ^ ": is a tree")
+          true (Topology.Graph.is_tree graph);
+        Alcotest.(check string)
+          (name ^ ": read -> write reproduces the fixture")
+          golden
+          (Topology.Topo_io.to_string ?origin graph))
+    [ ("tree_chain.topo", 5); ("tree_star.topo", 5) ]
+
+(* A torn tail (record truncated mid-write) must come back as a
+   structured error naming the offending line — never a crash, never a
+   silently shorter graph. *)
+let test_torn_fixture () =
+  match Topology.Topo_io.load_result ~path:"fixtures/tree_torn.topo" with
+  | Ok _ -> Alcotest.fail "torn fixture parsed as a valid topology"
+  | Error e ->
+    Alcotest.(check int) "error names the torn line" 5 e.Topology.Topo_io.line;
+    Alcotest.(check bool)
+      "error carries the path" true
+      (String.length e.Topology.Topo_io.file > 0)
+
 (* The file-based save/load path must agree with the string path. *)
 let test_save_load_agree () =
   let tmp = Filename.temp_file "golden" ".topo" in
@@ -75,6 +112,9 @@ let () =
         [
           Alcotest.test_case "topology fixture" `Quick test_topo_round_trip;
           Alcotest.test_case "trace fixture" `Quick test_trace_round_trip;
+          Alcotest.test_case "tree fixtures" `Quick
+            test_tree_fixtures_round_trip;
+          Alcotest.test_case "torn tree fixture" `Quick test_torn_fixture;
           Alcotest.test_case "save/load agrees with to/of_string" `Quick
             test_save_load_agree;
         ] );
