@@ -236,6 +236,78 @@ let json_of_pool (p : Util.Parallel.pool_stats) =
     p.Util.Parallel.timeouts p.Util.Parallel.fork_failures
     p.Util.Parallel.degraded
 
+(* A baseline file is best-effort state from a previous revision: it
+   may be absent (fresh checkout), torn (a crash mid-write), or carry a
+   drifted schema (older/newer revision). None of those should abort a
+   measurement run — every failure mode degrades to "no baseline", a
+   warning, and a null speedup in the output. Shared by the
+   BENCH_sweep.json and BENCH_lp.json readers so both are equally
+   defensive. *)
+let read_baseline_num ~file ~key:bare_key =
+  let warn reason =
+    Printf.printf "warning: %s baseline %s: skipping the comparison\n%!" file
+      reason;
+    None
+  in
+  match open_in file with
+  | exception Sys_error _ -> None
+  | ic ->
+    let s =
+      match really_input_string ic (in_channel_length ic) with
+      | s -> Some s
+      | exception _ -> None
+    in
+    close_in_noerr ic;
+    (match s with
+    | None -> warn "is unreadable (torn write?)"
+    | Some s ->
+      let key = "\"" ^ bare_key ^ "\":" in
+      let klen = String.length key in
+      let rec find i =
+        if i + klen > String.length s then None
+        else if String.sub s i klen = key then begin
+          let j = ref (i + klen) in
+          let buf = Buffer.create 16 in
+          while
+            !j < String.length s
+            && (match s.[!j] with
+               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
+               | _ -> false)
+          do
+            if s.[!j] <> ' ' then Buffer.add_char buf s.[!j];
+            incr j
+          done;
+          float_of_string_opt (Buffer.contents buf)
+        end
+        else find (i + 1)
+      in
+      (match find 0 with
+      | None ->
+        warn
+          (Printf.sprintf "has no parseable \"%s\" (schema drift?)" bare_key)
+      | Some b when Float.is_finite b && b > 0. -> Some b
+      | Some _ -> warn (Printf.sprintf "carries an implausible %s" bare_key)))
+
+let read_baseline_sequential_s () =
+  read_baseline_num ~file:"BENCH_sweep.json" ~key:"sequential_s"
+
+(* Speedup numbers are only meaningful when the parallel legs actually
+   had cores to spread over, and only comparable to a baseline measured
+   on the same core count. Surface both conditions instead of letting a
+   1-core box silently report a "regression". *)
+let warn_core_context ~file ~cores =
+  if cores <= 1 then
+    Printf.printf
+      "warning: 1 detected core; parallel legs measure dispatch overhead, \
+       not speedup\n%!";
+  match read_baseline_num ~file ~key:"detected_cores" with
+  | Some b when int_of_float b <> cores ->
+    Printf.printf
+      "warning: %s baseline ran on %d core(s), this machine has %d; \
+       speedup comparisons are cross-machine\n%!"
+      file (int_of_float b) cores
+  | Some _ | None -> ()
+
 (* The injected-fault leg of the sweep benchmark: crash a worker on every
    3rd bound cell and poison the PDHG input on ~10%% of cells. The sweep
    must still complete with results identical to the clean run; the extra
@@ -247,6 +319,7 @@ let sweep_benchmark () =
   let cores = Util.Parallel.available_cores () in
   let tasks = (List.length sweep_classes_fixture * 5) + 5 in
   Printf.printf "sweep benchmark: %d tasks, %d detected core(s)\n%!" tasks cores;
+  warn_core_context ~file:"BENCH_sweep.json" ~cores;
   let seq_s, seq_sig, _ = run_sweep ~jobs:1 () in
   Printf.printf "jobs=1: %.2fs\n%!" seq_s;
   let par_jobs = 4 in
@@ -373,61 +446,6 @@ let time f =
   let r = f () in
   (Unix.gettimeofday () -. t0, r)
 
-(* A baseline file is best-effort state from a previous revision: it
-   may be absent (fresh checkout), torn (a crash mid-write), or carry a
-   drifted schema (older/newer revision). None of those should abort a
-   measurement run — every failure mode degrades to "no baseline", a
-   warning, and a null speedup in the output. Shared by the
-   BENCH_sweep.json and BENCH_lp.json readers so both are equally
-   defensive. *)
-let read_baseline_num ~file ~key:bare_key =
-  let warn reason =
-    Printf.printf "warning: %s baseline %s: skipping the comparison\n%!" file
-      reason;
-    None
-  in
-  match open_in file with
-  | exception Sys_error _ -> None
-  | ic ->
-    let s =
-      match really_input_string ic (in_channel_length ic) with
-      | s -> Some s
-      | exception _ -> None
-    in
-    close_in_noerr ic;
-    (match s with
-    | None -> warn "is unreadable (torn write?)"
-    | Some s ->
-      let key = "\"" ^ bare_key ^ "\":" in
-      let klen = String.length key in
-      let rec find i =
-        if i + klen > String.length s then None
-        else if String.sub s i klen = key then begin
-          let j = ref (i + klen) in
-          let buf = Buffer.create 16 in
-          while
-            !j < String.length s
-            && (match s.[!j] with
-               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
-               | _ -> false)
-          do
-            if s.[!j] <> ' ' then Buffer.add_char buf s.[!j];
-            incr j
-          done;
-          float_of_string_opt (Buffer.contents buf)
-        end
-        else find (i + 1)
-      in
-      (match find 0 with
-      | None ->
-        warn
-          (Printf.sprintf "has no parseable \"%s\" (schema drift?)" bare_key)
-      | Some b when Float.is_finite b && b > 0. -> Some b
-      | Some _ -> warn (Printf.sprintf "carries an implausible %s" bare_key)))
-
-let read_baseline_sequential_s () =
-  read_baseline_num ~file:"BENCH_sweep.json" ~key:"sequential_s"
-
 let lp_benchmark () =
   let cs = Lazy.force web in
   (* The storage-constrained class is the sweep's dominant cost: its QoS
@@ -503,6 +521,8 @@ let lp_benchmark () =
   Printf.printf "matvec: mul %.3f GFLOP-equiv/s, mul_t %.3f GFLOP-equiv/s\n%!"
     (gflops mul_s) (gflops mul_t_s);
   (* End-to-end: the same fig2-style sweep the PR-1 baseline measured. *)
+  let cores = Util.Parallel.available_cores () in
+  warn_core_context ~file:"BENCH_sweep.json" ~cores;
   let baseline = read_baseline_sequential_s () in
   (match baseline with
   | Some b -> Printf.printf "baseline sequential_s from BENCH_sweep.json: %.3f\n%!" b
@@ -521,6 +541,7 @@ let lp_benchmark () =
   Printf.fprintf oc
     {|{
   "benchmark": "LP substrate: fused PDHG kernels, presolve wiring, incremental models",
+  "detected_cores": %d,
   "fixture": "web nodes=10 scale=0.02 intervals=12, storage-constrained class",
   "model": { "vars": %d, "rows": %d, "nnz": %d },
   "stage_timings_s": {
@@ -558,7 +579,8 @@ let lp_benchmark () =
   }
 }
 |}
-    vars rows nnz perm_s build_s patch_s presolve_s prepare_s reuse_s iters
+    cores vars rows nnz perm_s build_s patch_s presolve_s prepare_s reuse_s
+    iters
     fused_s
     (float_of_int iters /. fused_s)
     ref_s
@@ -791,6 +813,7 @@ let tree_benchmark () =
     {|{
   "benchmark": "exact tree DP vs forced LP producers",
   "runs_per_leg": %d,
+  "detected_cores": %d,
   "small": {
     "instance": "%s",
     "tree_dp_s": %.4f,
@@ -809,10 +832,115 @@ let tree_benchmark () =
   }
 }
 |}
-    reps small.TS.name sm_dp_s sm_dp sm_lp_s sm_lp (speedup sm_dp_s sm_lp_s)
+    reps
+    (Util.Parallel.available_cores ())
+    small.TS.name sm_dp_s sm_dp sm_lp_s sm_lp (speedup sm_dp_s sm_lp_s)
     large.TS.name lg_dp_s lg_dp lg_lp_s lg_lp (speedup lg_dp_s lg_lp_s);
   close_out oc;
   Printf.printf "wrote BENCH_tree.json\n%!"
+
+(* --- scale: bundled + sharded Lagrangian at 200+ nodes -------------------- *)
+
+module SS = Replica_select.Scale_scenario
+
+(* `main.exe scale` measures the scale-sweep machinery on the CDN family
+   and writes BENCH_scale.json:
+
+   - the ratio leg runs the SAME instance and iteration budget bundled
+     and forced-unbundled; the family is homogeneous, so the bound delta
+     must be exactly 0 — any drift is a bundling bug, not float noise —
+     and the wall-clock ratio is the bundling speedup;
+   - the headline leg is the full fig2-style 3-point sweep at 229 nodes
+     and 10k objects;
+   - the identity leg re-runs the sweep at jobs=1 and jobs=4 and
+     requires the outcomes to agree under structural Marshal. *)
+let scale_benchmark () =
+  let cores = Util.Parallel.available_cores () in
+  let scen = SS.make () in
+  let nodes = SS.node_count scen and objects = SS.object_count scen in
+  Printf.printf "scale benchmark: %s, %d detected core(s)\n%!" scen.SS.name
+    cores;
+  warn_core_context ~file:"BENCH_scale.json" ~cores;
+  let spec = SS.qos_spec scen ~fraction:0.99 in
+  let cls = Mcperf.Classes.general in
+  let ratio_iters = 40 in
+  let t0 = Unix.gettimeofday () in
+  let bundled = Bounds.Lagrangian.bound ~iterations:ratio_iters spec cls in
+  let bundled_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let unbundled =
+    Bounds.Lagrangian.bound ~iterations:ratio_iters ~bundling:false spec cls
+  in
+  let unbundled_s = Unix.gettimeofday () -. t0 in
+  let bound_delta =
+    bundled.Bounds.Lagrangian.bound -. unbundled.Bounds.Lagrangian.bound
+  in
+  if bound_delta <> 0. then
+    failwith
+      (Printf.sprintf
+         "scale benchmark: bundled and unbundled bounds differ by %g on a \
+          homogeneous instance"
+         bound_delta);
+  let bundle_ratio =
+    float_of_int objects /. float_of_int (max 1 bundled.Bounds.Lagrangian.bundles)
+  in
+  let bundling_speedup =
+    if bundled_s > 0. then unbundled_s /. bundled_s else 1.
+  in
+  Printf.printf
+    "ratio leg (%d iters): unbundled %.2fs, bundled %.2fs -> %.1fx \
+     (%d bundles, ratio %.1fx, bound delta exactly 0)\n\
+     %!"
+    ratio_iters unbundled_s bundled_s bundling_speedup
+    bundled.Bounds.Lagrangian.bundles bundle_ratio;
+  let fractions = [ 0.9; 0.95; 0.99 ] in
+  let sweep_at jobs =
+    Bounds.Lagrangian.sweep ~iterations:40 ~jobs spec cls ~fractions
+  in
+  let t0 = Unix.gettimeofday () in
+  let sweep1 = sweep_at 1 in
+  let sweep_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let sweep4 = sweep_at 4 in
+  let sweep4_s = Unix.gettimeofday () -. t0 in
+  let signature s = Marshal.to_string s [ Marshal.No_sharing ] in
+  let jobs_identical = signature sweep1 = signature sweep4 in
+  if not jobs_identical then
+    failwith "scale benchmark: jobs=1 and jobs=4 sweeps differ";
+  Printf.printf
+    "sweep %d nodes x %d objects x %d points: jobs=1 %.2fs, jobs=4 %.2fs, \
+     identical outcomes\n\
+     %!"
+    nodes objects (List.length fractions) sweep_s sweep4_s;
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "CDN scale family: bundled + sharded Lagrangian sweep",
+  "detected_cores": %d,
+  "instance": "%s",
+  "scale_nodes": %d,
+  "scale_objects": %d,
+  "bundles": %d,
+  "bundle_ratio": %.2f,
+  "rescaled_members": %d,
+  "ratio_leg": {
+    "iterations": %d,
+    "unbundled_s": %.3f,
+    "bundled_s": %.3f,
+    "speedup": %.2f,
+    "bound_delta": %.17g
+  },
+  "scale_sweep_s": %.3f,
+  "scale_sweep_jobs4_s": %.3f,
+  "jobs_identical": %b
+}
+|}
+    cores scen.SS.name nodes objects bundled.Bounds.Lagrangian.bundles
+    bundle_ratio bundled.Bounds.Lagrangian.rescaled_members ratio_iters
+    unbundled_s bundled_s bundling_speedup bound_delta sweep_s sweep4_s
+    jobs_identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n%!"
 
 (* --- driver ------------------------------------------------------------------ *)
 
@@ -857,6 +985,8 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "sweep" then sweep_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "lp" then lp_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "obs" then obs_benchmark ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then
+    scale_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "tree" then
     tree_benchmark ()
   else

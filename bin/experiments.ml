@@ -12,6 +12,7 @@
    artefacts are the orderings, ceilings and cost ratios. *)
 
 module CS = Replica_select.Case_study
+module SS = Replica_select.Scale_scenario
 module Report = Replica_select.Report
 module Methodology = Replica_select.Methodology
 
@@ -849,6 +850,87 @@ let figtree ?csv_dir ~seed ~jobs () =
     Report.print_timing ~title:"figtree" ~jobs ~elapsed_s timing;
     maybe_write_csv ~csv_dir ~name series)
 
+(* --- scale figure: Lagrangian sweep on the CDN scale family --------------- *)
+
+(* Fig2-style sweep at 200+ nodes and 10k objects, far past where the
+   monolithic LP is tractable, via the bundled + sharded Lagrangian
+   decomposition. Everything printed on stdout is deterministic in the
+   inputs (timings go to stderr), so check.sh can [cmp] runs at
+   different --jobs byte for byte. *)
+let figscale ~seed ~objects ~jobs ~check () =
+  let fail fmt =
+    incr violations;
+    Printf.printf "FAIL figscale: ";
+    Printf.kfprintf (fun oc -> output_char oc '\n') stdout fmt
+  in
+  let points = [ 0.9; 0.95; 0.99 ] in
+  let scen = SS.make ~seed ~objects () in
+  let spec = SS.qos_spec scen ~fraction:(List.hd points) in
+  let t0 = Unix.gettimeofday () in
+  let sweep =
+    Bounds.Lagrangian.sweep ~iterations:40 ~jobs spec Mcperf.Classes.general
+      ~fractions:points
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n=== Scale figure: %s (%d nodes, %d objects, %d leaves) ===\n"
+    scen.SS.name (SS.node_count scen) (SS.object_count scen) scen.SS.leaves;
+  (match sweep with
+  | (_, out) :: _ ->
+    Printf.printf
+      "bundling: %d objects -> %d bundles (%.1fx), %d rescaled members\n"
+      out.Bounds.Lagrangian.objects out.Bounds.Lagrangian.bundles
+      (float_of_int out.Bounds.Lagrangian.objects
+      /. float_of_int (max 1 out.Bounds.Lagrangian.bundles))
+      out.Bounds.Lagrangian.rescaled_members
+  | [] -> ());
+  Printf.printf "%-8s %14s %10s %10s\n" "QoS" "lagr-bound" "sub-exact"
+    "sub-pdhg";
+  List.iter
+    (fun (q, (out : Bounds.Lagrangian.outcome)) ->
+      Printf.printf "%-8g %14.2f %10d %10d\n" q out.Bounds.Lagrangian.bound
+        out.Bounds.Lagrangian.subproblems_exact
+        out.Bounds.Lagrangian.subproblems_bounded)
+    sweep;
+  Printf.eprintf "figscale: sweep %.2fs (jobs=%d)\n%!" elapsed jobs;
+  if check then begin
+    (* Down-shifted instance where the monolithic LP is still exactly
+       solvable: the Lagrangian dual must stay below the LP optimum
+       (weak duality), and — the family being homogeneous — the bundled
+       bound must equal the forced-unbundled one bit for bit. *)
+    let small = SS.make ~seed ~fanouts:[ 2; 3 ] ~objects:60 () in
+    List.iter
+      (fun q ->
+        let spec = SS.qos_spec small ~fraction:q in
+        let bundled =
+          Bounds.Lagrangian.bound ~iterations:40 ~jobs spec
+            Mcperf.Classes.general
+        in
+        let unbundled =
+          Bounds.Lagrangian.bound ~iterations:40 ~jobs ~bundling:false spec
+            Mcperf.Classes.general
+        in
+        if
+          bundled.Bounds.Lagrangian.bound
+          <> unbundled.Bounds.Lagrangian.bound
+        then
+          fail "bundled %.17g <> unbundled %.17g at QoS %g"
+            bundled.Bounds.Lagrangian.bound
+            unbundled.Bounds.Lagrangian.bound q;
+        let perm = Mcperf.Permission.compute spec Mcperf.Classes.general in
+        if Mcperf.Permission.feasible perm then begin
+          let model = Mcperf.Model.build perm in
+          match Lp.Simplex.solve model.Mcperf.Model.problem with
+          | Lp.Simplex.Optimal { objective = lp; _ } ->
+            if bundled.Bounds.Lagrangian.bound > lp +. 1e-6 then
+              fail "lagrangian %.6f above LP optimum %.6f at QoS %g"
+                bundled.Bounds.Lagrangian.bound lp q
+          | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+            fail "small-instance LP did not solve at QoS %g" q
+        end)
+      points;
+    if !violations = 0 then Printf.printf "scale checks passed\n%!"
+  end
+
 (* --- ablations: the design choices DESIGN.md calls out -------------------- *)
 
 let ablation ~seed () =
@@ -1315,6 +1397,37 @@ let scale_cmd =
     (Cmd.info "scale" ~doc:"Solver wall-clock vs instance size (Section 5).")
     Term.(const run $ verbose_t $ seed_t)
 
+let figscale_cmd =
+  let objects_t =
+    Arg.(
+      value & opt int 10_000
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Objects in the CDN scale scenario (default 10000).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also cross-check the decomposition on a small instance: \
+             Lagrangian dual below the exact LP optimum, and the bundled \
+             bound bit-identical to the forced-unbundled one. Exits \
+             nonzero on any violation.")
+  in
+  let run verbose seed objects jobs check =
+    setup_logs verbose;
+    figscale ~seed ~objects ~jobs:(resolve_jobs jobs) ~check ();
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "figscale"
+       ~doc:
+         "Fig2-style QoS sweep on the 200+-node / 10k-object CDN scale \
+          family via the bundled, sharded Lagrangian decomposition. \
+          Deterministic stdout (timings on stderr), so output can be \
+          compared byte-for-byte across $(b,--jobs).")
+    Term.(const run $ verbose_t $ seed_t $ objects_t $ jobs_t $ check_t)
+
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (fig1, fig2, fig3, scale).")
@@ -1341,7 +1454,8 @@ let main =
          "Regenerate the evaluation of 'Choosing Replica Placement \
           Heuristics for Wide-Area Systems' (ICDCS 2004).")
     [
-      fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; select_cmd; scale_cmd;
+      fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; figscale_cmd; select_cmd;
+      scale_cmd;
       validate_cmd; ablation_cmd; workload_cmd; baselines_cmd; all_cmd;
     ]
 

@@ -1,12 +1,18 @@
+type step_rule = Harmonic | Adaptive
+
 type outcome = {
   bound : float;
   iterations : int;
   lambda : float array;
   subproblems_exact : int;
   subproblems_bounded : int;
+  objects : int;
+  bundles : int;
+  rescaled_members : int;
 }
 
-(* Per-object subproblem, built once and re-costed per lambda:
+(* Per-bundle-representative subproblem, built once and re-costed per
+   lambda:
 
      min  alpha*w*sum store + beta*w*sum create
         + (RC per-object: alpha*I*w*R)
@@ -64,19 +70,28 @@ let build_subproblem (perm : Mcperf.Permission.t) k =
           in
           Hashtbl.add store_var (m, i) sv;
           rc_terms.(i) <- (sv, 1.) :: rc_terms.(i);
-          let row = ref [ (sv, 1.) ] in
-          (match !prev with Some pv -> row := (pv, -1.) :: !row | None -> ());
-          if Mcperf.Permission.create_allowed perm ~node:m ~interval:i
-               ~object_id:k
-          then begin
-            let cv =
-              Lp.Problem.Builder.add_var b ~lo:0. ~hi:1.
-                ~obj:(costs.Mcperf.Spec.beta *. w)
-                ()
-            in
-            row := (cv, -1.) :: !row
-          end;
-          Lp.Problem.Builder.add_row b Lp.Problem.Le ~rhs:0. !row;
+          (* terms emitted in ascending variable order ([pv < sv < cv] by
+             creation order) so the builder's sorted fast path applies *)
+          let base =
+            match !prev with
+            | Some pv -> [ (pv, -1.); (sv, 1.) ]
+            | None -> [ (sv, 1.) ]
+          in
+          let row =
+            if
+              Mcperf.Permission.create_allowed perm ~node:m ~interval:i
+                ~object_id:k
+            then begin
+              let cv =
+                Lp.Problem.Builder.add_var b ~lo:0. ~hi:1.
+                  ~obj:(costs.Mcperf.Spec.beta *. w)
+                  ()
+              in
+              base @ [ (cv, -1.) ]
+            end
+            else base
+          in
+          Lp.Problem.Builder.add_row b Lp.Problem.Le ~rhs:0. row;
           prev := Some sv
         end
         else prev := None
@@ -148,41 +163,35 @@ let build_subproblem (perm : Mcperf.Permission.t) k =
 let simplex_size_limit = 200
 
 (* Solve (or validly lower-bound) a subproblem whose covered-variable
-   objective has been set for the current lambda. Returns the bound and
-   the coverage per node achieved by the (approximate) minimizer, for the
-   subgradient. *)
-let solve_sub sub ~coverage_acc ~exact_count ~bounded_count =
-  if Lp.Problem.nvars sub.problem = 0 then 0.
+   objective has been set for the current lambda. Returns the bound, the
+   per-cell coverage contributions of the (approximate) minimizer — one
+   entry per [covered_cells] slot, in order — and how the solve was
+   settled. Contributions come back as a plain float array so a shard of
+   solves can cross a worker pipe and merge into the subgradient exactly
+   as the sequential path would. *)
+let solve_sub sub =
+  if Lp.Problem.nvars sub.problem = 0 then (0., [||], `Trivial)
   else begin
     let pre = sub.pre in
     let red = pre.Lp.Presolve.reduced in
     let off =
       Util.Vecops.dot sub.problem.Lp.Problem.objective sub.restored0
     in
-    let record x =
-      Array.iter
-        (fun (cv, n, rw) ->
-          coverage_acc.(n) <- coverage_acc.(n) +. (rw *. x.(cv)))
-        sub.covered_cells
+    let contribs x =
+      Array.map (fun (cv, _, rw) -> rw *. x.(cv)) sub.covered_cells
     in
-    if Lp.Problem.nvars red = 0 then begin
+    if Lp.Problem.nvars red = 0 then
       (* Every variable was fixed by the constraints alone: the feasible
          set is the single point [restored0], whatever the objective. *)
-      incr exact_count;
-      record sub.restored0;
-      off
-    end
+      (off, contribs sub.restored0, `Exact)
     else if sub.size <= simplex_size_limit then begin
       match Lp.Simplex.solve red with
       | Lp.Simplex.Optimal { x; objective } ->
-        incr exact_count;
-        record (pre.Lp.Presolve.restore x);
-        objective +. off
+        (objective +. off, contribs (pre.Lp.Presolve.restore x), `Exact)
       | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
         invalid_arg "Lagrangian: subproblem should be feasible and bounded"
     end
     else begin
-      incr bounded_count;
       let prep =
         match sub.prep with
         | Some p -> p
@@ -197,8 +206,9 @@ let solve_sub sub ~coverage_acc ~exact_count ~bounded_count =
             { Lp.Pdhg.default_options with max_iters = 1_500; rel_tol = 1e-6 }
           prep
       in
-      record (pre.Lp.Presolve.restore out.Lp.Pdhg.x);
-      out.Lp.Pdhg.best_bound +. off
+      ( out.Lp.Pdhg.best_bound +. off,
+        contribs (pre.Lp.Presolve.restore out.Lp.Pdhg.x),
+        `Bounded )
     end
   end
 
@@ -218,11 +228,226 @@ let set_lambda_objective sub lambda =
       if rj >= 0 then red.Lp.Problem.objective.(rj) <- c)
     sub.covered_cells
 
-let bound ?(iterations = 60) ?(step_scale = 1.0) spec cls =
-  (match spec.Mcperf.Spec.goal with
+(* Contiguous [lo, hi) ranges covering [0, n), sizes differing by at most
+   one; the shard layout depends only on [shards] and [n], never on
+   timing, so dispatch is deterministic. *)
+let shard_ranges ~shards n =
+  let shards = max 1 (min shards n) in
+  let base = n / shards and extra = n mod shards in
+  let ranges = ref [] in
+  let lo = ref 0 in
+  for s = 0 to shards - 1 do
+    let len = base + if s < extra then 1 else 0 in
+    ranges := (!lo, !lo + len) :: !ranges;
+    lo := !lo + len
+  done;
+  List.rev !ranges
+
+(* One batch solve of every representative subproblem under the current
+   lambda. The parent rewrites all covered-variable objectives *before*
+   dispatching, so forked workers inherit the costed image through [fork]
+   and only shard ranges / result payloads are marshalled. Workers rebuild
+   their [Pdhg.prepare] images from scratch; [prepare] is deterministic
+   and [Marshal] preserves float bits, so shard results are bitwise those
+   of the sequential path — byte-identity at any [jobs] is the standing
+   invariant of the sweep layers. *)
+let solve_batch ~jobs subs lambda =
+  Array.iter (fun sub -> set_lambda_objective sub lambda) subs;
+  let nb = Array.length subs in
+  let vals = Array.make nb (0., [||]) in
+  let exact = ref 0 and bounded = ref 0 in
+  if nb > 0 then begin
+    let solve_shard (lo, hi) =
+      let e = ref 0 and bd = ref 0 in
+      let out =
+        Array.init (hi - lo) (fun i ->
+            let v, c, tag = solve_sub subs.(lo + i) in
+            (match tag with
+            | `Exact -> incr e
+            | `Bounded -> incr bd
+            | `Trivial -> ());
+            (v, c))
+      in
+      (out, !e, !bd)
+    in
+    let shards = shard_ranges ~shards:(if jobs <= 1 then 1 else jobs * 4) nb in
+    let results = Util.Parallel.map_values ~jobs ~f:solve_shard shards in
+    List.iter2
+      (fun (lo, _) (out, e, bd) ->
+        Array.blit out 0 vals lo (Array.length out);
+        exact := !exact + e;
+        bounded := !bounded + bd)
+      shards results
+  end;
+  (vals, !exact, !bounded)
+
+(* Fold the per-representative solves back over the member objects, in
+   ascending object order with the same additions the unbundled loop
+   would perform — on a homogeneous bundle (equal weights) the merged
+   totals are bitwise those of solving every member individually, which
+   is what makes the bundled-vs-unbundled bound delta exactly 0. Members
+   whose weight differs from their representative's rescale by w/w_rep
+   with a two-ulp downward nudge that dominates the rescale's rounding,
+   so the transferred value stays a valid lower bound on the member's
+   true subproblem minimum (the minimum is linear in the weight — see
+   {!Mcperf.Bundle}). *)
+let merge_members ~nodes ~(bundle : Mcperf.Bundle.t) ~weight ~subs vals =
+  let coverage = Array.make nodes 0. in
+  let sub_total = ref 0. in
+  for k = 0 to bundle.Mcperf.Bundle.objects - 1 do
+    let b = bundle.Mcperf.Bundle.bundle_of.(k) in
+    let v, contribs = vals.(b) in
+    let cells = subs.(b).covered_cells in
+    if bundle.Mcperf.Bundle.exact_member.(k) then begin
+      sub_total := !sub_total +. v;
+      Array.iteri
+        (fun i (_, n, _) -> coverage.(n) <- coverage.(n) +. contribs.(i))
+        cells
+    end
+    else begin
+      let r =
+        weight.(k) /. weight.(bundle.Mcperf.Bundle.representative.(b))
+      in
+      let sv = v *. r in
+      let guarded = sv -. (2. *. Float.abs sv *. epsilon_float) in
+      sub_total := !sub_total +. guarded;
+      Array.iteri
+        (fun i (_, n, _) ->
+          coverage.(n) <- coverage.(n) +. (contribs.(i) *. r))
+        cells
+    end
+  done;
+  (!sub_total, coverage)
+
+(* Projected subgradient ascent on the QoS multipliers for one fraction's
+   requirement vector [t_n]. *)
+let ascend ~iterations ~step_scale ~step_rule ~jobs ~t_n ~(spec : Mcperf.Spec.t)
+    ~bundle ~subs =
+  let nodes = Array.length t_n in
+  let weight = spec.Mcperf.Spec.demand.Workload.Demand.weight in
+  let lambda = Array.make nodes 0. in
+  let best_bound = ref 0. in
+  let best_lambda = ref (Array.copy lambda) in
+  let exact_total = ref 0 and bounded_total = ref 0 in
+  let costs = spec.Mcperf.Spec.costs in
+  let unit_cost =
+    Float.max (costs.Mcperf.Spec.alpha +. costs.Mcperf.Spec.beta) 1e-6
+  in
+  (* Adaptive rule state: start at the harmonic rule's first step and
+     halve after three consecutive non-improving iterations — a Polyak-
+     style geometric backoff that needs no clocks and no target value, so
+     trajectories stay deterministic. Both rules depend only on the past,
+     so the iterate sequence at [iterations = i] is a prefix of the one
+     at [iterations = j > i] and the best bound is monotone in the
+     iteration budget. *)
+  let adaptive_step = ref (step_scale *. unit_cost) in
+  let stalls = ref 0 in
+  for t = 0 to iterations - 1 do
+    let vals, e, bd = solve_batch ~jobs subs lambda in
+    exact_total := !exact_total + e;
+    bounded_total := !bounded_total + bd;
+    let sub_total, coverage = merge_members ~nodes ~bundle ~weight ~subs vals in
+    let value = Util.Vecops.dot lambda t_n +. sub_total in
+    let improved = value > !best_bound in
+    if improved then begin
+      best_bound := value;
+      best_lambda := Array.copy lambda
+    end;
+    (* Projected subgradient step on g_n = T_n - coverage_n, normalized
+       to unit infinity-norm so the multiplier scale tracks the unit
+       costs rather than the (much larger) demand counts. *)
+    let g = Array.init nodes (fun n -> t_n.(n) -. coverage.(n)) in
+    let gmax = Util.Vecops.norm_inf g in
+    if gmax > 0. then begin
+      let step =
+        match step_rule with
+        | Harmonic -> step_scale *. unit_cost /. float_of_int (1 + t)
+        | Adaptive ->
+          if improved then stalls := 0
+          else begin
+            incr stalls;
+            if !stalls >= 3 then begin
+              adaptive_step := !adaptive_step /. 2.;
+              stalls := 0
+            end
+          end;
+          !adaptive_step
+      in
+      for n = 0 to nodes - 1 do
+        lambda.(n) <- Float.max 0. (lambda.(n) +. (step *. g.(n) /. gmax))
+      done
+    end
+  done;
+  (!best_bound, !best_lambda, !exact_total, !bounded_total)
+
+let require_qos ~who (spec : Mcperf.Spec.t) =
+  match spec.Mcperf.Spec.goal with
   | Mcperf.Spec.Qos _ -> ()
   | Mcperf.Spec.Avg_latency _ ->
-    invalid_arg "Lagrangian.bound: requires a QoS goal");
+    invalid_arg (who ^ ": requires a QoS goal")
+
+let infeasible_outcome ~nodes ~objects =
+  {
+    bound = infinity;
+    iterations = 0;
+    lambda = Array.make nodes 0.;
+    subproblems_exact = 0;
+    subproblems_bounded = 0;
+    objects;
+    bundles = 0;
+    rescaled_members = 0;
+  }
+
+(* Always-covered demand reduces the QoS requirements (same constants as
+   the monolithic model); it never reads the fraction, so one vector
+   serves a whole sweep. *)
+let always_covered (spec : Mcperf.Spec.t) (perm : Mcperf.Permission.t) =
+  let nodes = Mcperf.Spec.node_count spec in
+  let always = Array.make nodes 0. in
+  Array.iteri
+    (fun k cells ->
+      let w = spec.Mcperf.Spec.demand.Workload.Demand.weight.(k) in
+      Array.iter
+        (fun (c : Workload.Demand.cell) ->
+          if perm.Mcperf.Permission.origin_covered.(c.node) then
+            always.(c.node) <- always.(c.node) +. (c.count *. w))
+        cells)
+    spec.Mcperf.Spec.demand.Workload.Demand.reads;
+  always
+
+let bundle_and_subs ~bundling perm =
+  let bundle =
+    if bundling then Mcperf.Bundle.compute perm else Mcperf.Bundle.trivial perm
+  in
+  let subs =
+    Array.map (build_subproblem perm) bundle.Mcperf.Bundle.representative
+  in
+  (bundle, subs)
+
+let run ~iterations ~step_scale ~step_rule ~jobs ~fraction ~spec ~bundle ~subs
+    ~node_totals ~always =
+  let nodes = Array.length node_totals in
+  let t_n =
+    Array.init nodes (fun n ->
+        Float.max 0. ((fraction *. node_totals.(n)) -. always.(n)))
+  in
+  let best, lambda, exact, bounded =
+    ascend ~iterations ~step_scale ~step_rule ~jobs ~t_n ~spec ~bundle ~subs
+  in
+  {
+    bound = best;
+    iterations;
+    lambda;
+    subproblems_exact = exact;
+    subproblems_bounded = bounded;
+    objects = bundle.Mcperf.Bundle.objects;
+    bundles = bundle.Mcperf.Bundle.count;
+    rescaled_members = bundle.Mcperf.Bundle.rescaled;
+  }
+
+let bound ?(iterations = 60) ?(step_scale = 1.0) ?(step_rule = Harmonic)
+    ?(jobs = 1) ?(bundling = true) spec cls =
+  require_qos ~who:"Lagrangian.bound" spec;
   let fraction =
     match spec.Mcperf.Spec.goal with
     | Mcperf.Spec.Qos { fraction; _ } -> fraction
@@ -232,73 +457,39 @@ let bound ?(iterations = 60) ?(step_scale = 1.0) spec cls =
   let nodes = Mcperf.Spec.node_count spec in
   let objects = Mcperf.Spec.object_count spec in
   if not (Mcperf.Permission.feasible perm) then
-    {
-      bound = infinity;
-      iterations = 0;
-      lambda = Array.make nodes 0.;
-      subproblems_exact = 0;
-      subproblems_bounded = 0;
-    }
+    infeasible_outcome ~nodes ~objects
   else begin
-    let node_totals = Workload.Demand.node_read_totals spec.Mcperf.Spec.demand in
-    (* Always-covered demand reduces the QoS requirements (same constants
-       as the monolithic model). *)
-    let always = Array.make nodes 0. in
-    Array.iteri
-      (fun k cells ->
-        let w = spec.Mcperf.Spec.demand.Workload.Demand.weight.(k) in
-        Array.iter
-          (fun (c : Workload.Demand.cell) ->
-            if perm.Mcperf.Permission.origin_covered.(c.node) then
-              always.(c.node) <- always.(c.node) +. (c.count *. w))
-          cells)
-      spec.Mcperf.Spec.demand.Workload.Demand.reads;
-    let t_n =
-      Array.init nodes (fun n ->
-          Float.max 0. ((fraction *. node_totals.(n)) -. always.(n)))
+    let node_totals =
+      Workload.Demand.node_read_totals spec.Mcperf.Spec.demand
     in
-    let subs = Array.init objects (fun k -> build_subproblem perm k) in
-    let lambda = Array.make nodes 0. in
-    let best_bound = ref 0. in
-    let best_lambda = ref (Array.copy lambda) in
-    let exact_count = ref 0 and bounded_count = ref 0 in
-    let alpha = spec.Mcperf.Spec.costs.Mcperf.Spec.alpha in
-    for t = 0 to iterations - 1 do
-      let coverage = Array.make nodes 0. in
-      let sub_total = ref 0. in
-      Array.iter
-        (fun sub ->
-          set_lambda_objective sub lambda;
-          sub_total :=
-            !sub_total
-            +. solve_sub sub ~coverage_acc:coverage ~exact_count
-                 ~bounded_count)
-        subs;
-      let value = Util.Vecops.dot lambda t_n +. !sub_total in
-      if value > !best_bound then begin
-        best_bound := value;
-        best_lambda := Array.copy lambda
-      end;
-      (* Projected subgradient step on g_n = T_n - coverage_n, normalized
-         to unit infinity-norm so the multiplier scale tracks the unit
-         costs rather than the (much larger) demand counts. *)
-      let g = Array.init nodes (fun n -> t_n.(n) -. coverage.(n)) in
-      let gmax = Util.Vecops.norm_inf g in
-      if gmax > 0. then begin
-        let unit_cost =
-          Float.max (alpha +. spec.Mcperf.Spec.costs.Mcperf.Spec.beta) 1e-6
-        in
-        let step = step_scale *. unit_cost /. float_of_int (1 + t) in
-        for n = 0 to nodes - 1 do
-          lambda.(n) <- Float.max 0. (lambda.(n) +. (step *. g.(n) /. gmax))
-        done
-      end
-    done;
-    {
-      bound = !best_bound;
-      iterations;
-      lambda = !best_lambda;
-      subproblems_exact = !exact_count;
-      subproblems_bounded = !bounded_count;
-    }
+    let always = always_covered spec perm in
+    let bundle, subs = bundle_and_subs ~bundling perm in
+    run ~iterations ~step_scale ~step_rule ~jobs ~fraction ~spec ~bundle ~subs
+      ~node_totals ~always
   end
+
+let sweep ?(iterations = 60) ?(step_scale = 1.0) ?(step_rule = Harmonic)
+    ?(jobs = 1) ?(bundling = true) spec cls ~fractions =
+  require_qos ~who:"Lagrangian.sweep" spec;
+  let perm = Mcperf.Permission.compute spec cls in
+  let nodes = Mcperf.Spec.node_count spec in
+  let objects = Mcperf.Spec.object_count spec in
+  let node_totals = Workload.Demand.node_read_totals spec.Mcperf.Spec.demand in
+  let always = always_covered spec perm in
+  (* The permission masks never read the fraction, so the bundling and
+     every representative subproblem are shared across the whole sweep;
+     only the requirement vector t_n changes per point. Built lazily so a
+     sweep of entirely infeasible points does no model work. *)
+  let shared = lazy (bundle_and_subs ~bundling perm) in
+  List.map
+    (fun fraction ->
+      let permq = Mcperf.Permission.with_fraction perm fraction in
+      if not (Mcperf.Permission.feasible permq) then
+        (fraction, infeasible_outcome ~nodes ~objects)
+      else begin
+        let bundle, subs = Lazy.force shared in
+        ( fraction,
+          run ~iterations ~step_scale ~step_rule ~jobs ~fraction ~spec ~bundle
+            ~subs ~node_totals ~always )
+      end)
+    fractions

@@ -23,6 +23,20 @@
     per-iteration cost hurts (the paper reports 12-hour CPLEX runs at
     K = 1000). It also cross-checks the PDHG bounds in the test suite.
 
+    {b Scaling.} Two mechanisms push this route to 200+ nodes and 10k+
+    objects. {e Bundling} ({!Mcperf.Bundle}): objects whose permission
+    masks and read cells are identical up to the demand weight share one
+    representative subproblem; on homogeneous bundles (equal weights) the
+    merged totals are bitwise those of solving every member, so the
+    bundled bound equals the unbundled one exactly, and heterogeneous
+    members transfer the representative's optimum rescaled by
+    [w / w_rep] with a conservative downward nudge (counted in
+    [rescaled_members]) that keeps the bound valid. {e Sharding}: each
+    iteration's representative solves dispatch through {!Util.Parallel}
+    in contiguous shards; only shard ranges and result payloads cross the
+    worker pipes, the merge is in fixed object order, and the outcome is
+    byte-identical at every [jobs].
+
     Class support: knowledge/history/reactivity/routing properties are
     honored exactly (they live in the per-object permission masks); the
     per-object replica constraint (17a) is honored exactly; the uniform
@@ -31,21 +45,64 @@
     constraints can only lower a minimum) but makes it no tighter than the
     corresponding unconstrained-storage bound. *)
 
+(** Step-size schedule of the projected subgradient ascent. Both rules
+    depend only on past iterations, so the trajectory at a smaller
+    iteration budget is a prefix of the one at a larger budget and the
+    best bound is monotone nondecreasing in the budget. *)
+type step_rule =
+  | Harmonic
+      (** classic divergent-series rule: [step_scale * unit_cost / (1+t)] *)
+  | Adaptive
+      (** Polyak-style geometric backoff: start at
+          [step_scale * unit_cost] and halve after three consecutive
+          non-improving iterations — typically far fewer outer iterations
+          to a given bound on large instances *)
+
 type outcome = {
   bound : float;  (** best certified lower bound over all iterations *)
   iterations : int;
   lambda : float array;  (** multipliers achieving [bound] *)
-  subproblems_exact : int;  (** per-object solves done by simplex *)
-  subproblems_bounded : int;  (** per-object solves bounded by PDHG *)
+  subproblems_exact : int;
+      (** representative solves settled exactly (simplex / fixed point) *)
+  subproblems_bounded : int;
+      (** representative solves lower-bounded by PDHG *)
+  objects : int;  (** objects covered by the decomposition *)
+  bundles : int;  (** representative subproblems actually solved *)
+  rescaled_members : int;
+      (** members merged through the guarded weight rescale (0 on a
+          homogeneous instance — the bound is then exactly the unbundled
+          one) *)
 }
 
 val bound :
   ?iterations:int ->
   ?step_scale:float ->
+  ?step_rule:step_rule ->
+  ?jobs:int ->
+  ?bundling:bool ->
   Mcperf.Spec.t ->
   Mcperf.Classes.t ->
   outcome
 (** Projected subgradient ascent on the QoS multipliers ([iterations]
-    default 60, [step_scale] default 1.0 — the step at round t is
-    [step_scale * alpha / (1 + t)]). Requires a QoS goal. Infeasible
-    classes (by the {!Mcperf.Permission} oracle) yield [infinity]. *)
+    default 60, [step_scale] default 1.0, [step_rule] default
+    {!Harmonic} — the historical schedule, [jobs] default 1, [bundling]
+    default on). Requires a QoS goal. Infeasible classes (by the
+    {!Mcperf.Permission} oracle) yield [infinity]. The result is
+    independent of [jobs] to the byte, and independent of [bundling]
+    whenever [rescaled_members = 0]. *)
+
+val sweep :
+  ?iterations:int ->
+  ?step_scale:float ->
+  ?step_rule:step_rule ->
+  ?jobs:int ->
+  ?bundling:bool ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  fractions:float list ->
+  (float * outcome) list
+(** [sweep spec cls ~fractions] is [bound] at each QoS fraction, sharing
+    the permission analysis, the bundling, and every representative
+    subproblem across the whole sweep (the masks never read the
+    fraction); multipliers restart cold at each point, so each outcome
+    equals the standalone {!bound} at that fraction. *)

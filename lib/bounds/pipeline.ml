@@ -1200,23 +1200,6 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
     resumed;
   }
 
-let sweep_classes_args ?(jobs = 1) ?(solver = Auto) ?placeable ?timeout_s
-    ?(deadline_s = infinity) ?(cell_budget_s = infinity) ?journal ?progress
-    spec ~fractions classes =
-  sweep_classes
-    {
-      Sweep_config.jobs;
-      solver;
-      placeable;
-      timeout_s;
-      deadline_s;
-      cell_budget_s;
-      journal;
-      progress;
-      obs = None;
-    }
-    spec ~fractions classes
-
 let sweep_qos ?(solver = Auto) ?placeable spec fractions cls =
   let tlat_ms =
     match spec.Mcperf.Spec.goal with

@@ -308,21 +308,3 @@ val sweep_classes :
     selected by [diverge] get their first PDHG attempt poisoned with a
     NaN rhs — exercising, deterministically, the supervision and fallback
     machinery without changing any reported number. *)
-
-val sweep_classes_args :
-  ?jobs:int ->
-  ?solver:solver ->
-  ?placeable:bool array ->
-  ?timeout_s:float ->
-  ?deadline_s:float ->
-  ?cell_budget_s:float ->
-  ?journal:string ->
-  ?progress:(completed:int -> total:int -> unit) ->
-  Mcperf.Spec.t ->
-  fractions:float list ->
-  (string * Mcperf.Classes.t) list ->
-  sweep
-(** @deprecated The pre-{!Sweep_config} optional-argument signature of
-    {!sweep_classes}, kept as a thin wrapper while remaining callers
-    migrate. Identical semantics; it cannot set [obs]. New code should
-    build a {!Sweep_config.t}. *)

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  system : Topology.System.t;
+  demand : Workload.Demand.t;
+  tlat_ms : float;
+  leaves : int;
+}
+
+let cell_compare (a : Workload.Demand.cell) (b : Workload.Demand.cell) =
+  match compare a.interval b.interval with
+  | 0 -> compare a.node b.node
+  | c -> c
+
+(* CDN hierarchy with latencies chosen so a leaf reaches its parent and
+   grandparent tiers (and its sibling leaves through the shared parent)
+   within the threshold, but never the origin: every leaf read needs a
+   replica, which is what makes the sweep nontrivial at scale. *)
+let tier_range i =
+  if i = 0 then { Topology.Generate.lo_ms = 40.; hi_ms = 50. }
+  else if i = 1 then { Topology.Generate.lo_ms = 25.; hi_ms = 35. }
+  else { Topology.Generate.lo_ms = 15.; hi_ms = 25. }
+
+let default_tlat_ms = 60.
+
+let make ?(seed = 7) ?(fanouts = [ 4; 7; 7 ]) ?(objects = 10_000)
+    ?(intervals = 2) () =
+  if objects < 1 then invalid_arg "Scale_scenario.make: objects must be >= 1";
+  if intervals < 1 then
+    invalid_arg "Scale_scenario.make: intervals must be >= 1";
+  let rng = Util.Prng.create ~seed in
+  let tier_latency = List.mapi (fun i _ -> tier_range i) fanouts in
+  let graph = Topology.Generate.cdn_hierarchy ~rng ~fanouts ~tier_latency () in
+  let system = Topology.System.make ~origin:0 graph in
+  let nodes = Topology.System.node_count system in
+  let nleaves = List.fold_left ( * ) 1 fanouts in
+  let first_leaf = nodes - nleaves in
+  (* Zipf-style popularity with integer counts. The handful of head
+     objects are read from a contiguous run of leaves in every interval;
+     tail objects are read once or a few times from a single leaf, with
+     the count quantized to a power of two and the interval derived from
+     the leaf — so the tail collapses into O(leaves) distinct
+     (masks, cells) patterns, the structure {!Mcperf.Bundle} exploits. *)
+  let head_scale = 160. in
+  let reads =
+    Array.init objects (fun k ->
+        let raw = max 1 (int_of_float (head_scale /. float_of_int (k + 1))) in
+        if raw >= 8 then begin
+          let spread = min 6 (max 2 (raw / 8)) in
+          let start = Util.Prng.int rng nleaves in
+          let per =
+            float_of_int (max 1 (raw / (spread * intervals)))
+          in
+          let cells = ref [] in
+          for i = 0 to intervals - 1 do
+            for j = 0 to spread - 1 do
+              let leaf = first_leaf + ((start + j) mod nleaves) in
+              cells :=
+                { Workload.Demand.node = leaf; interval = i; count = per }
+                :: !cells
+            done
+          done;
+          let a = Array.of_list !cells in
+          Array.sort cell_compare a;
+          a
+        end
+        else begin
+          (* power-of-two quantization: 1, 2 or 4 *)
+          let q = if raw >= 4 then 4 else if raw >= 2 then 2 else 1 in
+          let leaf = first_leaf + Util.Prng.int rng nleaves in
+          let i = leaf mod intervals in
+          [| { Workload.Demand.node = leaf; interval = i;
+               count = float_of_int q } |]
+        end)
+  in
+  let demand =
+    Workload.Demand.create ~nodes ~intervals ~interval_s:3600. ~reads ()
+  in
+  {
+    name = Printf.sprintf "cdn-%dn-%do" nodes objects;
+    system;
+    demand;
+    tlat_ms = default_tlat_ms;
+    leaves = nleaves;
+  }
+
+let qos_spec t ~fraction =
+  Mcperf.Spec.make ~system:t.system ~demand:t.demand
+    ~goal:(Mcperf.Spec.Qos { tlat_ms = t.tlat_ms; fraction })
+    ()
+
+let node_count t = Topology.System.node_count t.system
+let object_count t = t.demand.Workload.Demand.objects

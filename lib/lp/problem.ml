@@ -49,20 +49,61 @@ module Builder = struct
     b.nvars <- b.nvars + 1;
     idx
 
+  (* Fast path: model builders overwhelmingly emit rows whose term lists
+     are already strictly monotone in the variable index with nonzero
+     coefficients (ascending or descending — prepending while scanning
+     nodes in order yields descending lists). Such a list has no
+     duplicates to combine and nothing to drop, so the sorted coefficient
+     array is just the list (reversed if descending) — no hashtable, no
+     comparison sort. Anything else falls back to the general
+     combine-and-sort path with identical semantics. *)
+  let strictly_monotone terms =
+    let rec check dir prev = function
+      | [] -> dir
+      | (j, v) :: tl ->
+        if v = 0. then 0
+        else begin
+          let d = if j > prev then 1 else if j < prev then -1 else 0 in
+          if d = 0 then 0
+          else if dir = 0 || dir = d then check d j tl
+          else 0
+        end
+    in
+    match terms with
+    | [] -> 1
+    | (_, v) :: _ when v = 0. -> 0
+    | [ _ ] -> 1
+    | (j, _) :: tl -> check 0 j tl
+
   let add_row b kind ~rhs terms =
-    let tbl = Hashtbl.create (List.length terms) in
     List.iter
-      (fun (j, v) ->
+      (fun (j, _) ->
         if j < 0 || j >= b.nvars then
-          invalid_arg "Lp.Builder.add_row: unknown variable index";
-        let prev = Option.value (Hashtbl.find_opt tbl j) ~default:0. in
-        Hashtbl.replace tbl j (prev +. v))
+          invalid_arg "Lp.Builder.add_row: unknown variable index")
       terms;
     let coeffs =
-      Hashtbl.fold (fun j v acc -> if v <> 0. then (j, v) :: acc else acc) tbl []
-      |> Array.of_list
+      match strictly_monotone terms with
+      | 1 -> Array.of_list terms
+      | -1 ->
+        let a = Array.of_list terms in
+        let n = Array.length a in
+        Array.init n (fun i -> a.(n - 1 - i))
+      | _ ->
+        let tbl = Hashtbl.create (List.length terms) in
+        List.iter
+          (fun (j, v) ->
+            let prev = Option.value (Hashtbl.find_opt tbl j) ~default:0. in
+            Hashtbl.replace tbl j (prev +. v))
+          terms;
+        let combined =
+          Hashtbl.fold
+            (fun j v acc -> if v <> 0. then (j, v) :: acc else acc)
+            tbl []
+          |> Array.of_list
+        in
+        Array.sort (fun (a, _) (b, _) -> compare a b) combined;
+        combined
     in
-    Array.sort (fun (a, _) (b, _) -> compare a b) coeffs;
     b.brows <- { kind; rhs; coeffs } :: b.brows;
     b.nrows <- b.nrows + 1
 

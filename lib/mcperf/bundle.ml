@@ -1,0 +1,70 @@
+type t = {
+  objects : int;
+  count : int;
+  representative : int array;
+  bundle_of : int array;
+  exact_member : bool array;
+  rescaled : int;
+}
+
+(* The structural key is serialized through [Marshal] with sharing
+   disabled — two objects get the same bytes iff their mask columns and
+   read cells are structurally equal, which is exactly the bundling
+   equivalence — then digested so a 100k-object table holds 16-byte keys
+   instead of kilobyte mask columns. *)
+let key_of (perm : Permission.t) ~nodes k =
+  let demand = perm.Permission.spec.Spec.demand in
+  let store_col = Array.init nodes (fun m -> perm.Permission.store_mask.(m).(k)) in
+  let create_col =
+    Array.init nodes (fun m -> perm.Permission.create_mask.(m).(k))
+  in
+  let cells =
+    Array.map
+      (fun (c : Workload.Demand.cell) -> (c.node, c.interval, c.count))
+      demand.Workload.Demand.reads.(k)
+  in
+  Digest.string
+    (Marshal.to_string (store_col, create_col, cells) [ Marshal.No_sharing ])
+
+let finish ~objects ~count ~representative ~bundle_of ~weight =
+  let exact_member =
+    Array.init objects (fun k ->
+        weight.(k) = weight.(representative.(bundle_of.(k))))
+  in
+  let rescaled =
+    Array.fold_left (fun acc e -> if e then acc else acc + 1) 0 exact_member
+  in
+  { objects; count; representative; bundle_of; exact_member; rescaled }
+
+let compute (perm : Permission.t) =
+  let spec = perm.Permission.spec in
+  let nodes = Spec.node_count spec in
+  let objects = Spec.object_count spec in
+  let weight = spec.Spec.demand.Workload.Demand.weight in
+  let table : (string, int) Hashtbl.t = Hashtbl.create ((objects / 4) + 16) in
+  let reps = ref [] in
+  let count = ref 0 in
+  let bundle_of = Array.make objects 0 in
+  for k = 0 to objects - 1 do
+    let key = key_of perm ~nodes k in
+    match Hashtbl.find_opt table key with
+    | Some b -> bundle_of.(k) <- b
+    | None ->
+      let b = !count in
+      incr count;
+      Hashtbl.add table key b;
+      reps := k :: !reps;
+      bundle_of.(k) <- b
+  done;
+  let representative = Array.of_list (List.rev !reps) in
+  finish ~objects ~count:!count ~representative ~bundle_of ~weight
+
+let trivial (perm : Permission.t) =
+  let spec = perm.Permission.spec in
+  let objects = Spec.object_count spec in
+  let weight = spec.Spec.demand.Workload.Demand.weight in
+  let identity = Array.init objects (fun k -> k) in
+  finish ~objects ~count:objects ~representative:identity
+    ~bundle_of:(Array.copy identity) ~weight
+
+let ratio t = if t.count = 0 then 1. else float_of_int t.objects /. float_of_int t.count

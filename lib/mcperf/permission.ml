@@ -66,16 +66,38 @@ let compute ?placeable (spec : Spec.t) (cls : Classes.t) =
           access.(c.node).(k) <- access.(c.node).(k) lor (1 lsl c.interval))
         cells)
     spec.demand.Workload.Demand.reads;
-  (* Sphere masks: union of access masks over the sphere of knowledge. *)
+  (* Sphere masks: union of access masks over the sphere of knowledge.
+     The two canonical knowledge models short-circuit the O(N^2 * K)
+     union: under [Know_global] every row of [know] is all-true, so each
+     node's sphere is the one global access union (O(N * K)); under
+     [Know_local] the matrix is the identity, so the sphere {e is} the
+     access matrix. Custom matrices keep the general triple loop. *)
   let sphere = Array.make_matrix nodes objects 0 in
-  for m = 0 to nodes - 1 do
+  (match cls.knowledge with
+  | Topology.System.Know_global ->
+    let global = Array.make objects 0 in
     for v = 0 to nodes - 1 do
-      if know.(m).(v) then
-        for k = 0 to objects - 1 do
-          sphere.(m).(k) <- sphere.(m).(k) lor access.(v).(k)
-        done
+      let av = access.(v) in
+      for k = 0 to objects - 1 do
+        global.(k) <- global.(k) lor av.(k)
+      done
+    done;
+    for m = 0 to nodes - 1 do
+      Array.blit global 0 sphere.(m) 0 objects
     done
-  done;
+  | Topology.System.Know_local ->
+    for m = 0 to nodes - 1 do
+      Array.blit access.(m) 0 sphere.(m) 0 objects
+    done
+  | Topology.System.Know_custom _ ->
+    for m = 0 to nodes - 1 do
+      for v = 0 to nodes - 1 do
+        if know.(m).(v) then
+          for k = 0 to objects - 1 do
+            sphere.(m).(k) <- sphere.(m).(k) lor access.(v).(k)
+          done
+      done
+    done);
   (* Per-access refinement (Theorem 3): intervals where the sphere sees at
      least two accesses, so a per-access reactive heuristic has already
      reacted to the first by the time the later ones arrive. Only needed
@@ -83,33 +105,68 @@ let compute ?placeable (spec : Spec.t) (cls : Classes.t) =
   let sphere_multi =
     if not cls.intra_interval then [||]
     else begin
-      let counts = Array.make_matrix nodes objects [||] in
-      for n = 0 to nodes - 1 do
-        for k = 0 to objects - 1 do
-          counts.(n).(k) <- Array.make intervals 0.
-        done
-      done;
-      Array.iteri
-        (fun k cells ->
-          Array.iter
-            (fun (c : Workload.Demand.cell) ->
-              counts.(c.node).(k).(c.interval) <-
-                counts.(c.node).(k).(c.interval) +. c.count)
-            cells)
-        spec.demand.Workload.Demand.reads;
-      let multi = Array.make_matrix nodes objects 0 in
-      for m = 0 to nodes - 1 do
+      match cls.knowledge with
+      | Topology.System.Know_global ->
+        (* Every node sees every access: the per-interval totals are
+           global sums over the (unique, node-ascending) cells, and the
+           resulting row is identical for all nodes. *)
+        let totals = Array.make_matrix objects intervals 0. in
+        Array.iteri
+          (fun k cells ->
+            Array.iter
+              (fun (c : Workload.Demand.cell) ->
+                totals.(k).(c.interval) <- totals.(k).(c.interval) +. c.count)
+              cells)
+          spec.demand.Workload.Demand.reads;
+        let row = Array.make objects 0 in
         for k = 0 to objects - 1 do
           for i = 0 to intervals - 1 do
-            let total = ref 0. in
-            for v = 0 to nodes - 1 do
-              if know.(m).(v) then total := !total +. counts.(v).(k).(i)
-            done;
-            if !total >= 2. then multi.(m).(k) <- multi.(m).(k) lor (1 lsl i)
+            if totals.(k).(i) >= 2. then row.(k) <- row.(k) lor (1 lsl i)
           done
-        done
-      done;
-      multi
+        done;
+        Array.init nodes (fun _ -> Array.copy row)
+      | Topology.System.Know_local ->
+        (* A node sees only its own cells, and cells are unique per
+           (interval, node): at least two sphere accesses iff that one
+           cell carries count >= 2. *)
+        let multi = Array.make_matrix nodes objects 0 in
+        Array.iteri
+          (fun k cells ->
+            Array.iter
+              (fun (c : Workload.Demand.cell) ->
+                if c.count >= 2. then
+                  multi.(c.node).(k) <- multi.(c.node).(k) lor (1 lsl c.interval))
+              cells)
+          spec.demand.Workload.Demand.reads;
+        multi
+      | Topology.System.Know_custom _ ->
+        let counts = Array.make_matrix nodes objects [||] in
+        for n = 0 to nodes - 1 do
+          for k = 0 to objects - 1 do
+            counts.(n).(k) <- Array.make intervals 0.
+          done
+        done;
+        Array.iteri
+          (fun k cells ->
+            Array.iter
+              (fun (c : Workload.Demand.cell) ->
+                counts.(c.node).(k).(c.interval) <-
+                  counts.(c.node).(k).(c.interval) +. c.count)
+              cells)
+          spec.demand.Workload.Demand.reads;
+        let multi = Array.make_matrix nodes objects 0 in
+        for m = 0 to nodes - 1 do
+          for k = 0 to objects - 1 do
+            for i = 0 to intervals - 1 do
+              let total = ref 0. in
+              for v = 0 to nodes - 1 do
+                if know.(m).(v) then total := !total +. counts.(v).(k).(i)
+              done;
+              if !total >= 2. then multi.(m).(k) <- multi.(m).(k) lor (1 lsl i)
+            done
+          done
+        done;
+        multi
     end
   in
   (* Last interval with a read this node's replica could usefully cover.

@@ -1,24 +1,38 @@
 let header_prefix = "# replica-select topology v1"
 
-let to_string ?origin g =
-  let buf = Buffer.create 1024 in
+let to_buffer ?origin buf g =
   Buffer.add_string buf
     (Printf.sprintf "%s nodes=%d%s\n" header_prefix (Graph.node_count g)
        (match origin with
        | Some o -> Printf.sprintf " origin=%d" o
        | None -> ""));
   Buffer.add_string buf "u,v,latency_ms\n";
+  (* Piecewise rows: only the latency goes through a format string (its
+     "%.9g" rendering is pinned by the golden fixtures); [string_of_int]
+     emits exactly what "%d" would. *)
   List.iter
     (fun (u, v, w) ->
-      Buffer.add_string buf (Printf.sprintf "%d,%d,%.9g\n" u v w))
-    (Graph.edges g);
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.9g" w);
+      Buffer.add_char buf '\n')
+    (Graph.edges g)
+
+let to_string ?origin g =
+  let buf = Buffer.create 1024 in
+  to_buffer ?origin buf g;
   Buffer.contents buf
 
 let save ?origin g ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?origin g))
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer ?origin buf g;
+      Buffer.output_buffer oc buf)
 
 (* --- parsing ------------------------------------------------------------- *)
 
@@ -51,65 +65,78 @@ let header_field line key =
     in
     Some (String.sub line start (stop - start))
 
+(* Scanner parse: lines and fields are (lo, hi) ranges of the input
+   (Util.Scan), so a 500-node topology loads without materializing every
+   line, field, and trimmed copy as separate strings. Validation order,
+   accepted grammar, and every error message match the historical
+   split_on_char parser exactly. *)
 let parse_exn s =
-  let lines = String.split_on_char '\n' s in
-  match lines with
-  | header :: _columns :: rest ->
-    if
-      String.length header < String.length header_prefix
-      || String.sub header 0 (String.length header_prefix) <> header_prefix
-    then err 0 "not a replica-select topology file";
-    let nodes =
-      match header_field header "nodes" with
-      | Some v -> (
-        match int_of_string_opt v with
-        | Some n when n >= 0 -> n
-        | Some _ | None -> err 1 "bad nodes")
-      | None -> err 1 "missing nodes field"
-    in
-    let origin =
-      match header_field header "origin" with
-      | Some v -> (
-        match int_of_string_opt v with
-        | Some o -> Some o
-        | None -> err 1 "bad origin")
-      | None -> None
-    in
-    let g = Graph.create nodes in
-    List.iteri
-      (fun idx line ->
-        let lineno = idx + 3 in
-        if String.trim line <> "" then
-          match String.split_on_char ',' line with
-          | [ u; v; w ] -> (
-            let u =
-              match int_of_string_opt (String.trim u) with
-              | Some u -> u
-              | None -> err lineno ("bad node id " ^ String.trim u)
-            in
-            let v =
-              match int_of_string_opt (String.trim v) with
-              | Some v -> v
-              | None -> err lineno ("bad node id " ^ String.trim v)
-            in
-            let w =
-              match float_of_string_opt (String.trim w) with
-              | Some w -> w
-              | None -> err lineno ("bad latency " ^ String.trim w)
-            in
-            (* Reject poison at the boundary: a single NaN latency would
-               silently corrupt every shortest-path and QoS computation
-               downstream. *)
-            if not (Float.is_finite w) then
-              err lineno "non-finite latency";
-            if w < 0. then err lineno "negative latency";
-            try Graph.add_edge g u v w with
-            | Failure msg -> err lineno msg
-            | Invalid_argument msg -> err lineno msg)
-          | _ -> err lineno "expected 3 comma-separated fields")
-      rest;
-    (g, origin)
-  | _ -> err 0 "empty file"
+  let len = String.length s in
+  let hend = Util.Scan.line_end s 0 in
+  if hend >= len then err 0 "empty file";
+  let header = String.sub s 0 hend in
+  if
+    String.length header < String.length header_prefix
+    || String.sub header 0 (String.length header_prefix) <> header_prefix
+  then err 0 "not a replica-select topology file";
+  let nodes =
+    match header_field header "nodes" with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> err 1 "bad nodes")
+    | None -> err 1 "missing nodes field"
+  in
+  let origin =
+    match header_field header "origin" with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some o -> Some o
+      | None -> err 1 "bad origin")
+    | None -> None
+  in
+  let g = Graph.create nodes in
+  let cend = Util.Scan.line_end s (hend + 1) in
+  let pos = ref (cend + 1) in
+  let lineno = ref 3 in
+  while !pos <= len do
+    let lo = !pos in
+    let hi = Util.Scan.line_end s lo in
+    let lineno_here = !lineno in
+    if not (Util.Scan.is_blank s ~lo ~hi) then begin
+      let c1 = try String.index_from s lo ',' with Not_found -> len in
+      let c2 = if c1 < hi then try String.index_from s (c1 + 1) ',' with Not_found -> len else len in
+      let c3 = if c2 < hi then try String.index_from s (c2 + 1) ',' with Not_found -> len else len in
+      if not (c1 < hi && c2 < hi && c3 >= hi) then
+        err lineno_here "expected 3 comma-separated fields";
+      let node_id ~lo ~hi =
+        match Util.Scan.int_field s ~lo ~hi with
+        | Some u -> u
+        | None ->
+          err lineno_here ("bad node id " ^ Util.Scan.sub_trimmed s ~lo ~hi)
+      in
+      let u = node_id ~lo ~hi:c1 in
+      let v = node_id ~lo:(c1 + 1) ~hi:c2 in
+      let w =
+        match Util.Scan.float_field s ~lo:(c2 + 1) ~hi with
+        | Some w -> w
+        | None ->
+          err lineno_here
+            ("bad latency " ^ Util.Scan.sub_trimmed s ~lo:(c2 + 1) ~hi)
+      in
+      (* Reject poison at the boundary: a single NaN latency would
+         silently corrupt every shortest-path and QoS computation
+         downstream. *)
+      if not (Float.is_finite w) then err lineno_here "non-finite latency";
+      if w < 0. then err lineno_here "negative latency";
+      (try Graph.add_edge g u v w with
+      | Failure msg -> err lineno_here msg
+      | Invalid_argument msg -> err lineno_here msg)
+    end;
+    incr lineno;
+    pos := hi + 1
+  done;
+  (g, origin)
 
 let parse ?(file = "<topology>") s =
   match parse_exn s with

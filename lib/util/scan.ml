@@ -1,0 +1,54 @@
+let line_end s pos =
+  let len = String.length s in
+  if pos >= len then len
+  else match String.index_from_opt s pos '\n' with Some i -> i | None -> len
+
+(* The exact character set of [String.trim]. *)
+let is_space = function
+  | ' ' | '\012' | '\n' | '\r' | '\t' -> true
+  | _ -> false
+
+let trim_bounds s ~lo ~hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi && is_space s.[!lo] do
+    incr lo
+  done;
+  while !hi > !lo && is_space s.[!hi - 1] do
+    decr hi
+  done;
+  (!lo, !hi)
+
+let is_blank s ~lo ~hi =
+  let lo, hi = trim_bounds s ~lo ~hi in
+  hi <= lo
+
+let sub_trimmed s ~lo ~hi =
+  let lo, hi = trim_bounds s ~lo ~hi in
+  String.sub s lo (hi - lo)
+
+let int_field s ~lo ~hi =
+  let lo, hi = trim_bounds s ~lo ~hi in
+  if hi <= lo then None
+  else begin
+    let neg = s.[lo] = '-' in
+    let d0 = if neg then lo + 1 else lo in
+    let rec digits i =
+      i >= hi || (s.[i] >= '0' && s.[i] <= '9' && digits (i + 1))
+    in
+    let ndigits = hi - d0 in
+    (* 18 decimal digits always fit in OCaml's 63-bit int; longer runs
+       (and any non-decimal spelling) go through the stdlib so overflow
+       and grammar edge cases behave exactly as before. *)
+    if ndigits >= 1 && ndigits <= 18 && digits d0 then begin
+      let v = ref 0 in
+      for i = d0 to hi - 1 do
+        v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+      done;
+      Some (if neg then - !v else !v)
+    end
+    else int_of_string_opt (String.sub s lo (hi - lo))
+  end
+
+let float_field s ~lo ~hi =
+  let lo, hi = trim_bounds s ~lo ~hi in
+  if hi <= lo then None else float_of_string_opt (String.sub s lo (hi - lo))

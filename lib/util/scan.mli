@@ -1,0 +1,37 @@
+(** Allocation-light field scanning for the line-oriented IO formats.
+
+    [Topo_io] and [Trace_io] parse comma-separated lines; materializing
+    every line and field as a string (plus a trimmed copy of each) is the
+    dominant cost of loading a 100k-event trace. These helpers work on
+    [(lo, hi)] byte ranges of the whole input instead, allocating only
+    when a value genuinely needs the general [int_of_string] /
+    [float_of_string] grammar or when an error message quotes the field.
+
+    Trimming matches [String.trim] exactly (space, [\t], [\n], [\r],
+    [\012]), and {!int_field} / {!float_field} accept exactly the strings
+    their [Stdlib] counterparts do — the fast paths only shortcut the
+    common pure-decimal case. *)
+
+val line_end : string -> int -> int
+(** [line_end s pos] is the index of the first ['\n'] at or after [pos],
+    or [String.length s] when there is none (or [pos] is past the end). *)
+
+val trim_bounds : string -> lo:int -> hi:int -> int * int
+(** The sub-range of [\[lo, hi)] with leading and trailing whitespace
+    (as per [String.trim]) removed; empty ranges come back as [(hi, hi)]. *)
+
+val is_blank : string -> lo:int -> hi:int -> bool
+(** Whether the range contains only whitespace (or is empty) — i.e.
+    [String.trim] of the substring would be [""]. *)
+
+val sub_trimmed : string -> lo:int -> hi:int -> string
+(** The trimmed substring, allocated — for error messages. *)
+
+val int_field : string -> lo:int -> hi:int -> int option
+(** [int_of_string_opt] of the trimmed range. Pure decimal runs (an
+    optional ['-'] and 1–18 digits) parse without allocating; everything
+    else (hex/octal/binary prefixes, ['+'], ['_'] separators, overflow
+    lengths) defers to [int_of_string_opt] on the substring. *)
+
+val float_field : string -> lo:int -> hi:int -> float option
+(** [float_of_string_opt] of the trimmed range. *)

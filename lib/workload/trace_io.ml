@@ -5,11 +5,19 @@ let to_buffer buf t =
     (Printf.sprintf "%s nodes=%d objects=%d duration_s=%.9g\n" header_prefix
        (Trace.node_count t) (Trace.object_count t) (Trace.duration_s t));
   Buffer.add_string buf "time_s,node,object,kind\n";
+  (* Rows are appended piecewise — only the float goes through a format
+     string (its "%.9g" rendering is pinned by the golden fixtures);
+     [string_of_int] emits exactly what "%d" would. *)
   Trace.iter
     (fun ~time ~node ~object_id ~kind ->
-      Buffer.add_string buf
-        (Printf.sprintf "%.9g,%d,%d,%c" time node object_id
-           (match kind with Trace.Read -> 'r' | Trace.Write -> 'w'));
+      Buffer.add_string buf (Printf.sprintf "%.9g" time);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int node);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int object_id);
+      Buffer.add_char buf ',';
+      Buffer.add_char buf
+        (match kind with Trace.Read -> 'r' | Trace.Write -> 'w');
       Buffer.add_char buf '\n')
     t
 
@@ -22,7 +30,10 @@ let save t ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf t;
+      Buffer.output_buffer oc buf)
 
 (* --- parsing ------------------------------------------------------------- *)
 
@@ -70,56 +81,74 @@ let parse_header header =
   in
   (nodes, objects, duration_s)
 
+(* Scanner parse: lines and fields are (lo, hi) ranges of the input
+   (Util.Scan), so a 100k-event trace loads without materializing every
+   line, field, and trimmed copy as separate strings. Validation order,
+   accepted grammar, and every error message match the historical
+   split_on_char parser exactly. *)
 let parse_exn s =
-  let lines = String.split_on_char '\n' s in
-  match lines with
-  | header :: _column_names :: rest ->
-    if
-      String.length header < String.length header_prefix
-      || String.sub header 0 (String.length header_prefix) <> header_prefix
-    then err 0 "not a replica-select trace file";
-    let nodes, objects, duration_s = parse_header header in
-    let events = ref [] in
-    List.iteri
-      (fun idx line ->
-        let lineno = idx + 3 in
-        if String.trim line <> "" then
-          match String.split_on_char ',' line with
-          | [ time; node; obj; kind ] ->
-            let kind =
-              match String.trim kind with
-              | "r" -> Trace.Read
-              | "w" -> Trace.Write
-              | other -> err lineno ("unknown kind " ^ other)
-            in
-            let time =
-              match float_of_string_opt (String.trim time) with
-              | Some t -> t
-              | None -> err lineno ("bad time " ^ String.trim time)
-            in
-            (* Reject poison at the boundary: a NaN timestamp would
-               corrupt interval bucketing silently. *)
-            if not (Float.is_finite time) then
-              err lineno "non-finite time";
-            if time < 0. then err lineno "negative time";
-            let int_field label v =
-              match int_of_string_opt (String.trim v) with
-              | Some n -> n
-              | None -> err lineno ("bad " ^ label ^ " " ^ String.trim v)
-            in
-            let node = int_field "node" node in
-            if node < 0 || node >= nodes then
-              err lineno (Printf.sprintf "node %d out of range" node);
-            let obj = int_field "object" obj in
-            if obj < 0 || obj >= objects then
-              err lineno (Printf.sprintf "object %d out of range" obj);
-            events := (time, node, obj, kind) :: !events
-          | _ -> err lineno "expected 4 comma-separated fields")
-      rest;
-    (try Trace.of_events ~nodes ~objects ~duration_s (List.rev !events) with
-    | Invalid_argument msg -> err 0 msg
-    | Failure msg -> err 0 msg)
-  | _ -> err 0 "empty file"
+  let len = String.length s in
+  let hend = Util.Scan.line_end s 0 in
+  if hend >= len then err 0 "empty file";
+  let header = String.sub s 0 hend in
+  if
+    String.length header < String.length header_prefix
+    || String.sub header 0 (String.length header_prefix) <> header_prefix
+  then err 0 "not a replica-select trace file";
+  let nodes, objects, duration_s = parse_header header in
+  let cend = Util.Scan.line_end s (hend + 1) in
+  let events = ref [] in
+  let pos = ref (cend + 1) in
+  let lineno = ref 3 in
+  while !pos <= len do
+    let lo = !pos in
+    let hi = Util.Scan.line_end s lo in
+    let lineno_here = !lineno in
+    if not (Util.Scan.is_blank s ~lo ~hi) then begin
+      let c1 = try String.index_from s lo ',' with Not_found -> len in
+      let c2 = if c1 < hi then try String.index_from s (c1 + 1) ',' with Not_found -> len else len in
+      let c3 = if c2 < hi then try String.index_from s (c2 + 1) ',' with Not_found -> len else len in
+      let c4 = if c3 < hi then try String.index_from s (c3 + 1) ',' with Not_found -> len else len in
+      if not (c1 < hi && c2 < hi && c3 < hi && c4 >= hi) then
+        err lineno_here "expected 4 comma-separated fields";
+      let kind =
+        let klo, khi = Util.Scan.trim_bounds s ~lo:(c3 + 1) ~hi in
+        if khi - klo = 1 && s.[klo] = 'r' then Trace.Read
+        else if khi - klo = 1 && s.[klo] = 'w' then Trace.Write
+        else
+          err lineno_here
+            ("unknown kind " ^ Util.Scan.sub_trimmed s ~lo:(c3 + 1) ~hi)
+      in
+      let time =
+        match Util.Scan.float_field s ~lo ~hi:c1 with
+        | Some t -> t
+        | None ->
+          err lineno_here ("bad time " ^ Util.Scan.sub_trimmed s ~lo ~hi:c1)
+      in
+      (* Reject poison at the boundary: a NaN timestamp would corrupt
+         interval bucketing silently. *)
+      if not (Float.is_finite time) then err lineno_here "non-finite time";
+      if time < 0. then err lineno_here "negative time";
+      let int_field label ~lo ~hi =
+        match Util.Scan.int_field s ~lo ~hi with
+        | Some n -> n
+        | None ->
+          err lineno_here ("bad " ^ label ^ " " ^ Util.Scan.sub_trimmed s ~lo ~hi)
+      in
+      let node = int_field "node" ~lo:(c1 + 1) ~hi:c2 in
+      if node < 0 || node >= nodes then
+        err lineno_here (Printf.sprintf "node %d out of range" node);
+      let obj = int_field "object" ~lo:(c2 + 1) ~hi:c3 in
+      if obj < 0 || obj >= objects then
+        err lineno_here (Printf.sprintf "object %d out of range" obj);
+      events := (time, node, obj, kind) :: !events
+    end;
+    incr lineno;
+    pos := hi + 1
+  done;
+  (try Trace.of_events ~nodes ~objects ~duration_s (List.rev !events) with
+  | Invalid_argument msg -> err 0 msg
+  | Failure msg -> err 0 msg)
 
 let parse ?(file = "<trace>") s =
   match parse_exn s with

@@ -19,6 +19,7 @@ dune build bench/main.exe
 ./_build/default/bench/main.exe sweep
 ./_build/default/bench/main.exe obs
 ./_build/default/bench/main.exe tree
+./_build/default/bench/main.exe scale
 
 # One summary row: pull the headline numbers out of the two JSON files.
 json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
@@ -52,7 +53,7 @@ json_qcount_deadline() { # json_qcount_deadline FILE KEY
 }
 
 log=BENCH_LOG.tsv
-header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio\ttree_dp_s\ttree_lp_s\ttree_dp_speedup'
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio\ttree_dp_s\ttree_lp_s\ttree_dp_speedup\tscale_nodes\tscale_objects\tscale_sweep_s\tscale_bundle_ratio'
 # An early bench.sh rotated to an unnumbered "$log.old", which the next
 # rotation would clobber. Fold any such straggler into the numbered
 # scheme before rotating.
@@ -75,7 +76,7 @@ if [ ! -f "$log" ]; then
   printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -99,6 +100,10 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t
   "$(json_num BENCH_tree.json tree_dp_s)" \
   "$(json_num BENCH_tree.json tree_lp_s)" \
   "$(json_num BENCH_tree.json tree_dp_speedup)" \
+  "$(json_num BENCH_scale.json scale_nodes)" \
+  "$(json_num BENCH_scale.json scale_objects)" \
+  "$(json_num BENCH_scale.json scale_sweep_s)" \
+  "$(json_num BENCH_scale.json bundle_ratio)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"

@@ -77,3 +77,24 @@ cmp "$treedir/j1.out" "$treedir/j4.out" \
 grep -q 'all checks passed' "$treedir/j1.out" \
   || { echo "tree stage: bound ordering violations"; exit 1; }
 echo "tree stage OK: $(grep -c 'tree-dp' "$treedir/j1.out") DP cells, outputs identical across --jobs"
+
+# Scale stage: the bundled + sharded Lagrangian sweep (DESIGN.md §13)
+# prints no wall clocks on stdout (timings go to stderr), so runs at
+# --jobs 1 and 4 must agree to the byte — any diff is shard
+# nondeterminism. --check additionally gates the decomposition on a
+# small instance: the dual must sit below the exact simplex optimum
+# (bound sandwich) and the bundled bound must equal the
+# forced-unbundled one bit for bit (the family is homogeneous).
+echo "== scale stage: bundled Lagrangian sweep at --jobs 1 and 4 =="
+scaledir=_build/scale-check
+rm -rf "$scaledir"
+mkdir -p "$scaledir"
+./_build/default/bin/experiments.exe figscale --objects 2000 --check \
+  --jobs 1 > "$scaledir/j1.out" 2> /dev/null
+./_build/default/bin/experiments.exe figscale --objects 2000 --check \
+  --jobs 4 > "$scaledir/j4.out" 2> /dev/null
+cmp "$scaledir/j1.out" "$scaledir/j4.out" \
+  || { echo "scale stage: figscale output differs across --jobs"; exit 1; }
+grep -q 'scale checks passed' "$scaledir/j1.out" \
+  || { echo "scale stage: bound-sandwich or bundling-exactness gate failed"; exit 1; }
+echo "scale stage OK: $(sed -n 's/^bundling: .*(\(.*\)x).*/\1/p' "$scaledir/j1.out")x bundle ratio, outputs identical across --jobs"

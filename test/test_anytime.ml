@@ -313,12 +313,15 @@ let fo_solver =
 let test_budgeted_sweep_bounds_dominated () =
   let spec = qos_spec () in
   let free =
-    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver spec
-      ~fractions:sweep_fractions sweep_fixture
+    Bounds.Pipeline.sweep_classes
+      Bounds.Pipeline.Sweep_config.(default |> with_solver fo_solver)
+      spec ~fractions:sweep_fractions sweep_fixture
   in
   let tight =
-    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver
-      ~cell_budget_s:1e-4 spec ~fractions:sweep_fractions sweep_fixture
+    Bounds.Pipeline.sweep_classes
+      Bounds.Pipeline.Sweep_config.(
+        default |> with_solver fo_solver |> with_cell_budget 1e-4)
+      spec ~fractions:sweep_fractions sweep_fixture
   in
   List.iter2
     (fun (label, fs) (label', ts) ->
@@ -352,9 +355,10 @@ let test_budgeted_sweep_certificates_verify () =
   (* Every cell of a budgeted sweep — degraded, converged and infeasible
      alike — must recheck from scratch. *)
   let sweep =
-    Bounds.Pipeline.sweep_classes_args ~jobs:1 ~solver:fo_solver
-      ~cell_budget_s:1e-4 (qos_spec ()) ~fractions:sweep_fractions
-      sweep_fixture
+    Bounds.Pipeline.sweep_classes
+      Bounds.Pipeline.Sweep_config.(
+        default |> with_solver fo_solver |> with_cell_budget 1e-4)
+      (qos_spec ()) ~fractions:sweep_fractions sweep_fixture
   in
   List.iter
     (fun (label, series) ->

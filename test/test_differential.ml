@@ -303,8 +303,9 @@ let strip_walls (sweep : Bounds.Pipeline.sweep) =
 let test_sweep_determinism () =
   let spec, _ = quickstart_spec () in
   let fractions = [ 0.95; 0.99; 0.999 ] in
-  let seq = Bounds.Pipeline.sweep_classes_args ~jobs:1 spec ~fractions sweep_fixture in
-  let par = Bounds.Pipeline.sweep_classes_args ~jobs:4 spec ~fractions sweep_fixture in
+  let cfg jobs = Bounds.Pipeline.Sweep_config.(default |> with_jobs jobs) in
+  let seq = Bounds.Pipeline.sweep_classes (cfg 1) spec ~fractions sweep_fixture in
+  let par = Bounds.Pipeline.sweep_classes (cfg 4) spec ~fractions sweep_fixture in
   (* The rendered report must be byte-identical, and so must everything
      under it except the wall-clock fields. *)
   Alcotest.(check string)
@@ -368,7 +369,8 @@ let test_sweep_matches_percell_compute () =
   let spec, _ = quickstart_spec () in
   let fractions = [ 0.95; 0.99; 0.999 ] in
   let sweep =
-    Bounds.Pipeline.sweep_classes_args ~jobs:1 spec ~fractions sweep_fixture
+    Bounds.Pipeline.sweep_classes Bounds.Pipeline.Sweep_config.default spec
+      ~fractions sweep_fixture
   in
   List.iter2
     (fun (label, cls) (label', cells) ->

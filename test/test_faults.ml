@@ -49,8 +49,17 @@ let classes =
 
 let run_sweep ?jobs ?solver ?timeout_s ?journal ?progress
     ?(fractions = std_fractions) () =
-  P.sweep_classes_args ?jobs ?solver ?timeout_s ?journal ?progress (qos_spec ())
-    ~fractions classes
+  let cfg =
+    {
+      P.Sweep_config.default with
+      P.Sweep_config.jobs = Option.value jobs ~default:1;
+      solver = Option.value solver ~default:P.Auto;
+      timeout_s;
+      journal;
+      progress;
+    }
+  in
+  P.sweep_classes cfg (qos_spec ()) ~fractions classes
 
 (* Everything a sweep reports except wall-clock and the solve-path tags:
    recovery may change *how* a cell was solved, never *what* it found.
