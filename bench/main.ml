@@ -942,6 +942,174 @@ let scale_benchmark () =
   close_out oc;
   Printf.printf "wrote BENCH_scale.json\n%!"
 
+(* --- avail: failure scenarios, degraded replay, scenario LP --------------- *)
+
+(* `main.exe avail` prices the availability layer and writes
+   BENCH_avail.json:
+
+   - degradation-replay throughput: the greedy-global reference
+     placement replayed against the seeded outage timeline, in
+     steps/second (min of [reps] runs), with the jobs=1 and jobs=4
+     replays required to agree structurally;
+   - the fragility of that placement over the sampled scenario set (the
+     figavail headline number for this fixture);
+   - scenario-LP overhead: the general-class expected-cost sweep
+     (Bounds.Avail_bound) timed against the plain nominal sweep_qos on
+     the same fractions — the ratio is the price of carrying the
+     scenarios' coverage terms through the fraction sweep's
+     prepare/warm-start cache. The scenario bound must sit at or below
+     the reference placement's measured expected degraded cost (the
+     lower-bound validity the tests pin down), asserted on every run. *)
+
+let avail_benchmark () =
+  let reps = 3 in
+  let cs = Lazy.force web in
+  let sim_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:false () in
+  let bound_spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  let sys = sim_spec.Mcperf.Spec.system in
+  let groups = Avail.Groups.derive sys in
+  (* A harsher draw than the default spec: with the case studies'
+     gamma = 0 only origin-down scenarios contribute coverage terms to
+     the scenario LP, and at the default 2% per-node rate a 64-scenario
+     draw can easily contain none (leaving the LP the same size as the
+     nominal model). 64 scenarios at a 10% rate reliably include several,
+     so the overhead leg times a model that genuinely carries scenario
+     terms. *)
+  let sspec = { Avail.Scenario.default with count = 64; node_prob = 0.1 } in
+  let scenarios = Avail.Scenario.sample_all sspec sys ~groups in
+  let tl = Avail.Scenario.timeline sspec sys ~groups in
+  let origin_down =
+    Array.fold_left
+      (fun acc (s : Avail.Scenario.t) ->
+        if s.Avail.Scenario.down.(sys.Topology.System.origin) then acc + 1
+        else acc)
+      0 scenarios
+  in
+  Printf.printf
+    "avail benchmark: %d groups, %d scenarios (%d origin-down), %d-step \
+     timeline, min of %d runs\n\
+     %!"
+    (Array.length groups) (Array.length scenarios) origin_down
+    tl.Avail.Scenario.steps reps;
+  let deployed =
+    match Sim.Runner.greedy_global ~spec:sim_spec () with
+    | Some d -> d
+    | None -> failwith "avail benchmark: greedy-global met no goal"
+  in
+  let placement =
+    match deployed.Sim.Runner.placement with
+    | Some p -> p
+    | None -> failwith "avail benchmark: deployment carries no placement"
+  in
+  let perm = Mcperf.Permission.compute sim_spec Mcperf.Classes.general in
+  let replay jobs =
+    Sim.Runner.degradation_replay ~jobs ~perm ~placement ~timeline:tl ()
+  in
+  let baseline =
+    read_baseline_num ~file:"BENCH_avail.json" ~key:"replay_steps_per_s"
+  in
+  (match baseline with
+  | Some b ->
+    Printf.printf "baseline replay_steps_per_s from BENCH_avail.json: %.0f\n%!"
+      b
+  | None -> Printf.printf "no BENCH_avail.json baseline found\n%!");
+  let replay_s, r1 = min_time reps (fun () -> replay 1) in
+  let _, r4 = min_time 1 (fun () -> replay 4) in
+  (* Each replay step is a pure function of (perm, placement, down mask)
+     and the pool preserves order, so the two widths must agree exactly. *)
+  if r1 <> r4 then
+    failwith "avail benchmark: replay differs between jobs=1 and jobs=4";
+  let steps_per_s = float_of_int tl.Avail.Scenario.steps /. replay_s in
+  Printf.printf "replay jobs=1: %.4fs (%.0f steps/s), jobs=4 identical\n%!"
+    replay_s steps_per_s;
+  let a = Avail.Survive.assess perm placement ~scenarios in
+  Printf.printf
+    "greedy-global fragility %.4f (expected %.1f vs nominal %.1f over %d \
+     scenarios)\n\
+     %!"
+    a.Avail.Survive.fragility a.Avail.Survive.expected_cost
+    a.Avail.Survive.base_cost a.Avail.Survive.scenarios;
+  let fractions = [ 0.95; 0.99; 0.999 ] in
+  let nominal_s, _ =
+    min_time reps (fun () ->
+        Bounds.Pipeline.sweep_qos bound_spec fractions Mcperf.Classes.general)
+  in
+  let scen_s, cells =
+    min_time reps (fun () ->
+        Bounds.Avail_bound.expected_cost_cells bound_spec
+          Mcperf.Classes.general ~scenarios ~fractions)
+  in
+  let head = List.hd cells in
+  let reused_cells =
+    List.length (List.filter (fun c -> c.Bounds.Avail_bound.reused) cells)
+  in
+  let lb = head.Bounds.Avail_bound.expected_bound in
+  let bound_ok =
+    lb
+    <= a.Avail.Survive.expected_cost
+       +. (1e-6 *. (1. +. Float.abs a.Avail.Survive.expected_cost))
+  in
+  if not bound_ok then
+    failwith
+      (Printf.sprintf
+         "avail benchmark: scenario-LP bound %.4f above the measured \
+          expected cost %.4f"
+         lb a.Avail.Survive.expected_cost);
+  let overhead = if nominal_s > 0. then scen_s /. nominal_s else 1. in
+  Printf.printf
+    "scenario LP (%d vars, %d nominal): sweep %.3fs vs nominal %.3fs \
+     (overhead %.2fx, %d/%d cells reused), bound %.1f <= expected %.1f\n\
+     %!"
+    head.Bounds.Avail_bound.vars head.Bounds.Avail_bound.nominal_vars scen_s
+    nominal_s overhead reused_cells (List.length cells) lb
+    a.Avail.Survive.expected_cost;
+  let oc = open_out "BENCH_avail.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "availability layer: degraded replay, fragility, scenario LP",
+  "detected_cores": %d,
+  "fixture": "web nodes=10 scale=0.02 intervals=12, greedy-global reference placement",
+  "groups": %d,
+  "avail_scenarios": %d,
+  "timeline_steps": %d,
+  "avail_replay_s": %.4f,
+  "replay_steps_per_s": %.0f,
+  "baseline_replay_steps_per_s": %s,
+  "replay_vs_baseline": %s,
+  "replay_jobs_identical": true,
+  "avail_fragility": %.4f,
+  "expected_degraded_cost": %.3f,
+  "nominal_cost": %.3f,
+  "scenario_lp": {
+    "fractions": %d,
+    "vars": %d,
+    "nominal_vars": %d,
+    "rows": %d,
+    "reused_cells": %d,
+    "nominal_sweep_s": %.3f,
+    "scenario_sweep_s": %.3f,
+    "overhead_ratio": %.3f,
+    "bound_below_measured_expected": %b
+  }
+}
+|}
+    (Util.Parallel.available_cores ())
+    (Array.length groups) (Array.length scenarios) tl.Avail.Scenario.steps
+    replay_s steps_per_s
+    (match baseline with
+    | Some b -> Printf.sprintf "%.0f" b
+    | None -> "null")
+    (match baseline with
+    | Some b when b > 0. -> Printf.sprintf "%.3f" (steps_per_s /. b)
+    | _ -> "null")
+    a.Avail.Survive.fragility a.Avail.Survive.expected_cost
+    a.Avail.Survive.base_cost (List.length fractions)
+    head.Bounds.Avail_bound.vars head.Bounds.Avail_bound.nominal_vars
+    head.Bounds.Avail_bound.rows reused_cells nominal_s scen_s overhead
+    bound_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_avail.json\n%!"
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let benchmark test =
@@ -989,6 +1157,8 @@ let () =
     scale_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "tree" then
     tree_benchmark ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "avail" then
+    avail_benchmark ()
   else
     List.iter
       (fun test ->

@@ -798,6 +798,197 @@ let validate_tree ~seed ~count ~jobs () =
     (if !violations = 0 then "all checks passed"
      else Printf.sprintf "%d violations" !violations)
 
+(* --- validate --family avail: correlated failures, survivable bounds ------ *)
+
+(* Like the tree family, every number printed here is deterministic (no
+   wall clocks, order-preserving parallel maps), so scripted runs [cmp]
+   the output across --jobs settings. [count] is the sampled scenario
+   count. *)
+let validate_avail ~seed ~count ~jobs () =
+  let tol x = 1e-6 *. (1. +. Float.abs x) in
+  let fail name fmt =
+    incr violations;
+    Printf.printf "FAIL %s: " name;
+    Printf.kfprintf (fun oc -> output_char oc '\n') stdout fmt
+  in
+  Printf.printf
+    "\n=== Avail family: failure sampler, survivability, scenario LP (%d \
+     scenarios, seed %d) ===\n"
+    count seed;
+  let cs = CS.make ~seed ~nodes:8 ~scale:0.01 ~intervals:8 CS.Web in
+  let spec = CS.qos_spec cs ~fraction:0.95 ~for_bounds:true () in
+  let sys = spec.Mcperf.Spec.system in
+  let nodes = Mcperf.Spec.node_count spec in
+  let groups = Avail.Groups.derive sys in
+  Printf.printf "failure groups: %d\n" (Array.length groups);
+  Array.iter
+    (fun (g : Avail.Groups.t) ->
+      Printf.printf "  %-14s size=%d members=[%s]\n" g.Avail.Groups.name
+        (Array.length g.Avail.Groups.members)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int g.Avail.Groups.members))))
+    groups;
+  let sspec = { Avail.Scenario.default with Avail.Scenario.seed; count } in
+  let scenarios = Avail.Scenario.sample_all sspec sys ~groups in
+  (* Sampler determinism: a second sampling pass must be byte-identical. *)
+  let scenarios2 = Avail.Scenario.sample_all sspec sys ~groups in
+  Array.iteri
+    (fun i s ->
+      if
+        not
+          (String.equal (Avail.Scenario.signature s)
+             (Avail.Scenario.signature scenarios2.(i)))
+      then fail "sampler" "scenario %d not reproducible" i)
+    scenarios;
+  Printf.printf "\nscenarios (down-count, signature):";
+  Array.iter
+    (fun s ->
+      Printf.printf " %d:%s" (Avail.Scenario.down_count s)
+        (Avail.Scenario.signature s))
+    scenarios;
+  print_newline ();
+  let perm = Mcperf.Permission.compute spec Mcperf.Classes.general in
+  (* The expected-cost scenario LP for the general class: a lower bound
+     on the expected degraded cost of EVERY placement that meets the
+     nominal goal. *)
+  let bound_cell =
+    Bounds.Avail_bound.expected_cost_bound spec Mcperf.Classes.general
+      ~scenarios
+  in
+  if not bound_cell.Bounds.Avail_bound.feasible then
+    fail "scenario-lp" "general class reported infeasible at the goal";
+  Printf.printf
+    "\nscenario LP (general): bound=%.4f vars=%d (%d nominal) rows=%d %s\n"
+    bound_cell.Bounds.Avail_bound.expected_bound
+    bound_cell.Bounds.Avail_bound.vars
+    bound_cell.Bounds.Avail_bound.nominal_vars
+    bound_cell.Bounds.Avail_bound.rows
+    (if bound_cell.Bounds.Avail_bound.exact then "simplex" else "pdhg");
+  (* Placements to check the bound against: the rounded LP solution and
+     the two centralized greedy heuristics, all evaluated on the same
+     spec. *)
+  let placements =
+    List.filter_map
+      (fun x -> x)
+      [
+        (match
+           (Bounds.Pipeline.compute spec Mcperf.Classes.general)
+             .Bounds.Pipeline.rounded
+         with
+        | Some r -> Some ("rounded-lp", r.Rounding.Round.placement)
+        | None -> None);
+        Option.bind
+          (Sim.Runner.greedy_global ~jobs ~spec ())
+          (fun d ->
+            Option.map (fun p -> ("greedy-global", p)) d.Sim.Runner.placement);
+        Option.bind
+          (Sim.Runner.greedy_replica ~jobs ~spec ())
+          (fun d ->
+            Option.map (fun p -> ("greedy-replica", p)) d.Sim.Runner.placement);
+      ]
+  in
+  if placements = [] then fail "placements" "no feasible placement produced";
+  Printf.printf "\n%-14s %10s %10s %10s %9s %9s %9s\n" "placement" "cost"
+    "expected" "lp-bound" "fragility" "worstviol" "meanunav";
+  List.iter
+    (fun (name, placement) ->
+      let base = Mcperf.Costing.evaluate perm placement in
+      if not base.Mcperf.Costing.meets_goal then
+        fail name "placement misses the nominal goal";
+      (* All-up degradation must reproduce the nominal total exactly. *)
+      let up = Array.make nodes false in
+      let d0 = Avail.Survive.degrade ~base perm placement ~down:up in
+      if
+        Float.abs (d0.Avail.Survive.degraded_cost -. base.Mcperf.Costing.total)
+        > 1e-9 *. (1. +. Float.abs base.Mcperf.Costing.total)
+      then
+        fail name "all-up degraded cost %.6f <> nominal %.6f"
+          d0.Avail.Survive.degraded_cost base.Mcperf.Costing.total;
+      (* Monotonicity along a nested chain of failure sets. *)
+      let chain = Array.init nodes (fun n -> n) in
+      let prev = ref d0.Avail.Survive.degraded_cost in
+      let down = Array.make nodes false in
+      Array.iter
+        (fun n ->
+          if n <> sys.Topology.System.origin then begin
+            down.(n) <- true;
+            let d = Avail.Survive.degrade ~base perm placement ~down in
+            if d.Avail.Survive.degraded_cost < !prev -. tol !prev then
+              fail name "degraded cost dropped when failing node %d" n;
+            prev := d.Avail.Survive.degraded_cost
+          end)
+        chain;
+      (* Assessment is identical at --jobs 1 and the requested --jobs. *)
+      let a1 = Avail.Survive.assess ~jobs:1 perm placement ~scenarios in
+      let aj = Avail.Survive.assess ~jobs perm placement ~scenarios in
+      if a1 <> aj then fail name "assessment differs across jobs";
+      (* The scenario LP is a valid lower bound on the expected degraded
+         cost of this goal-meeting placement. *)
+      if
+        bound_cell.Bounds.Avail_bound.feasible
+        && aj.Avail.Survive.expected_cost
+           < bound_cell.Bounds.Avail_bound.expected_bound
+             -. tol bound_cell.Bounds.Avail_bound.expected_bound
+      then
+        fail name "expected degraded cost %.6f below scenario LP %.6f"
+          aj.Avail.Survive.expected_cost
+          bound_cell.Bounds.Avail_bound.expected_bound;
+      (* k-failure checks agree with their own survives flag. *)
+      let checks =
+        Bounds.Avail_bound.k_failure_check perm placement ~groups ()
+      in
+      let survived =
+        Array.fold_left
+          (fun acc (c : Bounds.Avail_bound.group_check) ->
+            let expect =
+              c.Bounds.Avail_bound.violation <= 0.05 +. 1e-12
+            in
+            if expect <> c.Bounds.Avail_bound.survives then
+              fail name "k-failure survives flag inconsistent for %s"
+                c.Bounds.Avail_bound.group;
+            if c.Bounds.Avail_bound.survives then acc + 1 else acc)
+          0 checks
+      in
+      Printf.printf "%-14s %10.2f %10.2f %10.2f %9.4f %9.4f %9.4f  k2:%d/%d\n"
+        name base.Mcperf.Costing.total aj.Avail.Survive.expected_cost
+        bound_cell.Bounds.Avail_bound.expected_bound
+        aj.Avail.Survive.fragility aj.Avail.Survive.worst_violation
+        aj.Avail.Survive.mean_unavailable survived (Array.length checks))
+    placements;
+  (* Timeline: deterministic regeneration and jobs-invariant replay. *)
+  let tl = Avail.Scenario.timeline sspec sys ~groups in
+  let tl2 = Avail.Scenario.timeline sspec sys ~groups in
+  if
+    not
+      (String.equal
+         (Avail.Scenario.render_timeline tl)
+         (Avail.Scenario.render_timeline tl2))
+  then fail "timeline" "regeneration not byte-identical";
+  let down_steps =
+    Array.fold_left
+      (fun acc row -> if Array.exists (fun d -> d) row then acc + 1 else acc)
+      0 tl.Avail.Scenario.down
+  in
+  Printf.printf "\ntimeline: %d steps, %d with failures\n"
+    tl.Avail.Scenario.steps down_steps;
+  (match placements with
+  | (name, placement) :: _ ->
+    let r1 =
+      Sim.Runner.degradation_replay ~jobs:1 ~perm ~placement ~timeline:tl ()
+    in
+    let rj =
+      Sim.Runner.degradation_replay ~jobs ~perm ~placement ~timeline:tl ()
+    in
+    if r1 <> rj then fail name "replay differs across jobs";
+    Printf.printf
+      "replay %s: unavail_steps=%d worst_violation=%.4f mean_cost_ratio=%.4f\n"
+      name rj.Sim.Runner.unavail_steps rj.Sim.Runner.worst_violation
+      rj.Sim.Runner.mean_cost_ratio
+  | [] -> ());
+  Printf.printf "\navail validation: %s\n%!"
+    (if !violations = 0 then "all checks passed"
+     else Printf.sprintf "%d violations" !violations)
+
 (* --- tree figure: how much the rule-of-thumb leaves on the table ---------- *)
 
 (* On trees the general bound is the exact optimum (the DP), so the
@@ -849,6 +1040,131 @@ let figtree ?csv_dir ~seed ~jobs () =
       ~xlabel:"QoS" series;
     Report.print_timing ~title:"figtree" ~jobs ~elapsed_s timing;
     maybe_write_csv ~csv_dir ~name series)
+
+(* --- avail figure: fragility frontier vs the scenario-LP bound ------------ *)
+
+(* Every deployed heuristic is sized at the nominal goal as in fig2, then
+   re-priced under the sampled correlated-failure scenarios: the table
+   ranks heuristics by fragility (expected degraded-cost blow-up) and
+   compares their expected degraded cost against the class-level scenario
+   LP (a certified lower bound for every goal-meeting placement). A
+   degradation replay over the failure timeline adds the temporal view.
+   Timings go to stderr; stdout is deterministic. *)
+let figavail ~seed ~scale ~scenarios:scenario_count ~jobs workload =
+  let cs = CS.make ~seed ~scale workload in
+  let fraction = 0.95 in
+  let sim_spec = CS.qos_spec cs ~fraction ~for_bounds:false () in
+  let bound_spec = CS.qos_spec cs ~fraction ~for_bounds:true () in
+  let sys = sim_spec.Mcperf.Spec.system in
+  let groups = Avail.Groups.derive sys in
+  let sspec =
+    {
+      Avail.Scenario.default with
+      Avail.Scenario.seed;
+      count = scenario_count;
+    }
+  in
+  let scenarios = Avail.Scenario.sample_all sspec sys ~groups in
+  let perm = Mcperf.Permission.compute sim_spec Mcperf.Classes.general in
+  Printf.printf
+    "\n=== figavail (%s): fragility frontier @ QoS %.2f (%d scenarios, %d \
+     failure groups, seed %d) ===\n"
+    (CS.workload_name workload) fraction (Array.length scenarios)
+    (Array.length groups) seed;
+  let t0 = Unix.gettimeofday () in
+  let runners =
+    [
+      (fun () -> Sim.Runner.lru_caching ~jobs ~spec:sim_spec ~trace:cs.CS.trace ());
+      (fun () ->
+        Sim.Runner.cooperative_caching ~jobs ~spec:sim_spec ~trace:cs.CS.trace ());
+      (fun () ->
+        Sim.Runner.caching_with_prefetch ~jobs ~spec:sim_spec ~trace:cs.CS.trace ());
+      (fun () ->
+        Sim.Runner.hierarchical_caching ~jobs ~spec:sim_spec ~trace:cs.CS.trace ());
+      (fun () -> Sim.Runner.greedy_global ~jobs ~spec:sim_spec ());
+      (fun () -> Sim.Runner.greedy_replica ~jobs ~spec:sim_spec ());
+    ]
+  in
+  let timeline = Avail.Scenario.timeline sspec sys ~groups in
+  let assessed =
+    List.filter_map
+      (fun run ->
+        match run () with
+        | Some (d : Sim.Runner.deployed) -> (
+          match d.Sim.Runner.placement with
+          | Some p ->
+            let a = Avail.Survive.assess ~jobs perm p ~scenarios in
+            let checks =
+              Bounds.Avail_bound.k_failure_check perm p ~groups ()
+            in
+            let survived =
+              Array.fold_left
+                (fun acc (c : Bounds.Avail_bound.group_check) ->
+                  if c.Bounds.Avail_bound.survives then acc + 1 else acc)
+                0 checks
+            in
+            let replay =
+              Sim.Runner.degradation_replay ~jobs ~perm ~placement:p ~timeline
+                ()
+            in
+            Some (d, a, survived, Array.length checks, replay)
+          | None -> None)
+        | None -> None)
+      runners
+  in
+  (* Rank by fragility, most robust first; ties break on the name. *)
+  let ranked =
+    List.stable_sort
+      (fun (d1, a1, _, _, _) (d2, a2, _, _, _) ->
+        match compare a1.Avail.Survive.fragility a2.Avail.Survive.fragility with
+        | 0 -> compare d1.Sim.Runner.name d2.Sim.Runner.name
+        | c -> c)
+      assessed
+  in
+  (* [cost] is the deployed, class-priced cost (as in fig2); [nominal]
+     and [expected] re-price the placement uniformly under the general
+     class, which is what fragility relates. *)
+  Printf.printf "%-28s %5s %10s %10s %10s %9s %9s %9s %6s %12s\n" "heuristic"
+    "param" "cost" "nominal" "expected" "fragility" "worstviol" "meanunav"
+    "k2-ok" "replay";
+  List.iter
+    (fun ((d : Sim.Runner.deployed), a, survived, total, (r : Sim.Runner.replay)) ->
+      Printf.printf
+        "%-28s %5d %10.1f %10.1f %10.1f %9.4f %9.4f %9.4f %3d/%-3d %5d/%d steps\n"
+        d.Sim.Runner.name d.Sim.Runner.parameter d.Sim.Runner.cost
+        a.Avail.Survive.base_cost a.Avail.Survive.expected_cost
+        a.Avail.Survive.fragility
+        a.Avail.Survive.worst_violation a.Avail.Survive.mean_unavailable
+        survived total r.Sim.Runner.unavail_steps
+        (Array.length r.Sim.Runner.steps))
+    ranked;
+  (* Class-level expected-cost bounds on the aggregated bound demand. *)
+  let chosen_cls, chosen_name =
+    match workload with
+    | CS.Web -> (Mcperf.Classes.storage_constrained, "storage-constrained")
+    | CS.Group ->
+      (Mcperf.Classes.replica_constrained_uniform, "replica-constrained")
+  in
+  Printf.printf "\n%-28s %12s %12s %8s %8s\n" "class" "nominal-lb"
+    "expected-lb" "vars" "solver";
+  List.iter
+    (fun (label, cls) ->
+      let nominal = Bounds.Pipeline.compute bound_spec cls in
+      let cell =
+        Bounds.Avail_bound.expected_cost_bound bound_spec cls ~scenarios
+      in
+      Printf.printf "%-28s %12.1f %12.1f %8d %8s\n" label
+        (if nominal.Bounds.Pipeline.feasible then
+           nominal.Bounds.Pipeline.lower_bound
+         else nan)
+        (if cell.Bounds.Avail_bound.feasible then
+           cell.Bounds.Avail_bound.expected_bound
+         else nan)
+        cell.Bounds.Avail_bound.vars
+        (if cell.Bounds.Avail_bound.exact then "simplex" else "pdhg"))
+    [ ("general", Mcperf.Classes.general); (chosen_name, chosen_cls) ];
+  Printf.eprintf "figavail %s: %.1fs\n%!" (CS.workload_name workload)
+    (Unix.gettimeofday () -. t0)
 
 (* --- scale figure: Lagrangian sweep on the CDN scale family --------------- *)
 
@@ -1114,9 +1430,9 @@ let csv_t =
 
 let faults_conv =
   let parse s =
-    match Util.Faults.parse s with
+    match Util.Faults.parse_result s with
     | Ok spec -> Ok spec
-    | Error msg -> Error (`Msg msg)
+    | Error e -> Error (`Msg (Util.Parse_error.to_string e))
   in
   let print ppf spec = Format.pp_print_string ppf (Util.Faults.to_string spec) in
   Arg.conv (parse, print)
@@ -1343,27 +1659,34 @@ let validate_cmd =
   let family_t =
     Arg.(
       value
-      & opt (enum [ ("default", `Default); ("tree", `Tree) ]) `Default
+      & opt
+          (enum [ ("default", `Default); ("tree", `Tree); ("avail", `Avail) ])
+          `Default
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:
             "Instance family to validate: $(b,default) cross-checks the \
              case-study instance; $(b,tree) runs the tree scenario family, \
              where the closest-allocation DP is the exact optimum and \
-             every other producer must sandwich it. Tree output carries no \
-             wall clocks, so runs at different $(b,--jobs) compare \
-             byte-for-byte.")
+             every other producer must sandwich it; $(b,avail) checks the \
+             correlated-failure sampler, the survivability evaluator and \
+             the expected-cost scenario LP against goal-meeting \
+             placements. Tree and avail output carries no wall clocks, so \
+             runs at different $(b,--jobs) compare byte-for-byte.")
   in
   let count_t =
     Arg.(
       value & opt int 10
       & info [ "count" ] ~docv:"N"
-          ~doc:"Tree-family instances to validate (tree family only).")
+          ~doc:
+            "Tree-family instances, or avail-family sampled scenarios, to \
+             validate.")
   in
   let run verbose seed family count jobs =
     setup_logs verbose;
     (match family with
     | `Default -> validate ~seed ()
-    | `Tree -> validate_tree ~seed ~count ~jobs:(resolve_jobs jobs) ());
+    | `Tree -> validate_tree ~seed ~count ~jobs:(resolve_jobs jobs) ()
+    | `Avail -> validate_avail ~seed ~count ~jobs:(resolve_jobs jobs) ());
     if !violations > 0 then exit 1
   in
   Cmd.v
@@ -1387,6 +1710,33 @@ let figtree_cmd =
           caching-class bound vs the proportional heuristic's deployed \
           cost, across QoS goals on a random tree.")
     Term.(const run $ verbose_t $ seed_t $ csv_t $ jobs_t)
+
+let figavail_cmd =
+  let scenarios_t =
+    Arg.(
+      value & opt int 32
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:"Sampled correlated-failure scenarios (default 32).")
+  in
+  let run verbose seed scale scenarios jobs workloads =
+    setup_logs verbose;
+    List.iter
+      (fun w -> figavail ~seed ~scale ~scenarios ~jobs:(resolve_jobs jobs) w)
+      workloads;
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "figavail"
+       ~doc:
+         "Availability figure: every deployed heuristic re-priced under \
+          sampled correlated-failure scenarios, ranked by fragility \
+          (expected degraded-cost blow-up), with worst-case k-failure \
+          survival per failure group and a degradation replay over a \
+          failure timeline — against the class-level expected-cost \
+          scenario LP bound. Deterministic stdout (timings on stderr).")
+    Term.(
+      const run $ verbose_t $ seed_t $ scale_t $ scenarios_t $ jobs_t
+      $ workload_t)
 
 let scale_cmd =
   let run verbose seed =
@@ -1454,8 +1804,8 @@ let main =
          "Regenerate the evaluation of 'Choosing Replica Placement \
           Heuristics for Wide-Area Systems' (ICDCS 2004).")
     [
-      fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; figscale_cmd; select_cmd;
-      scale_cmd;
+      fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; figscale_cmd; figavail_cmd;
+      select_cmd; scale_cmd;
       validate_cmd; ablation_cmd; workload_cmd; baselines_cmd; all_cmd;
     ]
 

@@ -1,0 +1,150 @@
+type spec = {
+  seed : int;
+  count : int;
+  group_prob : float;
+  node_prob : float;
+  origin_fails : bool;
+  steps : int;
+  repair_steps : int;
+}
+
+let default =
+  {
+    seed = 7;
+    count = 32;
+    group_prob = 0.08;
+    node_prob = 0.02;
+    origin_fails = true;
+    steps = 48;
+    repair_steps = 4;
+  }
+
+let validate s =
+  let prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Scenario: %s must be in [0,1]" name)
+  in
+  prob "group_prob" s.group_prob;
+  prob "node_prob" s.node_prob;
+  if s.count <= 0 then invalid_arg "Scenario: count must be positive";
+  if s.steps <= 0 then invalid_arg "Scenario: steps must be positive";
+  if s.repair_steps < 1 then
+    invalid_arg "Scenario: repair_steps must be at least 1"
+
+type t = { index : int; down : bool array }
+
+let down_count t =
+  Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.down
+
+let is_down t n = t.down.(n)
+
+let signature t =
+  let nodes = Array.length t.down in
+  let buf = Buffer.create ((nodes + 3) / 4) in
+  let nibble = ref 0 and bits = ref 0 in
+  let flush () =
+    Buffer.add_char buf "0123456789abcdef".[!nibble];
+    nibble := 0;
+    bits := 0
+  in
+  Array.iter
+    (fun d ->
+      if d then nibble := !nibble lor (1 lsl !bits);
+      incr bits;
+      if !bits = 4 then flush ())
+    t.down;
+  if !bits > 0 then flush ();
+  Buffer.contents buf
+
+(* All coins ride Util.Faults' FNV-1a + splitmix discipline; the spec's
+   seed goes through a private Faults spec so the decisions share nothing
+   with any ambient fault-injection spec. *)
+let coin ~seed ~kind ~key ~prob =
+  Util.Faults.decide
+    { Util.Faults.none with Util.Faults.seed }
+    ~kind ~key ~prob
+
+let sample spec (sys : Topology.System.t) ~(groups : Groups.t array) index =
+  validate spec;
+  let nodes = Topology.System.node_count sys in
+  let origin = sys.Topology.System.origin in
+  let down = Array.make nodes false in
+  Array.iter
+    (fun (g : Groups.t) ->
+      if
+        coin ~seed:spec.seed ~kind:"avail-group"
+          ~key:(Printf.sprintf "%s#%d" g.Groups.name index)
+          ~prob:spec.group_prob
+      then Array.iter (fun m -> down.(m) <- true) g.Groups.members)
+    groups;
+  for n = 0 to nodes - 1 do
+    if
+      coin ~seed:spec.seed ~kind:"avail-node"
+        ~key:(Printf.sprintf "n%d#%d" n index)
+        ~prob:spec.node_prob
+    then down.(n) <- true
+  done;
+  if not spec.origin_fails then down.(origin) <- false;
+  { index; down }
+
+let sample_all spec sys ~groups =
+  Array.init spec.count (fun i -> sample spec sys ~groups i)
+
+type timeline = { steps : int; down : bool array array }
+
+let timeline spec (sys : Topology.System.t) ~(groups : Groups.t array) =
+  validate spec;
+  let nodes = Topology.System.node_count sys in
+  let origin = sys.Topology.System.origin in
+  let down = Array.init spec.steps (fun _ -> Array.make nodes false) in
+  let mark_outage ~start ~duration mark =
+    for t = start to min (spec.steps - 1) (start + duration - 1) do
+      mark down.(t)
+    done
+  in
+  let duration ~kind key =
+    1 + (Util.Faults.hash ~seed:spec.seed ~kind key mod spec.repair_steps)
+  in
+  for t = 0 to spec.steps - 1 do
+    Array.iter
+      (fun (g : Groups.t) ->
+        let key = Printf.sprintf "%s@%d" g.Groups.name t in
+        if
+          coin ~seed:spec.seed ~kind:"avail-outage" ~key ~prob:spec.group_prob
+        then
+          mark_outage ~start:t
+            ~duration:(duration ~kind:"avail-repair" key)
+            (fun row ->
+              Array.iter (fun m -> row.(m) <- true) g.Groups.members))
+      groups;
+    for n = 0 to nodes - 1 do
+      let key = Printf.sprintf "n%d@%d" n t in
+      if
+        coin ~seed:spec.seed ~kind:"avail-node-outage" ~key
+          ~prob:spec.node_prob
+      then
+        mark_outage ~start:t
+          ~duration:(duration ~kind:"avail-node-repair" key)
+          (fun row -> row.(n) <- true)
+    done
+  done;
+  if not spec.origin_fails then
+    Array.iter (fun row -> row.(origin) <- false) down;
+  { steps = spec.steps; down }
+
+let render_timeline tl =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun t row ->
+      let downs = ref [] in
+      Array.iteri (fun n d -> if d then downs := n :: !downs) row;
+      let text =
+        match List.rev !downs with
+        | [] -> "-"
+        | ids ->
+          Printf.sprintf "[%s]"
+            (String.concat "," (List.map string_of_int ids))
+      in
+      Buffer.add_string buf (Printf.sprintf "step %02d: down=%s\n" t text))
+    tl.down;
+  Buffer.contents buf

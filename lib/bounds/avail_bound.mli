@@ -1,0 +1,94 @@
+(** Availability-aware bound producers (the scenario side of the
+    pipeline).
+
+    Two producers ride alongside {!Pipeline.compute}'s nominal bound:
+
+    {b Expected-cost scenario LP.} For a sampled correlated-failure
+    scenario set (uniform weights), any placement's expected degraded
+    cost — {!Avail.Survive.degrade} averaged over the scenarios — is
+    bounded below by an LP: the MC-PERF storage/creation relaxation,
+    the nominal QoS rows (the placement must meet the goal when
+    everything is up), and per-scenario coverage terms pricing each
+    read cell at its degraded fallback (the origin's latency penalty
+    while the origin survives, {!Avail.Survive.miss_penalty} when it
+    does not; reads from failed client sites pay the miss price
+    outright). Coverage by a {e surviving} reachable replica discharges
+    the price. Class storage/replica couplings are deliberately
+    relaxed (padding is not charged), so the optimum is a valid — if
+    slightly loose — lower bound for every placement of the class, and
+    for the general class a bound on {e every} evaluated placement.
+
+    Only the QoS rows read the target fraction, so a fraction sweep
+    patches their rhs ({!Lp.Problem.with_rhs}) and reuses the prepared
+    PDHG image ({!Lp.Pdhg.prepare}[ ?reuse]) plus the previous
+    iterates, exactly like the nominal sweep cache.
+
+    {b Worst-case k-failure check.} For each failure group, fail its
+    worst [k] members (exhaustively for small groups, by demand-severity
+    otherwise) and re-price the placement; a placement "survives" a
+    group when the worst-case QoS-violation fraction stays within the
+    goal's allowance. *)
+
+type cell = {
+  class_name : string;
+  fraction : float;  (** nominal QoS target the cell was solved at *)
+  feasible : bool;
+  expected_bound : float;
+      (** certified lower bound on the expected degraded cost of any
+          class placement meeting the goal; [infinity] when infeasible *)
+  nominal_vars : int;  (** variables in the nominal part of the model *)
+  vars : int;
+  rows : int;
+  exact : bool;  (** solved by the exact simplex *)
+  iterations : int;  (** PDHG iterations (0 for simplex) *)
+  reused : bool;  (** prepared image + warm start carried over *)
+}
+
+val expected_cost_cells :
+  ?solver:Pipeline.solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  scenarios:Avail.Scenario.t array ->
+  fractions:float list ->
+  cell list
+(** One cell per fraction, in input order (sweep ascending to profit
+    from warm starts). Requires a QoS-goal spec and a non-empty
+    scenario set. Results are a pure function of
+    (spec, class, scenarios, fraction) — byte-identical at any
+    parallelism level of the caller. *)
+
+val expected_cost_bound :
+  ?solver:Pipeline.solver ->
+  ?placeable:bool array ->
+  Mcperf.Spec.t ->
+  Mcperf.Classes.t ->
+  scenarios:Avail.Scenario.t array ->
+  cell
+(** The single-fraction convenience: the spec's own goal fraction. *)
+
+type group_check = {
+  group : string;
+  size : int;
+  failed : int array;  (** the worst-case member subset that was failed *)
+  violation : float;  (** QoS-violation fraction under that failure *)
+  unavail_fraction : float;
+  cost_ratio : float;  (** degraded cost / nominal cost *)
+  survives : bool;  (** [violation <= max_violation] *)
+}
+
+val k_failure_check :
+  ?k:int ->
+  ?max_violation:float ->
+  Mcperf.Permission.t ->
+  Mcperf.Costing.placement ->
+  groups:Avail.Groups.t array ->
+  unit ->
+  group_check array
+(** Worst-case [k]-failure (default 2) per group, one entry per group in
+    group order. Subsets are enumerated exhaustively while [size choose
+    k] stays small (<= 2048) and otherwise seeded greedily from the
+    members hosting the most weighted demand and replica mass; either
+    way the choice is deterministic. [max_violation] defaults to the
+    goal's own allowance ([1 - fraction] for QoS goals, 0 for
+    average-latency goals). *)

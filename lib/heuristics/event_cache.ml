@@ -52,6 +52,7 @@ type outcome = {
   provisioned_cost : float;
   occupancy_cost : float;
   write_messages : float;
+  placement : Mcperf.Costing.placement;
 }
 
 let meets_qos outcome ~fraction =
@@ -65,6 +66,8 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
     invalid_arg "Event_cache.simulate: at most 62 nodes supported";
   if capacity < 0 then invalid_arg "Event_cache.simulate: negative capacity";
   if intervals <= 0 then invalid_arg "Event_cache.simulate: intervals must be positive";
+  if intervals > 62 then
+    invalid_arg "Event_cache.simulate: at most 62 intervals supported";
   let origin = system.Topology.System.origin in
   let placeable =
     match placeable with
@@ -107,6 +110,10 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
   let latency_sum = Array.make nodes 0. in
   let occupancy = ref 0. in
   let write_messages = ref 0. in
+  (* End-of-interval snapshots of the cache contents, as MC-PERF
+     placement bitmasks (bit [i]: cached when interval [i] closed) — the
+     survivability layer re-prices these under failure scenarios. *)
+  let placement = Array.make_matrix nodes objects 0 in
   let interval_s = Workload.Trace.duration_s trace /. float_of_int intervals in
   let cache_insert n k =
     if n <> origin && placeable.(n) && capacity > 0 then begin
@@ -169,15 +176,22 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
       end
     done
   in
+  (* Occupancy and placement are sampled together when an interval
+     closes. *)
+  let sample_interval iv =
+    for n = 0 to nodes - 1 do
+      if n <> origin then begin
+        occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n));
+        List.iter
+          (fun k -> placement.(n).(k) <- placement.(n).(k) lor (1 lsl iv))
+          (Policy_cache.contents caches.(n))
+      end
+    done
+  in
   let current_interval = ref (-1) in
   let enter_interval i =
     while !current_interval < i do
-      (* Occupancy is sampled at the end of each elapsed interval. *)
-      if !current_interval >= 0 then
-        for n = 0 to nodes - 1 do
-          if n <> origin then
-            occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n))
-        done;
+      if !current_interval >= 0 then sample_interval !current_interval;
       incr current_interval;
       if prefetch && !current_interval < intervals then
         run_prefetch !current_interval
@@ -249,11 +263,8 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
         if lat <= tlat_ms then covered.(n) <- covered.(n) + 1)
     trace;
   enter_interval (intervals - 1);
-  (* Final interval's occupancy sample. *)
-  for n = 0 to nodes - 1 do
-    if n <> origin then
-      occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n))
-  done;
+  (* Final interval's sample. *)
+  sample_interval (intervals - 1);
   let qos =
     Array.init nodes (fun n ->
         if totals.(n) = 0 then 1.
@@ -290,4 +301,5 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
     occupancy_cost =
       (costs.Mcperf.Spec.alpha *. !occupancy) +. creation_cost +. write_cost;
     write_messages = !write_messages;
+    placement;
   }

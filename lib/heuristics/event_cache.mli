@@ -51,6 +51,11 @@ type outcome = {
   provisioned_cost : float;
   occupancy_cost : float;
   write_messages : float;  (** update messages sent to caches (delta > 0) *)
+  placement : Mcperf.Costing.placement;
+      (** end-of-interval cache contents as MC-PERF placement bitmasks
+          ([placement.(n).(k)] bit [i]: node [n] held object [k] when
+          interval [i] closed) — what the availability layer re-prices
+          under failure scenarios *)
 }
 
 val simulate :
@@ -68,7 +73,8 @@ val simulate :
   unit ->
   outcome
 (** Requires at most 62 nodes (the cooperative directory uses bitmask
-    holder sets) and [capacity >= 0]. [placeable] limits which sites run a
+    holder sets), at most 62 intervals (placement snapshots are interval
+    bitmasks) and [capacity >= 0]. [placeable] limits which sites run a
     cache (deployment scenario); non-placeable sites forward every access
     and pay no provisioned storage. [policy] selects the replacement
     policy (default [Lru]); all policies belong to the same heuristic

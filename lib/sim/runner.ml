@@ -8,6 +8,7 @@ type deployed = {
   cost : float;
   worst_qos : float;
   detail : detail;
+  placement : Mcperf.Costing.placement option;
 }
 
 let worst arr = Array.fold_left Float.min 1. arr
@@ -79,6 +80,7 @@ let cache_heuristic ?jobs ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace
         cost = o.Heuristics.Event_cache.provisioned_cost;
         worst_qos = worst o.Heuristics.Event_cache.qos;
         detail = Cache o;
+        placement = Some o.Heuristics.Event_cache.placement;
       }
 
 let lru_caching ?jobs ?placeable ~spec ~trace () =
@@ -125,6 +127,15 @@ let greedy_global ?jobs ?placeable ~spec () =
   | None -> None
   | Some capacity ->
     let e = eval_at capacity in
+    let perm =
+      Mcperf.Permission.compute ?placeable spec
+        Mcperf.Classes.storage_constrained
+    in
+    let p =
+      Heuristics.Greedy_global.place ~perm
+        ~capacity:(float_of_int capacity)
+        ()
+    in
     Some
       {
         name = "greedy-global";
@@ -132,6 +143,7 @@ let greedy_global ?jobs ?placeable ~spec () =
         cost = e.Mcperf.Costing.total;
         worst_qos = worst e.Mcperf.Costing.qos;
         detail = Placement e;
+        placement = Some p;
       }
 
 let greedy_replica ?jobs ?placeable ~spec () =
@@ -145,6 +157,11 @@ let greedy_replica ?jobs ?placeable ~spec () =
   | None -> None
   | Some replicas ->
     let e = eval_at replicas in
+    let perm =
+      Mcperf.Permission.compute ?placeable spec
+        Mcperf.Classes.replica_constrained_uniform
+    in
+    let p = Heuristics.Greedy_replica.place ~perm ~replicas () in
     Some
       {
         name = "greedy-replica";
@@ -152,4 +169,91 @@ let greedy_replica ?jobs ?placeable ~spec () =
         cost = e.Mcperf.Costing.total;
         worst_qos = worst e.Mcperf.Costing.qos;
         detail = Placement e;
+        placement = Some p;
       }
+
+(* --- degradation replay ------------------------------------------------- *)
+
+type replay_step = {
+  step : int;
+  down_count : int;
+  violation : float;
+  unavail_fraction : float;
+  degraded_cost : float;
+}
+
+type replay = {
+  steps : replay_step array;
+  base_cost : float;
+  mean_violation : float;
+  worst_violation : float;
+  mean_unavail : float;
+  unavail_steps : int;
+  mean_cost_ratio : float;
+  worst_cost_ratio : float;
+}
+
+let m_replay_steps = lazy (Obs.Metrics.counter "sim.replay_steps")
+
+let degradation_replay ?(jobs = 1) ~(perm : Mcperf.Permission.t) ~placement
+    ~(timeline : Avail.Scenario.timeline) () =
+  let nsteps = timeline.Avail.Scenario.steps in
+  if nsteps = 0 then invalid_arg "Runner.degradation_replay: empty timeline";
+  let sp =
+    Obs.Trace.span_begin "sim.degradation_replay"
+      ~attrs:[ ("steps", Obs.Trace.Int nsteps) ]
+  in
+  let base = Mcperf.Costing.evaluate perm placement in
+  let eval (t, down) =
+    let d = Avail.Survive.degrade ~base perm placement ~down in
+    {
+      step = t;
+      down_count = d.Avail.Survive.down_count;
+      violation = d.Avail.Survive.violation;
+      unavail_fraction = d.Avail.Survive.unavail_fraction;
+      degraded_cost = d.Avail.Survive.degraded_cost;
+    }
+  in
+  let tasks =
+    Array.to_list (Array.mapi (fun t down -> (t, down)) timeline.Avail.Scenario.down)
+  in
+  (* Each step is a pure function of (perm, placement, down mask), and
+     Parallel.map_values preserves order — replays are byte-identical at
+     every [jobs]. *)
+  let steps =
+    Array.of_list
+      (if jobs <= 1 then List.map eval tasks
+       else Util.Parallel.map_values ~jobs ~f:eval tasks)
+  in
+  Obs.Metrics.incr ~by:nsteps (Lazy.force m_replay_steps);
+  let n = float_of_int nsteps in
+  let sum f = Array.fold_left (fun acc s -> acc +. f s) 0. steps in
+  let worst_of f = Array.fold_left (fun acc s -> Float.max acc (f s)) 0. steps in
+  let base_cost = base.Mcperf.Costing.total in
+  let ratio s =
+    if base_cost > 0. then s.degraded_cost /. base_cost
+    else 1. +. s.degraded_cost
+  in
+  let r =
+    {
+      steps;
+      base_cost;
+      mean_violation = sum (fun s -> s.violation) /. n;
+      worst_violation = worst_of (fun s -> s.violation);
+      mean_unavail = sum (fun s -> s.unavail_fraction) /. n;
+      unavail_steps =
+        Array.fold_left
+          (fun acc s -> if s.unavail_fraction > 0. then acc + 1 else acc)
+          0 steps;
+      mean_cost_ratio = sum ratio /. n;
+      worst_cost_ratio = worst_of ratio;
+    }
+  in
+  Obs.Trace.span_end sp
+    ~attrs:
+      [
+        ("worst_violation", Obs.Trace.Float r.worst_violation);
+        ("mean_cost_ratio", Obs.Trace.Float r.mean_cost_ratio);
+        ("unavail_steps", Obs.Trace.Int r.unavail_steps);
+      ];
+  r

@@ -24,6 +24,12 @@ type deployed = {
   cost : float;
   worst_qos : float;  (** min per-user QoS achieved *)
   detail : detail;
+  placement : Mcperf.Costing.placement option;
+      (** the interval-granularity placement the deployment settled on —
+          cache heuristics report their end-of-interval snapshots, the
+          greedy heuristics their placed replicas — so every deployed
+          heuristic can be re-priced under failure scenarios
+          ({!Avail.Survive}, {!degradation_replay}) *)
 }
 
 val lru_caching :
@@ -100,6 +106,41 @@ val greedy_replica :
   deployed option
 (** Replica-constrained greedy placement with minimal uniform replication
     factor. *)
+
+type replay_step = {
+  step : int;
+  down_count : int;
+  violation : float;
+  unavail_fraction : float;
+  degraded_cost : float;
+}
+
+type replay = {
+  steps : replay_step array;  (** one per timeline step, in step order *)
+  base_cost : float;  (** nominal evaluation total *)
+  mean_violation : float;
+  worst_violation : float;
+  mean_unavail : float;
+  unavail_steps : int;  (** steps with any unavailability mass *)
+  mean_cost_ratio : float;
+  worst_cost_ratio : float;
+}
+
+val degradation_replay :
+  ?jobs:int ->
+  perm:Mcperf.Permission.t ->
+  placement:Mcperf.Costing.placement ->
+  timeline:Avail.Scenario.timeline ->
+  unit ->
+  replay
+(** Replay a placement against a failure timeline ({!Avail.Scenario}):
+    each step's down-mask re-prices the placement via
+    {!Avail.Survive.degrade} (closest {e surviving} replica, unavailability
+    mass on origin loss), emitting per-step violation/unavailability and
+    the aggregate fragility picture over the {!Obs} pipe
+    ([sim.degradation_replay] span, [sim.replay_steps] counter). Steps are
+    pure and order-preserved, so the replay is byte-identical at every
+    [jobs] value. Raises on an empty timeline. *)
 
 val cache_outcome_at :
   ?placeable:bool array ->

@@ -21,7 +21,14 @@ let is_none s =
   s.crash_prob = 0. && s.crash_every = 0 && s.stall_prob = 0.
   && s.diverge_prob = 0.
 
-let parse text =
+type error = Parse_error.t = { file : string; line : int; msg : string }
+
+let default_file = "<faults>"
+
+let parse_result ?(file = default_file) text =
+  let fail fmt =
+    Printf.ksprintf (fun msg -> Error { file; line = 0; msg }) fmt
+  in
   let text = String.trim text in
   if text = "" then Ok none
   else
@@ -30,7 +37,7 @@ let parse text =
       | Error _ as e -> e
       | Ok s -> (
           match String.index_opt field '=' with
-          | None -> Error (Printf.sprintf "fault spec: missing '=' in %S" field)
+          | None -> fail "missing '=' in %S" field
           | Some i ->
               let key = String.trim (String.sub field 0 i) in
               let v =
@@ -41,28 +48,17 @@ let parse text =
                 match float_of_string_opt v with
                 | Some p when p >= 0. && p <= 1. -> Ok (set p)
                 | _ ->
-                    Error
-                      (Printf.sprintf
-                         "fault spec: %s must be a probability in [0,1], got %S"
-                         key v)
+                    fail "%s must be a probability in [0,1], got %S" key v
               in
               let nonneg_float set =
                 match float_of_string_opt v with
                 | Some x when x >= 0. && Float.is_finite x -> Ok (set x)
-                | _ ->
-                    Error
-                      (Printf.sprintf
-                         "fault spec: %s must be a non-negative number, got %S"
-                         key v)
+                | _ -> fail "%s must be a non-negative number, got %S" key v
               in
               let nonneg_int set =
                 match int_of_string_opt v with
                 | Some n when n >= 0 -> Ok (set n)
-                | _ ->
-                    Error
-                      (Printf.sprintf
-                         "fault spec: %s must be a non-negative integer, got %S"
-                         key v)
+                | _ -> fail "%s must be a non-negative integer, got %S" key v
               in
               match key with
               | "seed" -> nonneg_int (fun n -> { s with seed = n })
@@ -71,9 +67,14 @@ let parse text =
               | "stall" -> prob (fun p -> { s with stall_prob = p })
               | "stall_s" -> nonneg_float (fun x -> { s with stall_s = x })
               | "diverge" -> prob (fun p -> { s with diverge_prob = p })
-              | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
+              | _ -> fail "unknown key %S" key)
     in
     List.fold_left parse_field (Ok none) (String.split_on_char ',' text)
+
+(* Legacy string-message wrapper: the historical messages carried a
+   "fault spec: " prefix instead of the error record's file label. *)
+let parse text =
+  Result.map_error (fun e -> "fault spec: " ^ e.msg) (parse_result text)
 
 let to_string s =
   if is_none s then ""
@@ -92,8 +93,13 @@ let to_string s =
 
 let env_var = "REPLICA_FAULTS"
 
+let of_env_result () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok none
+  | Some text -> parse_result ~file:("$" ^ env_var) text
+
 let of_env () =
-  match Sys.getenv_opt env_var with None -> Ok none | Some text -> parse text
+  Result.map_error (fun (e : error) -> "fault spec: " ^ e.msg) (of_env_result ())
 
 let state = ref none
 let install s = state := s

@@ -45,12 +45,22 @@ val none : spec
 
 val is_none : spec -> bool
 
-val parse : string -> (spec, string) Stdlib.result
+type error = Parse_error.t = { file : string; line : int; msg : string }
+(** Structured parse failure, shared with the other text-format loaders
+    ({!Parse_error}). [line] is always 0: fault specs are single-line
+    strings, not files. *)
+
+val parse_result : ?file:string -> string -> (spec, error) Stdlib.result
 (** Parse a comma-separated [key=value] spec, e.g.
     ["seed=42,crash=0.2,diverge=0.1"] or ["crash_every=3,stall=0.05,stall_s=1"].
     Keys: [seed], [crash], [crash_every], [stall], [stall_s], [diverge].
     Probabilities must lie in [\[0, 1\]]. The empty string parses to
-    {!none}. *)
+    {!none}. [file] labels the error's [file] field (default
+    ["<faults>"]; CLI and env callers pass their own source label). *)
+
+val parse : string -> (spec, string) Stdlib.result
+(** Legacy wrapper around {!parse_result}: the error rendered as the
+    historical ["fault spec: ..."] message. *)
 
 val to_string : spec -> string
 (** Round-trips through {!parse}; [""] for {!none}. *)
@@ -58,8 +68,13 @@ val to_string : spec -> string
 val env_var : string
 (** ["REPLICA_FAULTS"] — read by {!of_env}. *)
 
+val of_env_result : unit -> (spec, error) Stdlib.result
+(** Parse {!env_var} from the environment ({!none} when unset). The
+    error's [file] field is ["$REPLICA_FAULTS"]. *)
+
 val of_env : unit -> (spec, string) Stdlib.result
-(** Parse {!env_var} from the environment ({!none} when unset). *)
+(** Legacy wrapper around {!of_env_result} with the historical string
+    message. *)
 
 val install : spec -> unit
 (** Set the ambient spec for this process (and, through [fork], for any
@@ -69,6 +84,13 @@ val current : unit -> spec
 
 val active : unit -> bool
 (** [not (is_none (current ()))]. *)
+
+val hash : seed:int -> kind:string -> string -> int
+(** The FNV-1a hash behind {!decide}: a non-negative integer that is a
+    pure function of ([seed], [kind], key). Exposed so other
+    deterministic samplers (the availability scenario sampler) can
+    derive stable per-key integers — outage durations, scenario
+    memberships — with the same seeding discipline. *)
 
 val decide : spec -> kind:string -> key:string -> prob:float -> bool
 (** The pure core: a deterministic coin flip for ([spec.seed], [kind],

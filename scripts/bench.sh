@@ -11,6 +11,9 @@
 # JSONL trace) so the always-on guards stay effectively free. The tree
 # benchmark times the exact tree DP against the forced LP producers on
 # the same cells, so the third producer's speedup claim stays measured.
+# The avail benchmark prices the availability layer: degradation-replay
+# throughput, the reference placement's fragility, and the scenario LP's
+# overhead over a plain nominal sweep.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -20,6 +23,7 @@ dune build bench/main.exe
 ./_build/default/bench/main.exe obs
 ./_build/default/bench/main.exe tree
 ./_build/default/bench/main.exe scale
+./_build/default/bench/main.exe avail
 
 # One summary row: pull the headline numbers out of the two JSON files.
 json_num() { # json_num FILE KEY (anchored so KEY never matches a suffix)
@@ -53,7 +57,7 @@ json_qcount_deadline() { # json_qcount_deadline FILE KEY
 }
 
 log=BENCH_LOG.tsv
-header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio\ttree_dp_s\ttree_lp_s\ttree_dp_speedup\tscale_nodes\tscale_objects\tscale_sweep_s\tscale_bundle_ratio'
+header='timestamp\tcommit\tpdhg_iters_per_s\tper_iteration_speedup\tsweep_sequential_s\tend_to_end_speedup\tsweep_parallel_s\tfaulted_parallel_s\tfault_overhead_ratio\tfault_pdhg_retries\tfault_simplex_fallbacks\tfault_worker_deaths\tfault_respawns\tdeadline_budget_s\tdeadline_elapsed_s\tdeadline_within_budget\tdeadline_time_budget_cells\tdeadline_iter_budget_cells\tobs_null_overhead_ratio\tobs_jsonl_overhead_ratio\ttree_dp_s\ttree_lp_s\ttree_dp_speedup\tscale_nodes\tscale_objects\tscale_sweep_s\tscale_bundle_ratio\tavail_scenarios\tavail_replay_s\tavail_fragility'
 # An early bench.sh rotated to an unnumbered "$log.old", which the next
 # rotation would clobber. Fold any such straggler into the numbered
 # scheme before rotating.
@@ -76,7 +80,7 @@ if [ ! -f "$log" ]; then
   printf "$header\n" > "$log"
 fi
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   "$commit" \
   "$(json_num BENCH_lp.json fused_iters_per_s)" \
@@ -104,6 +108,9 @@ printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t
   "$(json_num BENCH_scale.json scale_objects)" \
   "$(json_num BENCH_scale.json scale_sweep_s)" \
   "$(json_num BENCH_scale.json bundle_ratio)" \
+  "$(json_num BENCH_avail.json avail_scenarios)" \
+  "$(json_num BENCH_avail.json avail_replay_s)" \
+  "$(json_num BENCH_avail.json avail_fragility)" \
   >> "$log"
 echo "appended to $log:"
 tail -n 1 "$log"

@@ -98,3 +98,24 @@ cmp "$scaledir/j1.out" "$scaledir/j4.out" \
 grep -q 'scale checks passed' "$scaledir/j1.out" \
   || { echo "scale stage: bound-sandwich or bundling-exactness gate failed"; exit 1; }
 echo "scale stage OK: $(sed -n 's/^bundling: .*(\(.*\)x).*/\1/p' "$scaledir/j1.out")x bundle ratio, outputs identical across --jobs"
+
+# Avail stage: the availability validation family checks the sampler's
+# determinism, the all-up/monotonicity laws of the degraded re-pricer,
+# the scenario LP's lower-bound validity against every evaluated
+# placement, and the k-failure survival flags — and its output prints no
+# wall clocks, so the sequential and four-worker runs must agree to the
+# byte (scenario sampling, assessment and replay are all seeded FNV
+# decisions, never scheduling).
+echo "== avail stage: availability validation at --jobs 1 and 4 =="
+availdir=_build/avail-check
+rm -rf "$availdir"
+mkdir -p "$availdir"
+./_build/default/bin/experiments.exe validate --family avail --count 6 \
+  --jobs 1 > "$availdir/j1.out"
+./_build/default/bin/experiments.exe validate --family avail --count 6 \
+  --jobs 4 > "$availdir/j4.out"
+cmp "$availdir/j1.out" "$availdir/j4.out" \
+  || { echo "avail stage: validate output differs across --jobs"; exit 1; }
+grep -q 'all checks passed' "$availdir/j1.out" \
+  || { echo "avail stage: availability law violations"; exit 1; }
+echo "avail stage OK: $(grep -c 'k2:' "$availdir/j1.out") placements checked, outputs identical across --jobs"

@@ -1,0 +1,265 @@
+(* Availability layer: the laws the failure machinery rests on.
+
+   - the scenario sampler and outage timeline are pure functions of
+     (spec, system, groups) — regeneration is byte-identical, and the
+     committed golden fixture pins the timeline's text rendering;
+   - degraded re-pricing reproduces the nominal total under an all-up
+     mask and is monotone in the failure set (failing more nodes can
+     never make a placement cheaper — the miss penalty is priced at
+     least as high as the worst late service);
+   - assessments and replays are identical at every jobs value;
+   - the scenario LP is a valid lower bound on the measured expected
+     degraded cost of a goal-meeting placement;
+   - Util.Faults surfaces structured Parse_error values with the legacy
+     string wrappers layered on top. *)
+
+module CS = Replica_select.Case_study
+
+(* One small fixture shared by every test: deterministic in CS.make's
+   default seed, cheap enough for property iteration. *)
+let cs = CS.make ~nodes:6 ~intervals:6 ~scale:0.005 CS.Web
+let sys = cs.CS.system
+let groups = Avail.Groups.derive sys
+let spec = CS.qos_spec cs ~fraction:0.9 ~for_bounds:true ()
+let perm = Mcperf.Permission.compute spec Mcperf.Classes.general
+let nodes = Topology.System.node_count sys
+
+let scenarios =
+  Avail.Scenario.sample_all Avail.Scenario.default sys ~groups
+
+let deployed =
+  match Sim.Runner.greedy_global ~spec () with
+  | Some d -> d
+  | None -> Alcotest.fail "fixture: greedy-global found no feasible placement"
+
+let placement =
+  match deployed.Sim.Runner.placement with
+  | Some p -> p
+  | None -> Alcotest.fail "fixture: deployment carries no placement"
+
+let base = lazy (Mcperf.Costing.evaluate perm placement)
+
+(* --- sampler determinism -------------------------------------------------- *)
+
+let test_sampler_deterministic () =
+  let sig_of ss =
+    Array.to_list (Array.map Avail.Scenario.signature ss)
+  in
+  let a = Avail.Scenario.sample_all Avail.Scenario.default sys ~groups in
+  let b = Avail.Scenario.sample_all Avail.Scenario.default sys ~groups in
+  Alcotest.(check (list string))
+    "two draws of the same spec agree" (sig_of a) (sig_of b);
+  let other =
+    Avail.Scenario.sample_all
+      { Avail.Scenario.default with Avail.Scenario.seed = 8 }
+      sys ~groups
+  in
+  Alcotest.(check bool)
+    "a different seed draws a different scenario set" true
+    (sig_of a <> sig_of other)
+
+let test_sampler_respects_origin_flag () =
+  let spec_noorigin =
+    {
+      Avail.Scenario.default with
+      Avail.Scenario.node_prob = 0.5;
+      origin_fails = false;
+      count = 64;
+    }
+  in
+  let ss = Avail.Scenario.sample_all spec_noorigin sys ~groups in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "origin never fails when origin_fails is false" false
+        (Avail.Scenario.is_down s sys.Topology.System.origin))
+    ss
+
+(* --- golden timeline fixture ---------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_timeline_spec =
+  { Avail.Scenario.default with Avail.Scenario.steps = 16 }
+
+let test_timeline_golden () =
+  let tl = Avail.Scenario.timeline golden_timeline_spec sys ~groups in
+  let rendered = Avail.Scenario.render_timeline tl in
+  let golden = read_file "fixtures/avail_timeline.golden" in
+  Alcotest.(check string)
+    "seeded timeline matches the committed fixture" golden rendered;
+  let tl2 = Avail.Scenario.timeline golden_timeline_spec sys ~groups in
+  Alcotest.(check string)
+    "regeneration is byte-identical" rendered
+    (Avail.Scenario.render_timeline tl2)
+
+(* --- degraded re-pricing laws --------------------------------------------- *)
+
+let test_all_up_equals_nominal () =
+  let d =
+    Avail.Survive.degrade ~base:(Lazy.force base) perm placement
+      ~down:(Array.make nodes false)
+  in
+  let total = (Lazy.force base).Mcperf.Costing.total in
+  Alcotest.(check (float (1e-9 *. (1. +. Float.abs total))))
+    "all-up degraded cost is the nominal total" total
+    d.Avail.Survive.degraded_cost;
+  Alcotest.(check (float 1e-12)) "no unavailability when all up" 0.
+    d.Avail.Survive.unavail_fraction
+
+(* Growing the failure set can only raise the degraded cost: every read
+   that was served keeps its price or moves to a pricier fallback, and an
+   unavailable read pays at least the worst late service. The generator
+   draws a random down-set as a node bitmask plus one extra node to add. *)
+let prop_degraded_cost_monotone =
+  QCheck2.Test.make ~count:200
+    ~name:"degraded cost is monotone in the failure set"
+    QCheck2.Gen.(pair (int_range 0 ((1 lsl nodes) - 1)) (int_range 0 (nodes - 1)))
+    (fun (mask, extra) ->
+      let down = Array.init nodes (fun n -> mask land (1 lsl n) <> 0) in
+      let d_small =
+        Avail.Survive.degrade ~base:(Lazy.force base) perm placement ~down
+      in
+      let bigger = Array.copy down in
+      bigger.(extra) <- true;
+      let d_big =
+        Avail.Survive.degrade ~base:(Lazy.force base) perm placement
+          ~down:bigger
+      in
+      let tol = 1e-9 *. (1. +. Float.abs d_small.Avail.Survive.degraded_cost) in
+      d_big.Avail.Survive.degraded_cost
+      >= d_small.Avail.Survive.degraded_cost -. tol)
+
+let test_assess_jobs_invariant () =
+  let a1 = Avail.Survive.assess ~jobs:1 perm placement ~scenarios in
+  let a4 = Avail.Survive.assess ~jobs:4 perm placement ~scenarios in
+  Alcotest.(check bool) "assessment identical at jobs 1 and 4" true (a1 = a4)
+
+let test_replay_jobs_invariant () =
+  let tl = Avail.Scenario.timeline golden_timeline_spec sys ~groups in
+  let r1 =
+    Sim.Runner.degradation_replay ~jobs:1 ~perm ~placement ~timeline:tl ()
+  in
+  let r4 =
+    Sim.Runner.degradation_replay ~jobs:4 ~perm ~placement ~timeline:tl ()
+  in
+  Alcotest.(check bool) "replay identical at jobs 1 and 4" true (r1 = r4);
+  Alcotest.(check int) "one step per timeline step"
+    tl.Avail.Scenario.steps
+    (Array.length r1.Sim.Runner.steps)
+
+(* --- scenario LP validity ------------------------------------------------- *)
+
+let test_scenario_lp_bounds_expected_cost () =
+  Alcotest.(check bool) "fixture placement meets the goal" true
+    (Lazy.force base).Mcperf.Costing.meets_goal;
+  let cell =
+    Bounds.Avail_bound.expected_cost_bound spec Mcperf.Classes.general
+      ~scenarios
+  in
+  Alcotest.(check bool) "scenario LP cell is feasible" true
+    cell.Bounds.Avail_bound.feasible;
+  let a = Avail.Survive.assess perm placement ~scenarios in
+  let lb = cell.Bounds.Avail_bound.expected_bound in
+  Alcotest.(check bool)
+    (Printf.sprintf "LP bound %.4f <= measured expected cost %.4f" lb
+       a.Avail.Survive.expected_cost)
+    true
+    (lb <= a.Avail.Survive.expected_cost
+           +. (1e-6 *. (1. +. Float.abs a.Avail.Survive.expected_cost)))
+
+let test_k_failure_flags_consistent () =
+  let checks = Bounds.Avail_bound.k_failure_check perm placement ~groups () in
+  Alcotest.(check int) "one check per group" (Array.length groups)
+    (Array.length checks);
+  Array.iter
+    (fun (c : Bounds.Avail_bound.group_check) ->
+      Alcotest.(check bool)
+        (c.Bounds.Avail_bound.group ^ ": survives flag matches its violation")
+        (c.Bounds.Avail_bound.violation <= 0.1 +. 1e-12)
+        c.Bounds.Avail_bound.survives;
+      Alcotest.(check bool)
+        (c.Bounds.Avail_bound.group ^ ": failed set within the group and k")
+        true
+        (Array.length c.Bounds.Avail_bound.failed <= 2
+        && Array.for_all
+             (fun m -> Array.mem m (Array.find_opt (fun (g : Avail.Groups.t) -> g.Avail.Groups.name = c.Bounds.Avail_bound.group) groups |> Option.get).Avail.Groups.members)
+             c.Bounds.Avail_bound.failed))
+    checks
+
+(* --- Util.Faults structured parse errors ---------------------------------- *)
+
+let test_faults_parse_result_ok () =
+  match Util.Faults.parse_result "seed=42,crash=0.25,diverge=0.1" with
+  | Error e -> Alcotest.fail (Util.Parse_error.to_string e)
+  | Ok s ->
+    Alcotest.(check int) "seed" 42 s.Util.Faults.seed;
+    Alcotest.(check (float 0.)) "crash" 0.25 s.Util.Faults.crash_prob;
+    Alcotest.(check (float 0.)) "diverge" 0.1 s.Util.Faults.diverge_prob
+
+let test_faults_parse_result_error_fields () =
+  (match Util.Faults.parse_result "crash=1.5" with
+  | Ok _ -> Alcotest.fail "out-of-range probability accepted"
+  | Error e ->
+    Alcotest.(check string) "default file label" "<faults>" e.Util.Faults.file;
+    Alcotest.(check int) "single-line specs report line 0" 0
+      e.Util.Faults.line;
+    Alcotest.(check bool) "message names the offending key" true
+      (String.length e.Util.Faults.msg > 0));
+  match Util.Faults.parse_result ~file:"cli" "bogus" with
+  | Ok _ -> Alcotest.fail "malformed spec accepted"
+  | Error e ->
+    Alcotest.(check string) "caller's file label is preserved" "cli"
+      e.Util.Faults.file
+
+let test_faults_legacy_wrapper () =
+  match Util.Faults.parse "crash=2" with
+  | Ok _ -> Alcotest.fail "out-of-range probability accepted"
+  | Error msg ->
+    Alcotest.(check bool)
+      "legacy wrapper keeps the historical prefix" true
+      (String.length msg >= 11 && String.sub msg 0 11 = "fault spec:")
+
+let () =
+  Alcotest.run "avail"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "sampler deterministic" `Quick
+            test_sampler_deterministic;
+          Alcotest.test_case "origin_fails=false pins the origin" `Quick
+            test_sampler_respects_origin_flag;
+          Alcotest.test_case "timeline golden fixture" `Quick
+            test_timeline_golden;
+        ] );
+      ( "survive",
+        [
+          Alcotest.test_case "all-up equals nominal" `Quick
+            test_all_up_equals_nominal;
+          QCheck_alcotest.to_alcotest prop_degraded_cost_monotone;
+          Alcotest.test_case "assess jobs-invariant" `Quick
+            test_assess_jobs_invariant;
+          Alcotest.test_case "replay jobs-invariant" `Quick
+            test_replay_jobs_invariant;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "scenario LP bounds expected cost" `Quick
+            test_scenario_lp_bounds_expected_cost;
+          Alcotest.test_case "k-failure flags consistent" `Quick
+            test_k_failure_flags_consistent;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "parse_result ok" `Quick
+            test_faults_parse_result_ok;
+          Alcotest.test_case "parse_result error fields" `Quick
+            test_faults_parse_result_error_fields;
+          Alcotest.test_case "legacy wrapper prefix" `Quick
+            test_faults_legacy_wrapper;
+        ] );
+    ]
