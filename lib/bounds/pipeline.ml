@@ -796,12 +796,20 @@ let string_of_hex h =
 let journal_header fingerprint =
   Printf.sprintf "%s fingerprint=%s" journal_magic fingerprint
 
-(* Load the completed-cell table from a journal. Tolerant by design: a
-   missing file, a stale fingerprint, or a corrupt/truncated tail just
-   mean fewer cached cells — the sweep recomputes whatever is absent. *)
-let load_journal ~fingerprint path : (string, t * float) Hashtbl.t =
-  let tbl = Hashtbl.create 32 in
-  if not (Sys.file_exists path) then tbl
+(* Why a journal scan stopped. One scanner backs both loader APIs: the
+   strict result-first [load_journal_result] maps every non-complete
+   stop onto a structured [Util.Parse_error.t], while the tolerant
+   [load_journal] keeps the historical never-fails contract (fewer
+   cached cells, a warning, never an error). *)
+type journal_scan_stop =
+  | Scan_complete
+  | Scan_missing  (** no file at the path *)
+  | Scan_no_header  (** empty file: not even a header line *)
+  | Scan_header_mismatch  (** wrong magic or fingerprint on line 1 *)
+  | Scan_bad_record of int * string  (** 1-based line number, defect *)
+
+let scan_journal ~fingerprint path =
+  if not (Sys.file_exists path) then ([], Scan_missing)
   else begin
     let ic = open_in_bin path in
     let lines = ref [] in
@@ -812,51 +820,102 @@ let load_journal ~fingerprint path : (string, t * float) Hashtbl.t =
      with End_of_file -> ());
     close_in ic;
     match List.rev !lines with
-    | [] -> tbl
+    | [] -> ([], Scan_no_header)
     | header :: records ->
-      if not (String.equal header (journal_header fingerprint)) then begin
-        Log.warn (fun f ->
-            f
-              "journal %s does not match this sweep (different classes, \
-               fractions or threshold): ignoring it"
-              path);
-        tbl
-      end
+      if not (String.equal header (journal_header fingerprint)) then
+        ([], Scan_header_mismatch)
       else begin
+        let entries = ref [] in
+        let stop = ref Scan_complete in
         (try
-           List.iter
-             (fun line ->
-               if String.trim line = "" then raise Exit;
+           List.iteri
+             (fun i line ->
+               let bad msg =
+                 stop := Scan_bad_record (i + 2, msg);
+                 raise Exit
+               in
+               if String.trim line = "" then bad "empty record line";
                match String.index_opt line ' ' with
-               | None -> raise Exit
-               | Some i -> (
-                 let digest = String.sub line 0 i in
+               | None -> bad "missing digest separator"
+               | Some j -> (
+                 let digest = String.sub line 0 j in
                  let payload_hex =
-                   String.sub line (i + 1) (String.length line - i - 1)
+                   String.sub line (j + 1) (String.length line - j - 1)
                  in
                  match string_of_hex payload_hex with
-                 | None -> raise Exit
+                 | None -> bad "payload is not hex"
                  | Some payload ->
                    if
                      not
                        (String.equal
                           (Digest.to_hex (Digest.string payload))
                           digest)
-                   then raise Exit
+                   then bad "record digest mismatch"
                    else
                      let key, (cell, wall_s) =
                        (Marshal.from_string payload 0
                          : string * (t * float))
                      in
-                     Hashtbl.replace tbl key (cell, wall_s)))
+                     entries := (key, (cell, wall_s)) :: !entries))
              records
-         with Exit ->
-           Log.warn (fun f ->
-               f "journal %s has a corrupt tail: dropping it (%d cells kept)"
-                 path (Hashtbl.length tbl)));
-        tbl
+         with Exit -> ());
+        (List.rev !entries, !stop)
       end
   end
+
+(* Strict loader: every way the journal can be unusable is a structured
+   error ([line] pins the first bad line; 0 means the whole file). A
+   bad-record error still names the defect, but returns no prefix —
+   callers that want salvage semantics use [load_journal]. *)
+let load_journal_result ~fingerprint path :
+    ((string * (t * float)) list, Util.Parse_error.t) result =
+  let entries, stop = scan_journal ~fingerprint path in
+  match stop with
+  | Scan_complete -> Ok entries
+  | Scan_missing ->
+    Error { Util.Parse_error.file = path; line = 0; msg = "no such journal" }
+  | Scan_no_header ->
+    Error
+      { Util.Parse_error.file = path; line = 1; msg = "missing journal header" }
+  | Scan_header_mismatch ->
+    Error
+      {
+        Util.Parse_error.file = path;
+        line = 1;
+        msg =
+          "journal header does not match this sweep's fingerprint \
+           (different classes, fractions, threshold or journal version)";
+      }
+  | Scan_bad_record (line, msg) ->
+    Error
+      {
+        Util.Parse_error.file = path;
+        line;
+        msg = Printf.sprintf "corrupt journal record: %s" msg;
+      }
+
+(* Load the completed-cell table from a journal. Tolerant by design: a
+   missing file, a stale fingerprint, or a corrupt/truncated tail just
+   mean fewer cached cells — the sweep recomputes whatever is absent. *)
+let load_journal ~fingerprint path : (string, t * float) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  let entries, stop = scan_journal ~fingerprint path in
+  (match stop with
+  | Scan_complete | Scan_missing | Scan_no_header -> ()
+  | Scan_header_mismatch ->
+    Log.warn (fun f ->
+        f
+          "journal %s does not match this sweep (different classes, \
+           fractions or threshold): ignoring it"
+          path)
+  | Scan_bad_record _ ->
+    Log.warn (fun f ->
+        f "journal %s has a corrupt tail: dropping it (%d cells kept)" path
+          (List.length entries)));
+  (match stop with
+  | Scan_header_mismatch -> ()
+  | _ -> List.iter (fun (k, v) -> Hashtbl.replace tbl k v) entries);
+  tbl
 
 let write_journal ~fingerprint path entries =
   let tmp = path ^ ".tmp" in
@@ -876,108 +935,20 @@ let write_journal ~fingerprint path entries =
   close_out oc;
   Sys.rename tmp path
 
-(* One value instead of ~10 optional arguments: [sweep_classes] had
-   accreted jobs/solver/placeable/timeout/deadline/cell-budget/journal/
-   progress (and now an observability handle); a config record with
-   [with_*] builders keeps call sites readable and lets new knobs ride
-   along without touching every caller. *)
-module Sweep_config = struct
-  type t = {
-    jobs : int;
-    solver : solver;
-    placeable : bool array option;
-    timeout_s : float option;
-    deadline_s : float;
-    cell_budget_s : float;
-    journal : string option;
-    progress : (completed:int -> total:int -> unit) option;
-    obs : Obs.Config.t option;
-  }
+(* --- cell solver ---------------------------------------------------------- *)
 
-  let default =
-    {
-      jobs = 1;
-      solver = Auto;
-      placeable = None;
-      timeout_s = None;
-      deadline_s = infinity;
-      cell_budget_s = infinity;
-      journal = None;
-      progress = None;
-      obs = None;
-    }
-
-  let with_jobs jobs t = { t with jobs }
-  let with_solver solver t = { t with solver }
-  let with_placeable placeable t = { t with placeable = Some placeable }
-  let with_timeout timeout_s t = { t with timeout_s = Some timeout_s }
-  let with_deadline deadline_s t = { t with deadline_s }
-  let with_cell_budget cell_budget_s t = { t with cell_budget_s }
-  let with_journal journal t = { t with journal = Some journal }
-  let with_progress progress t = { t with progress = Some progress }
-  let with_obs obs t = { t with obs = Some obs }
-end
-
-let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
-  let {
-    Sweep_config.jobs;
-    solver;
-    placeable;
-    timeout_s;
-    deadline_s;
-    cell_budget_s;
-    journal;
-    progress;
-    obs;
-  } =
-    cfg
-  in
-  (* Install the sweep's observability view before any instrumentation
-     fires (and before workers fork, so they inherit it). [None] keeps
-     whatever the caller installed ambiently. *)
-  (match obs with Some o -> Obs.Config.install o | None -> ());
-  let tlat_ms =
-    match spec.Mcperf.Spec.goal with
-    | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
-    | Mcperf.Spec.Avg_latency _ ->
-      invalid_arg "Pipeline.sweep_classes: requires a QoS goal"
-  in
-  let deadline_s = if deadline_s > 0. then deadline_s else infinity in
-  let cell_budget_s = if cell_budget_s > 0. then cell_budget_s else infinity in
-  let budgeted =
-    Float.is_finite deadline_s || Float.is_finite cell_budget_s
-  in
-  let keyed_cells =
-    List.concat_map
-      (fun (label, cls) ->
-        List.map
-          (fun fraction -> (cell_key label fraction, label, cls, fraction))
-          fractions)
-      classes
-  in
-  let fingerprint =
-    sweep_fingerprint ~deadline_s ~cell_budget_s ~tlat_ms ~fractions classes
-  in
-  let done_tbl =
-    match journal with
-    | None -> Hashtbl.create 0
-    | Some path -> load_journal ~fingerprint path
-  in
-  let pending =
-    List.filter (fun (k, _, _, _) -> not (Hashtbl.mem done_tbl k)) keyed_cells
-  in
-  let resumed = List.length keyed_cells - List.length pending in
-  if resumed > 0 then
-    Log.info (fun f ->
-        f "resuming sweep: %d/%d cells restored from journal" resumed
-          (List.length keyed_cells));
-  (* Per-process incremental state: the first cell of a class builds the
-     model; subsequent cells of the same class (in the same worker) patch
-     only the QoS rhs and reuse the prepared constraint matrix. Because a
-     patched model is value-identical to a fresh build at its fraction,
-     and every cell starts the solver cold, the results do not depend on
-     which cell seeded the cache — the sweep stays deterministic at any
-     [jobs]. *)
+(* The per-cell solve of [sweep_classes], factored to toplevel so the
+   same code runs behind every transport: the sequential path, local
+   fork workers, and remote TCP worker sessions (the [Dist.Registry]
+   entry below). Each call builds fresh per-process incremental state:
+   the first cell of a class builds the model; subsequent cells of the
+   same class (in the same process) patch only the QoS rhs and reuse the
+   prepared constraint matrix. Because a patched model is
+   value-identical to a fresh build at its fraction, and every cell
+   starts the solver cold, the results do not depend on which cell
+   seeded which cache — the sweep stays byte-identical however the
+   cells are distributed. *)
+let make_cell_solver ~solver ?placeable ~tlat_ms spec =
   let model_cache : (string, Mcperf.Model.t * float) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -1063,7 +1034,7 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
   in
   (* Each cell gets a span in its task scope, tagged with the class and
      fraction it computed and how the solve went. *)
-  let solve ((_, label, _, fraction) as cell) =
+  fun ((_, label, _, fraction) as cell) ->
     Obs.Metrics.incr (Lazy.force m_cells);
     let sp =
       Obs.Trace.span_begin "pipeline.cell"
@@ -1085,7 +1056,133 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
     | exception e ->
       Obs.Trace.span_end sp;
       raise e
+
+(* --- distributed dispatch ------------------------------------------------- *)
+
+(* Everything a remote worker session needs to solve any pending cell of
+   one sweep: plain data only (specs, class tables, the pending cell
+   array), marshaled once into the session handshake. The task protocol
+   then ships bare indices into [dc_cells]. *)
+type dist_cell_ctx = {
+  dc_spec : Mcperf.Spec.t;
+  dc_tlat_ms : float;
+  dc_placeable : bool array option;
+  dc_solver : solver;
+  dc_cells : (string * string * Mcperf.Classes.t * float) array;
+}
+
+let dist_fn = "pipeline.sweep-cell"
+
+let () =
+  Dist.Registry.register dist_fn (fun blob ->
+      let ctx = (Marshal.from_string blob 0 : dist_cell_ctx) in
+      let solve =
+        make_cell_solver ~solver:ctx.dc_solver ?placeable:ctx.dc_placeable
+          ~tlat_ms:ctx.dc_tlat_ms ctx.dc_spec
+      in
+      fun index -> Marshal.to_string (solve ctx.dc_cells.(index) : t) [])
+
+(* One value instead of ~10 optional arguments: [sweep_classes] had
+   accreted jobs/solver/placeable/timeout/deadline/cell-budget/journal/
+   progress (and now an observability handle); a config record with
+   [with_*] builders keeps call sites readable and lets new knobs ride
+   along without touching every caller. *)
+module Sweep_config = struct
+  type t = {
+    jobs : int;
+    solver : solver;
+    placeable : bool array option;
+    timeout_s : float option;
+    deadline_s : float;
+    cell_budget_s : float;
+    journal : string option;
+    progress : (completed:int -> total:int -> unit) option;
+    obs : Obs.Config.t option;
+    workers : (string * int) list;
+        (* remote TCP workers ([host, port]); [] = local-only sweep *)
+  }
+
+  let default =
+    {
+      jobs = 1;
+      solver = Auto;
+      placeable = None;
+      timeout_s = None;
+      deadline_s = infinity;
+      cell_budget_s = infinity;
+      journal = None;
+      progress = None;
+      obs = None;
+      workers = [];
+    }
+
+  let with_jobs jobs t = { t with jobs }
+  let with_solver solver t = { t with solver }
+  let with_placeable placeable t = { t with placeable = Some placeable }
+  let with_timeout timeout_s t = { t with timeout_s = Some timeout_s }
+  let with_deadline deadline_s t = { t with deadline_s }
+  let with_cell_budget cell_budget_s t = { t with cell_budget_s }
+  let with_journal journal t = { t with journal = Some journal }
+  let with_progress progress t = { t with progress = Some progress }
+  let with_obs obs t = { t with obs = Some obs }
+  let with_workers workers t = { t with workers }
+end
+
+let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
+  let {
+    Sweep_config.jobs;
+    solver;
+    placeable;
+    timeout_s;
+    deadline_s;
+    cell_budget_s;
+    journal;
+    progress;
+    obs;
+    workers;
+  } =
+    cfg
   in
+  (* Install the sweep's observability view before any instrumentation
+     fires (and before workers fork, so they inherit it). [None] keeps
+     whatever the caller installed ambiently. *)
+  (match obs with Some o -> Obs.Config.install o | None -> ());
+  let tlat_ms =
+    match spec.Mcperf.Spec.goal with
+    | Mcperf.Spec.Qos { tlat_ms; _ } -> tlat_ms
+    | Mcperf.Spec.Avg_latency _ ->
+      invalid_arg "Pipeline.sweep_classes: requires a QoS goal"
+  in
+  let deadline_s = if deadline_s > 0. then deadline_s else infinity in
+  let cell_budget_s = if cell_budget_s > 0. then cell_budget_s else infinity in
+  let budgeted =
+    Float.is_finite deadline_s || Float.is_finite cell_budget_s
+  in
+  let keyed_cells =
+    List.concat_map
+      (fun (label, cls) ->
+        List.map
+          (fun fraction -> (cell_key label fraction, label, cls, fraction))
+          fractions)
+      classes
+  in
+  let fingerprint =
+    sweep_fingerprint ~deadline_s ~cell_budget_s ~tlat_ms ~fractions classes
+  in
+  let done_tbl =
+    match journal with
+    | None -> Hashtbl.create 0
+    | Some path -> load_journal ~fingerprint path
+  in
+  let pending =
+    List.filter (fun (k, _, _, _) -> not (Hashtbl.mem done_tbl k)) keyed_cells
+  in
+  let resumed = List.length keyed_cells - List.length pending in
+  if resumed > 0 then
+    Log.info (fun f ->
+        f "resuming sweep: %d/%d cells restored from journal" resumed
+          (List.length keyed_cells));
+  let solve = make_cell_solver ~solver ?placeable ~tlat_ms spec in
   let total = List.length keyed_cells in
   let completed_count = ref resumed in
   let journal_entries =
@@ -1100,11 +1197,39 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
       journal_entries :=
         (k, res.Util.Parallel.value, res.Util.Parallel.wall_s)
         :: !journal_entries;
-      write_journal ~fingerprint path !journal_entries
+      write_journal ~fingerprint path !journal_entries;
+      (* Injected coordinator death, placed *after* the checkpoint hits
+         disk: the journal is a complete prefix when we die, so a re-run
+         resumes exactly the remaining cells. [nth] counts checkpoints
+         written by this run (resumed cells never re-checkpoint). *)
+      Util.Faults.coordinator_kill_point ~nth:(!completed_count - resumed)
     | None -> ());
     match progress with
     | Some f -> f ~completed:!completed_count ~total
     | None -> ()
+  in
+  (* Remote endpoint factories: each worker address becomes one pool
+     slot feeding the same pending-cell array by index. The context blob
+     is marshaled once per sweep and shipped in each session handshake;
+     reconnect/backoff/blacklist policy lives in [Dist.Client]. *)
+  let remote =
+    match workers with
+    | [] -> []
+    | ws ->
+      let ctx =
+        Marshal.to_string
+          {
+            dc_spec = spec;
+            dc_tlat_ms = tlat_ms;
+            dc_placeable = placeable;
+            dc_solver = solver;
+            dc_cells = pending_arr;
+          }
+          []
+      in
+      List.map
+        (fun (host, port) -> Dist.Client.factory ~host ~port ~fn:dist_fn ~ctx)
+        ws
   in
   let sweep_sp =
     Obs.Trace.span_begin "pipeline.sweep"
@@ -1129,9 +1254,10 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
   let budget_of =
     if not budgeted then None
     else begin
-      let eff_jobs =
-        max 1 (min (if jobs <= 1 then 1 else jobs) (List.length pending))
+      let width =
+        (if jobs <= 1 then 1 else jobs) + List.length workers
       in
+      let eff_jobs = max 1 (min width (List.length pending)) in
       Some
         (fun _index ->
           let remaining = deadline_s -. (Unix.gettimeofday () -. t0) in
@@ -1145,7 +1271,8 @@ let sweep_classes (cfg : Sweep_config.t) spec ~fractions classes =
     end
   in
   let outcomes =
-    Util.Parallel.map ~jobs ?timeout_s ?budget_of ~on_result ~f:solve pending
+    Util.Parallel.map ~jobs ?timeout_s ?budget_of ~remote ~on_result ~f:solve
+      pending
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   Obs.Trace.span_end sweep_sp

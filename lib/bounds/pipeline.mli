@@ -244,6 +244,13 @@ module Sweep_config : sig
     obs : Obs.Config.t option;
         (** observability view to install for the sweep (and inherit into
             its workers); [None] keeps the ambient {!Obs.Config} *)
+    workers : (string * int) list;
+        (** remote TCP worker addresses ([host, port]); each becomes one
+            extra pool slot fed through {!Dist.Client} alongside the
+            [jobs] local fork workers ([jobs <= 1] with a non-empty list
+            means {e no} local workers — coordinator plus remotes only).
+            Pair with [timeout_s]: a dropped dispatch frame is only
+            reclaimed by the per-task timeout. [[]] = local-only. *)
   }
 
   val default : t
@@ -259,7 +266,27 @@ module Sweep_config : sig
   val with_journal : string -> t -> t
   val with_progress : (completed:int -> total:int -> unit) -> t -> t
   val with_obs : Obs.Config.t -> t -> t
+  val with_workers : (string * int) list -> t -> t
 end
+
+val dist_fn : string
+(** ["pipeline.sweep-cell"] — the {!Dist.Registry} name under which this
+    module registers its cell solver at module-init time. A worker
+    process serving this function must link this module (coordinator and
+    workers are the same binary, so they always do). *)
+
+val load_journal_result :
+  fingerprint:string ->
+  string ->
+  ((string * (t * float)) list, Util.Parse_error.t) result
+(** Strict checkpoint-journal loader: parse the journal at the path and
+    return its completed cells in file order, or a structured error
+    naming the first defect — missing file, missing header ([line 1]),
+    fingerprint mismatch ([line 1]), or a corrupt record (its 1-based
+    line). The sweep itself uses the tolerant salvage semantics instead
+    (ignore a mismatched journal, keep the valid prefix of a torn one);
+    this is the result-first API for tools that must distinguish "no
+    journal" from "journal damaged". *)
 
 val sweep_classes :
   Sweep_config.t ->

@@ -1,0 +1,180 @@
+(* Coordinator side: one endpoint factory per remote worker address.
+
+   The factory owns the reconnect/blacklist policy for its pool slot —
+   bounded connect attempts with exponential backoff, a blacklist after
+   repeated whole-round failures — while requeue/retry/inline-recovery
+   supervision stays in [Util.Parallel]. It also injects the
+   deterministic network faults on the send path (drop, delay, garble)
+   and on the connect path (partition), keyed by the same FNV scheme as
+   every other fault, so a chaos run is replayable at any worker mix. *)
+
+let connect_attempts = 3
+let blacklist_after = 2
+
+let resolve ~host ~port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | ai :: _ -> ai.Unix.ai_addr
+  | [] -> failwith (Printf.sprintf "dist: cannot resolve %s:%d" host port)
+
+let connect ~host ~port =
+  let addr = resolve ~host ~port in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let close_quietly fd = try Unix.close fd with _ -> ()
+
+(* Connect plus Hello/Welcome handshake; raises on any failure. *)
+let handshake ~host ~port ~fn ~ctx =
+  let fd = connect ~host ~port in
+  match
+    Wire.send_c2w fd
+      (Wire.Hello
+         {
+           h_magic = Wire.magic;
+           h_fn = fn;
+           h_ctx = ctx;
+           h_faults = Util.Faults.current ();
+           h_obs = Obs.Config.current ();
+           h_phase = Util.Parallel.current_phase ();
+         });
+    Wire.recv_w2c fd
+  with
+  | Wire.Welcome -> fd
+  | Wire.Reject reason ->
+      close_quietly fd;
+      failwith (Printf.sprintf "dist: %s:%d rejected session: %s" host port reason)
+  | Wire.Result _ | Wire.Pong _ ->
+      close_quietly fd;
+      failwith (Printf.sprintf "dist: %s:%d protocol error in handshake" host port)
+  | exception e ->
+      close_quietly fd;
+      raise e
+
+let make_endpoint ~descr ~fd =
+  let ping_seq = ref 0 in
+  {
+    Util.Parallel.ep_descr = descr;
+    ep_fd = fd;
+    ep_fds = [ fd ];
+    ep_send =
+      (fun (index, attempt, budget_s) ->
+        let key =
+          Wire.task_key ~phase:(Util.Parallel.current_phase ()) ~index
+        in
+        let msg =
+          Wire.Task
+            { t_index = index; t_attempt = attempt; t_budget_s = budget_s }
+        in
+        if Util.Faults.drop_requested ~key ~attempt then
+          (* Silently lose the dispatch: no frame is written, so the
+             only recovery path is the pool's per-task timeout. *)
+          ()
+        else begin
+          if Util.Faults.delay_requested ~key ~attempt then
+            Unix.sleepf (Util.Faults.current ()).Util.Faults.delay_s;
+          if Util.Faults.garble_requested ~key ~attempt then
+            Wire.send_c2w_garbled fd msg
+          else Wire.send_c2w fd msg
+        end);
+    ep_recv =
+      (fun () ->
+        match Wire.recv_w2c fd with
+        | Wire.Result { r_index; r_res; r_wall_s; r_payload } ->
+            let res =
+              match r_res with
+              | Ok blob -> Ok (Marshal.from_string blob 0)
+              | Error msg -> Error msg
+            in
+            (r_index, res, r_wall_s, r_payload)
+        | Wire.Welcome | Wire.Reject _ | Wire.Pong _ ->
+            failwith (descr ^ ": protocol error: unexpected message"));
+    ep_ping =
+      (fun () ->
+        incr ping_seq;
+        let n = !ping_seq in
+        Wire.send_c2w fd (Wire.Ping n);
+        match Wire.recv_w2c fd with
+        | Wire.Pong m when m = n -> ()
+        | _ -> failwith (descr ^ ": bad ping reply"));
+    ep_close =
+      (fun ~kill ->
+        if not kill then (try Wire.send_c2w fd Wire.Shutdown with _ -> ());
+        close_quietly fd);
+  }
+
+let factory ~host ~port ~fn ~ctx =
+  let descr = Printf.sprintf "dist:%s:%d" host port in
+  (* Whole acquisition rounds that failed, consecutively: reset by any
+     successful handshake, blacklisting the address when it reaches
+     [blacklist_after]. The connect ordinal keys the partition fault so
+     a partition heals deterministically on a later attempt. *)
+  let failed_rounds = ref 0 in
+  let ordinal = ref 0 in
+  let blacklisted = ref false in
+  fun () ->
+    if !blacklisted then Util.Parallel.Remote_blacklisted
+    else begin
+      let rec attempt k =
+        if k >= connect_attempts then None
+        else begin
+          if k > 0 then Unix.sleepf (Util.Parallel.backoff_delay (k - 1));
+          let conn_key = Printf.sprintf "%s#%d" descr !ordinal in
+          incr ordinal;
+          if Util.Faults.partition_requested ~key:conn_key then
+            (* The address is "unreachable" for this attempt. *)
+            attempt (k + 1)
+          else
+            match handshake ~host ~port ~fn ~ctx with
+            | fd -> Some fd
+            | exception _ -> attempt (k + 1)
+        end
+      in
+      match attempt 0 with
+      | Some fd ->
+          failed_rounds := 0;
+          Util.Parallel.Remote_ok (make_endpoint ~descr ~fd)
+      | None ->
+          incr failed_rounds;
+          if !failed_rounds >= blacklist_after then begin
+            blacklisted := true;
+            Util.Parallel.Remote_blacklisted
+          end
+          else Util.Parallel.Remote_unavailable
+    end
+
+let parse_workers text =
+  let parse_one part =
+    let part = String.trim part in
+    match String.rindex_opt part ':' with
+    | None ->
+        Error
+          (Printf.sprintf "worker %S: expected HOST:PORT" part)
+    | Some i -> (
+        let host = String.sub part 0 i in
+        let port = String.sub part (i + 1) (String.length part - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ ->
+            Error
+              (Printf.sprintf "worker %S: expected HOST:PORT" part))
+  in
+  let parts =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (String.split_on_char ',' text)
+  in
+  List.fold_left
+    (fun acc part ->
+      match (acc, parse_one part) with
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e
+      | Ok ws, Ok w -> Ok (w :: ws))
+    (Ok []) parts
+  |> Result.map List.rev

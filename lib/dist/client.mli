@@ -1,0 +1,34 @@
+(** Coordinator side of the distributed sweep backend.
+
+    {!factory} turns one worker address into a
+    {!Util.Parallel.remote_factory}: the pool calls it at startup and
+    after every endpoint death, and the factory owns the
+    reconnect/blacklist policy — up to 3 connect attempts per
+    acquisition round with {!Util.Parallel.backoff_delay} sleeps, then
+    [Remote_unavailable] (the pool retries later); after 2 consecutive
+    failed rounds the address is blacklisted for the rest of the
+    process and every further acquisition returns
+    [Remote_blacklisted].
+
+    The endpoint's send path injects the deterministic network faults
+    ([drop]/[delay]/[garble], keyed by {!Wire.task_key}); its connect
+    path injects [partition] (keyed by address and connect ordinal).
+    Pool supervision — requeue on death, per-task timeouts, inline
+    recovery — stays in {!Util.Parallel}. *)
+
+val factory :
+  host:string ->
+  port:int ->
+  fn:string ->
+  ctx:string ->
+  'b Util.Parallel.remote_factory
+(** [factory ~host ~port ~fn ~ctx] acquires sessions against the
+    registered task function [fn] with context blob [ctx] (see
+    {!Registry}). The ['b] result type must match what the registered
+    function marshals — coordinator and worker are the same binary, so
+    this holds by construction. Handshakes ship the coordinator's
+    ambient fault spec, obs config, and pool phase. *)
+
+val parse_workers : string -> ((string * int) list, string) Stdlib.result
+(** Parse a comma-separated ["HOST:PORT,..."] worker list (the
+    [--workers] CLI syntax). The empty string is [Ok []]. *)

@@ -1,0 +1,13 @@
+(* Closures cannot cross the wire, so distributed task functions are
+   named: callers register "fn name -> (ctx blob -> (index -> result
+   blob))" at module-init time, the coordinator ships the name plus a
+   marshaled plain-data context in its Hello, and the worker session
+   looks the name up here. Coordinator and workers are the same binary,
+   so a registered name resolves to the same code on both sides. *)
+
+let table : (string, string -> int -> string) Hashtbl.t = Hashtbl.create 7
+let register name f = Hashtbl.replace table name f
+let find name = Hashtbl.find_opt table name
+
+let names () =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) table [])

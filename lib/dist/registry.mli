@@ -1,0 +1,18 @@
+(** Named task functions for the distributed backend.
+
+    Closures cannot be marshaled, so everything a remote worker runs is
+    referenced by name: a {e task function} maps an opaque context blob
+    (marshaled plain data, shipped once in the session handshake) to an
+    [index -> result blob] solver. Register at module-init time so the
+    name resolves in every process of the binary — coordinator and
+    workers run the same executable. *)
+
+val register : string -> (string -> int -> string) -> unit
+(** [register name f]: [f ctx index] computes the marshaled result blob
+    of task [index] under context [ctx]. Re-registering a name replaces
+    the previous entry. *)
+
+val find : string -> (string -> int -> string) option
+
+val names : unit -> string list
+(** Sorted registered names (for the worker's startup banner). *)

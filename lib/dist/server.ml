@@ -1,0 +1,147 @@
+(* Worker side of the distributed sweep backend.
+
+   The listener accepts connections and forks one *session* child per
+   coordinator connection, so an injected crash ([Unix._exit] inside a
+   task body) kills only that session — the listener survives and the
+   coordinator's reconnect lands on a fresh child. SIGCHLD is ignored,
+   so finished sessions are reaped by the kernel and the accept loop
+   never blocks on [waitpid]. *)
+
+let session fd =
+  match Wire.recv_c2w fd with
+  | exception _ -> ()
+  | Task _ | Ping _ | Shutdown ->
+      (try Wire.send_w2c fd (Wire.Reject "protocol error: expected Hello")
+       with _ -> ())
+  | Hello h ->
+      if not (String.equal h.Wire.h_magic Wire.magic) then
+        (try
+           Wire.send_w2c fd
+             (Wire.Reject
+                (Printf.sprintf "magic mismatch: got %S, want %S"
+                   h.Wire.h_magic Wire.magic))
+         with _ -> ())
+      else begin
+        (* Adopt the coordinator's ambient state before anything runs:
+           obs first (install resets trace state and the pool phase),
+           then the coordinator's phase, then the fault spec. Drain any
+           obs payload inherited from the pre-fork process so the first
+           task ships only its own events. *)
+        Obs.Config.install h.Wire.h_obs;
+        Util.Parallel.set_phase h.Wire.h_phase;
+        Util.Faults.install h.Wire.h_faults;
+        ignore (Obs.Sink.payload ());
+        match Registry.find h.Wire.h_fn with
+        | None ->
+            (try
+               Wire.send_w2c fd
+                 (Wire.Reject (Printf.sprintf "unknown function %S" h.Wire.h_fn))
+             with _ -> ())
+        | Some f -> (
+            match f h.Wire.h_ctx with
+            | exception e ->
+                (try
+                   Wire.send_w2c fd
+                     (Wire.Reject
+                        (Printf.sprintf "context rejected: %s"
+                           (Printexc.to_string e)))
+                 with _ -> ())
+            | solver ->
+                Wire.send_w2c fd Wire.Welcome;
+                let rec serve () =
+                  match Wire.recv_c2w fd with
+                  | exception (End_of_file | Failure _ | Unix.Unix_error _) ->
+                      ()
+                  | Hello _ -> () (* protocol error: tear down *)
+                  | Shutdown -> ()
+                  | Ping n ->
+                      Wire.send_w2c fd (Wire.Pong n);
+                      serve ()
+                  | Task { t_index; t_attempt; t_budget_s } ->
+                      let key =
+                        Wire.task_key
+                          ~phase:(Util.Parallel.current_phase ())
+                          ~index:t_index
+                      in
+                      if
+                        Util.Faults.disconnect_requested ~key
+                          ~attempt:t_attempt
+                      then
+                        (* Injected disconnect: vanish instead of
+                           replying; the coordinator sees EOF and
+                           requeues the task on a fresh session. *)
+                        ()
+                      else begin
+                        let res, wall_s, payload =
+                          Util.Parallel.run_task
+                            ~f:(fun () -> solver t_index)
+                            ~index:t_index ~attempt:t_attempt
+                            ~budget_s:t_budget_s
+                        in
+                        Wire.send_w2c fd
+                          (Wire.Result
+                             {
+                               r_index = t_index;
+                               r_res = res;
+                               r_wall_s = wall_s;
+                               r_payload = payload;
+                             });
+                        serve ()
+                      end
+                in
+                serve ())
+      end
+
+let resolve ~host ~port ~passive =
+  let hints =
+    Unix.AI_SOCKTYPE Unix.SOCK_STREAM
+    :: (if passive then [ Unix.AI_PASSIVE ] else [])
+  in
+  match Unix.getaddrinfo host (string_of_int port) hints with
+  | ai :: _ -> ai.Unix.ai_addr
+  | [] -> failwith (Printf.sprintf "dist: cannot resolve %s:%d" host port)
+
+let bind_listener ?(host = "127.0.0.1") ~port () =
+  let addr = resolve ~host ~port ~passive:true in
+  let lfd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  (try Unix.bind lfd addr
+   with e ->
+     (try Unix.close lfd with _ -> ());
+     raise e);
+  Unix.listen lfd 16;
+  lfd
+
+let bound_port lfd =
+  match Unix.getsockname lfd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> 0
+
+let accept_loop lfd : 'a =
+  (* Dead coordinators must surface as EPIPE on write, not kill the
+     session; finished session children must not accumulate as
+     zombies. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigchld Sys.Signal_ignore;
+  let rec loop () =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | fd, _peer -> (
+        match Unix.fork () with
+        | 0 ->
+            (try Unix.close lfd with _ -> ());
+            (try session fd with _ -> ());
+            (try Unix.close fd with _ -> ());
+            Unix._exit 0
+        | _pid ->
+            (try Unix.close fd with _ -> ());
+            loop ())
+  in
+  loop ()
+
+let serve ?(host = "127.0.0.1") ~port () =
+  let lfd = bind_listener ~host ~port () in
+  Printf.eprintf "dist: worker listening on %s:%d (functions: %s)\n%!" host
+    (bound_port lfd)
+    (String.concat ", " (Registry.names ()));
+  accept_loop lfd

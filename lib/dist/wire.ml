@@ -1,0 +1,114 @@
+(* Length-prefixed, digest-checked Marshal frames over a stream socket.
+
+   Every frame is
+
+     [4-byte big-endian payload length][16-byte MD5 digest][payload]
+
+   and the digest is verified *before* the payload reaches
+   [Marshal.from_string]: unmarshaling corrupted bytes can crash the
+   OCaml runtime outright, whereas a digest mismatch is an ordinary
+   [Failure] that the supervisor treats as a dead connection. This is
+   what makes the [garble] fault injectable — a corrupted frame costs a
+   reconnect and a task retry, never a wedged process. *)
+
+let magic = "replica-dist v1"
+
+(* Refuse absurd lengths before allocating: a corrupted length field is
+   not covered by the digest (it tells us how many digest-covered bytes
+   to read), so it must be sanity-checked on its own. *)
+let max_frame = 1 lsl 28
+
+let rec restart f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = restart (fun () -> Unix.write fd buf off len) in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let rec read_all fd buf off len =
+  if len > 0 then begin
+    let n = restart (fun () -> Unix.read fd buf off len) in
+    if n = 0 then raise End_of_file;
+    read_all fd buf (off + n) (len - n)
+  end
+
+let digest_len = 16
+
+let send_raw fd ~digest payload =
+  let len = Bytes.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  write_all fd hdr 0 4;
+  write_all fd (Bytes.of_string digest) 0 digest_len;
+  write_all fd payload 0 len
+
+let send_string fd payload =
+  send_raw fd ~digest:(Digest.string payload) (Bytes.of_string payload)
+
+(* Digest of the pristine payload, bytes of a corrupted one: the
+   receiver's digest check is guaranteed to fail. Used only by the
+   fault-injecting client transport. *)
+let send_string_garbled fd payload =
+  let digest = Digest.string payload in
+  let corrupted = Bytes.of_string payload in
+  if Bytes.length corrupted > 0 then begin
+    let i = Bytes.length corrupted / 2 in
+    Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x5A))
+  end;
+  send_raw fd ~digest corrupted
+
+let recv_string fd =
+  let hdr = Bytes.create 4 in
+  read_all fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then
+    failwith (Printf.sprintf "dist: corrupt frame length %d" len);
+  let digest = Bytes.create digest_len in
+  read_all fd digest 0 digest_len;
+  let payload = Bytes.create len in
+  read_all fd payload 0 len;
+  let payload = Bytes.unsafe_to_string payload in
+  if not (String.equal (Digest.string payload) (Bytes.unsafe_to_string digest))
+  then failwith "dist: corrupt frame (digest mismatch)";
+  payload
+
+(* --- messages ----------------------------------------------------------- *)
+
+type hello = {
+  h_magic : string;
+  h_fn : string;  (** registry name of the task function *)
+  h_ctx : string;  (** opaque context blob for {!Registry} *)
+  h_faults : Util.Faults.spec;
+  h_obs : Obs.Config.t;
+  h_phase : int;  (** coordinator's {!Util.Parallel.current_phase} *)
+}
+
+type c2w =
+  | Hello of hello
+  | Task of { t_index : int; t_attempt : int; t_budget_s : float }
+  | Ping of int
+  | Shutdown
+
+type w2c =
+  | Welcome
+  | Reject of string
+  | Result of {
+      r_index : int;
+      r_res : (string, string) Stdlib.result;
+      r_wall_s : float;
+      r_payload : string;
+    }
+  | Pong of int
+
+let send_c2w fd (m : c2w) = send_string fd (Marshal.to_string m [])
+let send_c2w_garbled fd (m : c2w) = send_string_garbled fd (Marshal.to_string m [])
+let recv_c2w fd : c2w = Marshal.from_string (recv_string fd) 0
+let send_w2c fd (m : w2c) = send_string fd (Marshal.to_string m [])
+let recv_w2c fd : w2c = Marshal.from_string (recv_string fd) 0
+
+(* The fault key for one task dispatch: a pure function of (phase,
+   index), so client and server agree on it and injected fault sets are
+   identical at every [--jobs] and worker mix. Matches the task trace
+   scope naming. *)
+let task_key ~phase ~index = Printf.sprintf "task:%d.%d" phase index

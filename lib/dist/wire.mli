@@ -1,0 +1,72 @@
+(** Frame format and message set of the distributed sweep transport.
+
+    One frame is [4-byte big-endian payload length][16-byte MD5
+    digest][Marshal payload]. The digest is checked {e before} the
+    payload is unmarshaled — [Marshal.from_string] on corrupted bytes
+    can crash the runtime, a digest mismatch is just a [Failure] that
+    tears the connection down. The coordinator speaks {!c2w}, workers
+    answer {!w2c}; both sides exchange exactly one response per request,
+    so a readable socket always means a whole reply is in flight (the
+    select-accuracy invariant of {!Util.Parallel.endpoint}). *)
+
+val magic : string
+(** Protocol identifier carried in {!hello}; mismatches are rejected. *)
+
+val max_frame : int
+(** Upper bound on accepted payload length. The length prefix is not
+    digest-covered, so it is sanity-checked before allocation. *)
+
+type hello = {
+  h_magic : string;
+  h_fn : string;  (** registry name of the task function *)
+  h_ctx : string;  (** opaque context blob handed to {!Registry} *)
+  h_faults : Util.Faults.spec;
+      (** coordinator's fault spec; installed by the worker session so
+          chaos runs inject the same deterministic faults everywhere *)
+  h_obs : Obs.Config.t;
+      (** coordinator's observability config, installed before any task
+          runs so merged traces agree on mode and scopes *)
+  h_phase : int;  (** coordinator's {!Util.Parallel.current_phase} *)
+}
+
+type c2w =
+  | Hello of hello  (** handshake; must be the first frame *)
+  | Task of { t_index : int; t_attempt : int; t_budget_s : float }
+  | Ping of int  (** liveness probe; answered by [Pong] with the same n *)
+  | Shutdown  (** graceful end of session *)
+
+type w2c =
+  | Welcome
+  | Reject of string  (** bad magic / unknown function / ctx parse error *)
+  | Result of {
+      r_index : int;
+      r_res : (string, string) Stdlib.result;
+          (** [Ok blob] is the marshaled task value; [Error msg] a
+              printed task exception (structured failure) *)
+      r_wall_s : float;
+      r_payload : string;  (** drained obs payload, [""] when off *)
+    }
+  | Pong of int
+
+val send_c2w : Unix.file_descr -> c2w -> unit
+val recv_c2w : Unix.file_descr -> c2w
+val send_w2c : Unix.file_descr -> w2c -> unit
+val recv_w2c : Unix.file_descr -> w2c
+(** Blocking frame exchange. Raise [End_of_file] on a closed peer,
+    [Failure] on a corrupt frame, [Unix.Unix_error] on socket errors —
+    the pool supervisor treats all three as endpoint death. *)
+
+val send_c2w_garbled : Unix.file_descr -> c2w -> unit
+(** Send the frame with one payload byte flipped {e after} the digest
+    was computed, so the receiver's digest check necessarily fails.
+    Exists only for the [garble] fault injector. *)
+
+val send_string : Unix.file_descr -> string -> unit
+val recv_string : Unix.file_descr -> string
+(** Raw frame exchange beneath the typed messages (exposed for tests). *)
+
+val task_key : phase:int -> index:int -> string
+(** Deterministic fault key of one task dispatch: a pure function of
+    (phase, index) that client and server compute independently, so
+    injected network fault sets are identical at every [--jobs] and
+    worker mix. *)

@@ -41,6 +41,49 @@ let build_clusters latency ~nodes ~radius =
 
 type write_policy = Update | Invalidate
 
+(* Wide end-of-interval snapshots: one bit per (node, object, interval),
+   packed node-major then object-major into a single byte string so the
+   interval count is bounded by memory, not by the word size. *)
+type snapshots = {
+  snap_nodes : int;
+  snap_objects : int;
+  snap_intervals : int;
+  snap_stride : int;  (* bytes per (node, object) row: ceil(intervals/8) *)
+  snap_bits : Bytes.t;
+}
+
+let snapshots_create ~nodes ~objects ~intervals =
+  let stride = (intervals + 7) / 8 in
+  {
+    snap_nodes = nodes;
+    snap_objects = objects;
+    snap_intervals = intervals;
+    snap_stride = stride;
+    snap_bits = Bytes.make (nodes * objects * stride) '\000';
+  }
+
+let snapshots_set s ~node ~object_id ~interval =
+  let base = ((node * s.snap_objects) + object_id) * s.snap_stride in
+  let i = base + (interval lsr 3) in
+  Bytes.unsafe_set s.snap_bits i
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get s.snap_bits i) lor (1 lsl (interval land 7))))
+
+let held s ~node ~object_id ~interval =
+  if
+    node < 0 || node >= s.snap_nodes || object_id < 0
+    || object_id >= s.snap_objects || interval < 0
+    || interval >= s.snap_intervals
+  then invalid_arg "Event_cache.held: index out of bounds";
+  let base = ((node * s.snap_objects) + object_id) * s.snap_stride in
+  Char.code (Bytes.get s.snap_bits (base + (interval lsr 3)))
+  land (1 lsl (interval land 7))
+  <> 0
+
+(* The MC-PERF costing layer packs interval sets into a native int, so a
+   snapshot matrix in that form exists only up to this many intervals. *)
+let placement_interval_limit = 62
+
 type outcome = {
   capacity : int;
   hits_local : int;
@@ -52,7 +95,8 @@ type outcome = {
   provisioned_cost : float;
   occupancy_cost : float;
   write_messages : float;
-  placement : Mcperf.Costing.placement;
+  placement : Mcperf.Costing.placement option;
+  snapshots : snapshots;
 }
 
 let meets_qos outcome ~fraction =
@@ -66,8 +110,6 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
     invalid_arg "Event_cache.simulate: at most 62 nodes supported";
   if capacity < 0 then invalid_arg "Event_cache.simulate: negative capacity";
   if intervals <= 0 then invalid_arg "Event_cache.simulate: intervals must be positive";
-  if intervals > 62 then
-    invalid_arg "Event_cache.simulate: at most 62 intervals supported";
   let origin = system.Topology.System.origin in
   let placeable =
     match placeable with
@@ -110,10 +152,11 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
   let latency_sum = Array.make nodes 0. in
   let occupancy = ref 0. in
   let write_messages = ref 0. in
-  (* End-of-interval snapshots of the cache contents, as MC-PERF
-     placement bitmasks (bit [i]: cached when interval [i] closed) — the
-     survivability layer re-prices these under failure scenarios. *)
-  let placement = Array.make_matrix nodes objects 0 in
+  (* End-of-interval snapshots of the cache contents (bit [i]: cached
+     when interval [i] closed) — the survivability layer re-prices these
+     under failure scenarios. Wide bit-packed, so long traces are not
+     bounded by the 62-interval MC-PERF placement word. *)
+  let snapshots = snapshots_create ~nodes ~objects ~intervals in
   let interval_s = Workload.Trace.duration_s trace /. float_of_int intervals in
   let cache_insert n k =
     if n <> origin && placeable.(n) && capacity > 0 then begin
@@ -183,7 +226,7 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
       if n <> origin then begin
         occupancy := !occupancy +. float_of_int (Policy_cache.size caches.(n));
         List.iter
-          (fun k -> placement.(n).(k) <- placement.(n).(k) lor (1 lsl iv))
+          (fun k -> snapshots_set snapshots ~node:n ~object_id:k ~interval:iv)
           (Policy_cache.contents caches.(n))
       end
     done
@@ -286,6 +329,22 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
     costs.Mcperf.Spec.beta *. float_of_int !insertions
   in
   let write_cost = costs.Mcperf.Spec.delta *. !write_messages in
+  (* The int-bitmask placement view exists only while the interval set
+     fits an MC-PERF placement word; longer traces keep the wide
+     snapshots and skip the re-pricing view. *)
+  let placement =
+    if intervals > placement_interval_limit then None
+    else
+      Some
+        (Array.init nodes (fun n ->
+             Array.init objects (fun k ->
+                 let mask = ref 0 in
+                 for iv = 0 to intervals - 1 do
+                   if held snapshots ~node:n ~object_id:k ~interval:iv then
+                     mask := !mask lor (1 lsl iv)
+                 done;
+                 !mask)))
+  in
   {
     capacity;
     hits_local = !hits_local;
@@ -302,4 +361,5 @@ let simulate ~system ~trace ~intervals ~costs ~tlat_ms ~capacity ~mode
       (costs.Mcperf.Spec.alpha *. !occupancy) +. creation_cost +. write_cost;
     write_messages = !write_messages;
     placement;
+    snapshots;
   }

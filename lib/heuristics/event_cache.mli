@@ -40,6 +40,21 @@ type mode =
       extra replica creations. *)
 type write_policy = Update | Invalidate
 
+type snapshots
+(** End-of-interval cache-content snapshots, bit-packed per
+    (node, object, interval). Unlike the MC-PERF placement word this
+    representation is bounded by memory, not by the native int width, so
+    long traces (any interval count) still record their placements. *)
+
+val held : snapshots -> node:int -> object_id:int -> interval:int -> bool
+(** Whether the node held the object when the interval closed. Raises
+    [Invalid_argument] on out-of-bounds indices. *)
+
+val placement_interval_limit : int
+(** Largest interval count for which the int-bitmask
+    {!Mcperf.Costing.placement} view of the snapshots exists (62: the
+    costing layer packs interval sets into a native int). *)
+
 type outcome = {
   capacity : int;
   hits_local : int;
@@ -51,11 +66,16 @@ type outcome = {
   provisioned_cost : float;
   occupancy_cost : float;
   write_messages : float;  (** update messages sent to caches (delta > 0) *)
-  placement : Mcperf.Costing.placement;
+  placement : Mcperf.Costing.placement option;
       (** end-of-interval cache contents as MC-PERF placement bitmasks
           ([placement.(n).(k)] bit [i]: node [n] held object [k] when
           interval [i] closed) — what the availability layer re-prices
-          under failure scenarios *)
+          under failure scenarios. [Some] iff the run used at most
+          {!placement_interval_limit} intervals; longer traces only have
+          the wide {!snapshots} view. *)
+  snapshots : snapshots;
+      (** the same end-of-interval contents, wide bit-packed — present at
+          every interval count; query with {!held} *)
 }
 
 val simulate :
@@ -73,8 +93,11 @@ val simulate :
   unit ->
   outcome
 (** Requires at most 62 nodes (the cooperative directory uses bitmask
-    holder sets), at most 62 intervals (placement snapshots are interval
-    bitmasks) and [capacity >= 0]. [placeable] limits which sites run a
+    holder sets), a positive interval count and [capacity >= 0] — raises
+    [Invalid_argument] otherwise. Any positive interval count is
+    supported: snapshots are wide bit-packed, and the int-bitmask
+    [placement] view is additionally produced when the count is at most
+    {!placement_interval_limit}. [placeable] limits which sites run a
     cache (deployment scenario); non-placeable sites forward every access
     and pay no provisioned storage. [policy] selects the replacement
     policy (default [Lru]); all policies belong to the same heuristic

@@ -80,7 +80,7 @@ let cache_heuristic ?jobs ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace
         cost = o.Heuristics.Event_cache.provisioned_cost;
         worst_qos = worst o.Heuristics.Event_cache.qos;
         detail = Cache o;
-        placement = Some o.Heuristics.Event_cache.placement;
+        placement = o.Heuristics.Event_cache.placement;
       }
 
 let lru_caching ?jobs ?placeable ~spec ~trace () =

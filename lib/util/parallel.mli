@@ -66,13 +66,17 @@ type task_error = {
 }
 
 type pool_stats = {
-  worker_deaths : int;  (** workers that died while the pool was live *)
+  worker_deaths : int;  (** local fork workers that died while the pool was live *)
   respawns : int;  (** replacement workers forked *)
   task_retries : int;  (** in-flight tasks re-dispatched to a worker *)
   inline_recoveries : int;  (** tasks computed in the parent as last resort *)
   timeouts : int;  (** deadline expiries (the task may have recovered) *)
   fork_failures : int;  (** failed [fork]/[pipe] attempts *)
   degraded : bool;  (** the pool fell back to sequential execution *)
+  remote_workers : int;  (** remote endpoints configured for this map *)
+  remote_deaths : int;  (** remote endpoints that died mid-pool *)
+  reconnects : int;  (** successful remote re-acquisitions after a death *)
+  blacklisted : int;  (** remote endpoints retired after repeated failures *)
 }
 
 val zero_stats : pool_stats
@@ -120,10 +124,87 @@ val default_jobs : unit -> int
 val fork_available : bool
 (** Whether the process-pool path can run at all (Unix only). *)
 
+(** {2 Remote endpoints}
+
+    The pool is generalized over its transport: besides forked local
+    workers it can feed {e remote endpoints} — live connections to worker
+    processes elsewhere, created by factories the caller passes via
+    [?remote] (the TCP implementation lives in [Dist]). Each factory owns
+    one pool slot; the pool asks it for a connection at startup and after
+    every death, so reconnect-backoff and blacklist policy live in the
+    factory while requeue/retry/inline-recovery supervision stays here.
+    A dead endpoint (exception out of send/recv/ping) has its in-flight
+    task requeued exactly like a dead local worker; when every endpoint
+    and worker is gone the pool degrades to sequential execution in the
+    parent, so a sweep always completes. *)
+
+type 'b response = int * ('b, string) Stdlib.result * float * string
+(** One task response: (index, result-or-printed-exception, task
+    wall-clock, drained observability payload — [""] when obs is off). *)
+
+type 'b endpoint = {
+  ep_descr : string;  (** for supervision traces, e.g. ["dist:host:9070"] *)
+  ep_fd : Unix.file_descr;
+      (** select handle; readable must mean a full response is coming —
+          endpoints exchange exactly one response per dispatched task and
+          keep no buffered partial frames between exchanges *)
+  ep_fds : Unix.file_descr list;
+      (** every parent-side fd of the endpoint; freshly forked local
+          workers close them so endpoint death surfaces as EOF *)
+  ep_send : int * int * float -> unit;
+      (** dispatch [(index, attempt, budget_s)]; raising marks the
+          endpoint dead and requeues the task at the same attempt *)
+  ep_recv : unit -> 'b response;
+      (** read the one pending response; raising marks the endpoint dead *)
+  ep_ping : unit -> unit;
+      (** synchronous liveness round trip, called only while no task is
+          in flight on this endpoint; no-op for local forks *)
+  ep_close : kill:bool -> unit;
+      (** release the endpoint; [kill] skips graceful shutdown *)
+}
+
+type 'b remote_acquire =
+  | Remote_ok of 'b endpoint
+  | Remote_unavailable
+      (** connect failed after the factory's bounded backoff retries;
+          the pool retries the factory at a later dispatch round *)
+  | Remote_blacklisted
+      (** the factory gave up on this endpoint for good; its slot is
+          retired and never refilled *)
+
+type 'b remote_factory = unit -> 'b remote_acquire
+
+val heartbeat_idle_s : float
+(** A remote endpoint idle longer than this is pinged (one synchronous
+    round trip) before the next task is committed to it, so a silently
+    half-open connection costs a reconnect, not a task timeout. *)
+
+val current_phase : unit -> int
+(** The pool phase counter (bumped once per {!map} call, reset by
+    [Obs.Config.install]). Remote sessions receive the coordinator's
+    phase in their handshake so merged traces agree on task scopes. *)
+
+val set_phase : int -> unit
+(** Install a phase received from a coordinator (remote worker sessions
+    only; call {e after} installing the obs config, which resets it). *)
+
+val run_task :
+  f:(unit -> 'b) ->
+  index:int ->
+  attempt:int ->
+  budget_s:float ->
+  ('b, string) Stdlib.result * float * string
+(** Execute one task body under the full worker discipline — ambient
+    {!task_attempt} context, {!task_deadline}, per-task trace scope,
+    clamped wall clock, drained obs payload — exactly as the forked
+    serve loop does. Remote worker servers use it so a task behaves
+    identically whichever transport delivered it. *)
+
 val map :
   ?jobs:int ->
   ?timeout_s:float ->
   ?budget_of:(int -> float) ->
+  ?remote:'b remote_factory list ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->
@@ -141,12 +222,20 @@ val map :
     body observes it via {!task_deadline}/{!task_expired}. [infinity]
     (and any non-finite value) means unbudgeted. Unlike [timeout_s] —
     which is enforced by killing the worker — a budget is advisory: only
-    bodies that poll it degrade. *)
+    bodies that poll it degrade.
+
+    [remote] adds one pool slot per endpoint factory. With [remote]
+    non-empty the pool always runs (even at [jobs <= 1], which then
+    means {e no local fork workers} — coordinator plus remotes only).
+    Pass [timeout_s] whenever remote endpoints are configured: a dropped
+    dispatch frame produces no response and only the task timeout can
+    reclaim it. *)
 
 val map_results :
   ?jobs:int ->
   ?timeout_s:float ->
   ?budget_of:(int -> float) ->
+  ?remote:'b remote_factory list ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->
@@ -159,6 +248,7 @@ val map_values :
   ?jobs:int ->
   ?timeout_s:float ->
   ?budget_of:(int -> float) ->
+  ?remote:'b remote_factory list ->
   ?on_result:(int -> 'b result -> unit) ->
   f:('a -> 'b) ->
   'a list ->

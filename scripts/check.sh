@@ -119,3 +119,62 @@ cmp "$availdir/j1.out" "$availdir/j4.out" \
 grep -q 'all checks passed' "$availdir/j1.out" \
   || { echo "avail stage: availability law violations"; exit 1; }
 echo "avail stage OK: $(grep -c 'k2:' "$availdir/j1.out") placements checked, outputs identical across --jobs"
+
+# Dist stage (DESIGN.md §15): a fig2 sweep dispatched to two loopback
+# TCP workers under injected network chaos — session crashes, dropped
+# and garbled dispatch frames, refused connects, delayed sends — must
+# produce a CSV byte-identical to the local sequential run, at both
+# pool widths. Then the coordinator itself is killed after its second
+# checkpoint (ckill_after=2, exit 96) and resumed from the journal;
+# the resumed run must also match to the byte. The fault decisions are
+# keyed by (seed, kind, task key) only, so this chaos schedule is the
+# same one every time.
+echo "== dist stage: fault-injected sweep on 2 loopback TCP workers =="
+distdir=_build/dist-check
+rm -rf "$distdir"
+mkdir -p "$distdir/seq" "$distdir/j1" "$distdir/j4" "$distdir/resume" "$distdir/journal"
+./_build/default/bin/experiments.exe worker --listen 0 2> "$distdir/w1.err" &
+W1=$!
+./_build/default/bin/experiments.exe worker --listen 0 2> "$distdir/w2.err" &
+W2=$!
+trap 'kill $W1 $W2 2>/dev/null || true' EXIT
+sleep 1
+port1=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$distdir/w1.err")
+port2=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$distdir/w2.err")
+[ -n "$port1" ] && [ -n "$port2" ] \
+  || { echo "dist stage: workers failed to start"; exit 1; }
+DIST_FAULTS="seed=11,crash=0.15,drop=0.2,garble=0.2,disconnect=0.2,partition=0.3,delay=0.3,delay_s=0.01"
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.01 \
+  --jobs 1 -w web --csv "$distdir/seq" > /dev/null
+for j in 1 4; do
+  ./_build/default/bin/experiments.exe fig2 --quick --scale 0.01 \
+    --jobs "$j" -w web --workers "127.0.0.1:$port1,127.0.0.1:$port2" \
+    --task-timeout 20 --inject "$DIST_FAULTS" \
+    --csv "$distdir/j$j" > "$distdir/j$j.out"
+  cmp "$distdir/seq/fig2-web.csv" "$distdir/j$j/fig2-web.csv" \
+    || { echo "dist stage: chaos run differs from sequential at --jobs $j"; exit 1; }
+done
+# Coordinator crash and journal recovery: the killed run must exit with
+# the injected-kill status and leave a resumable journal behind.
+kill_status=0
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.01 \
+  --jobs 1 -w web --workers "127.0.0.1:$port1,127.0.0.1:$port2" \
+  --task-timeout 20 --inject "$DIST_FAULTS,ckill_after=2" \
+  --journal "$distdir/journal" --csv "$distdir/resume" \
+  > /dev/null 2>&1 || kill_status=$?
+[ "$kill_status" -eq 96 ] \
+  || { echo "dist stage: coordinator kill exited $kill_status, want 96"; exit 1; }
+[ -n "$(ls "$distdir/journal")" ] \
+  || { echo "dist stage: no journal left by the killed coordinator"; exit 1; }
+./_build/default/bin/experiments.exe fig2 --quick --scale 0.01 \
+  --jobs 1 -w web --workers "127.0.0.1:$port1,127.0.0.1:$port2" \
+  --task-timeout 20 --inject "$DIST_FAULTS" \
+  --journal "$distdir/journal" --csv "$distdir/resume" > "$distdir/resume.out"
+cmp "$distdir/seq/fig2-web.csv" "$distdir/resume/fig2-web.csv" \
+  || { echo "dist stage: resumed run differs from sequential"; exit 1; }
+grep -q 'resuming sweep' "$distdir/resume.out" \
+  || grep -q 'resumed=[1-9]' "$distdir/resume.out" \
+  || { echo "dist stage: resume did not restore cells from the journal"; exit 1; }
+kill $W1 $W2 2>/dev/null || true
+trap - EXIT
+echo "dist stage OK: chaos CSVs identical at --jobs 1 and 4, coordinator kill+resume identical"

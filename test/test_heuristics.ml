@@ -208,6 +208,66 @@ let test_write_invalidation () =
   Alcotest.(check (float 1e-9)) "one invalidation message" 1.
     inv.Heuristics.Event_cache.write_messages
 
+let test_snapshots_match_placement () =
+  (* At <= 62 intervals both snapshot views exist and must agree bit for
+     bit. *)
+  let t =
+    simple_trace
+      [
+        (0.1, 3, 0, Workload.Trace.Read);
+        (1.2, 3, 1, Workload.Trace.Read);
+        (3.5, 2, 0, Workload.Trace.Read);
+      ]
+  in
+  let o = sim t in
+  let p =
+    match o.Heuristics.Event_cache.placement with
+    | Some p -> p
+    | None -> Alcotest.fail "placement view missing at 4 intervals"
+  in
+  for n = 0 to 3 do
+    for k = 0 to 2 do
+      for iv = 0 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "bit (%d,%d,%d)" n k iv)
+          (p.(n).(k) land (1 lsl iv) <> 0)
+          (Heuristics.Event_cache.held o.Heuristics.Event_cache.snapshots
+             ~node:n ~object_id:k ~interval:iv)
+      done
+    done
+  done
+
+let test_long_trace_snapshots () =
+  (* 100 intervals: beyond the MC-PERF placement word, so the run must
+     still complete, drop the int-bitmask view, and record the wide
+     snapshots — node 3 holds object 0 from its first access onward. *)
+  let intervals = 100 in
+  let t =
+    Workload.Trace.of_events ~nodes:4 ~objects:3 ~duration_s:100.
+      [ (10.5, 3, 0, Workload.Trace.Read) ]
+  in
+  let o =
+    Heuristics.Event_cache.simulate ~system:(line_system ()) ~trace:t
+      ~intervals ~costs:Mcperf.Spec.default_costs ~tlat_ms:150. ~capacity:2
+      ~mode:Heuristics.Event_cache.Local ()
+  in
+  Alcotest.(check bool) "no word-sized placement" true
+    (o.Heuristics.Event_cache.placement = None);
+  let held iv =
+    Heuristics.Event_cache.held o.Heuristics.Event_cache.snapshots ~node:3
+      ~object_id:0 ~interval:iv
+  in
+  Alcotest.(check bool) "not cached before access" false (held 9);
+  Alcotest.(check bool) "cached at access interval" true (held 10);
+  Alcotest.(check bool) "still cached at the end" true (held 99);
+  Alcotest.(check_raises) "malformed interval count"
+    (Invalid_argument "Event_cache.simulate: intervals must be positive")
+    (fun () ->
+      ignore
+        (Heuristics.Event_cache.simulate ~system:(line_system ()) ~trace:t
+           ~intervals:0 ~costs:Mcperf.Spec.default_costs ~tlat_ms:150.
+           ~capacity:2 ~mode:Heuristics.Event_cache.Local ()))
+
 let test_lru_remove () =
   let c = Heuristics.Lru_cache.create ~capacity:3 in
   ignore (Heuristics.Lru_cache.insert c 1);
@@ -732,6 +792,10 @@ let () =
           Alcotest.test_case "write messages" `Quick test_write_messages;
           Alcotest.test_case "write invalidation" `Quick
             test_write_invalidation;
+          Alcotest.test_case "snapshots match placement" `Quick
+            test_snapshots_match_placement;
+          Alcotest.test_case "long-trace snapshots" `Quick
+            test_long_trace_snapshots;
         ] );
       ( "greedy",
         [
