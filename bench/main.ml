@@ -1200,6 +1200,114 @@ let avail_benchmark () =
   close_out oc;
   Printf.printf "wrote BENCH_avail.json\n%!"
 
+(* --- online service benchmark: epochs/s and the warm-start payoff ---------- *)
+
+(* The online engine's claim is twofold: it sustains a re-placement
+   cadence (epochs/s), and warm-starting each epoch's class bounds from
+   the previous epoch's solution beats solving cold. The solver is
+   forced to PDHG so the warm start has iterations to save — under Auto
+   these instances would route to the simplex and the comparison would
+   measure nothing. Bounds from either path are valid at any iterate, so
+   the run also asserts regret stayed nonnegative both ways. *)
+let online_benchmark () =
+  let reps = 2 in
+  let cs = Lazy.force web in
+  let intervals = 12 and epoch_intervals = 2 in
+  let interval_s =
+    Workload.Trace.duration_s cs.CS.trace /. float_of_int intervals
+  in
+  let config warm =
+    {
+      Online.Engine.system = cs.CS.system;
+      interval_s;
+      epoch_intervals;
+      costs = Mcperf.Spec.default_costs;
+      goal = Mcperf.Spec.Qos { tlat_ms = 150.; fraction = 0.95 };
+      placeable = None;
+      strategies =
+        [
+          ("greedy-global", Heuristics.Greedy_global.strategy);
+          ("proportional", Heuristics.Proportional.strategy);
+        ];
+      solver = Bounds.Pipeline.First_order Lp.Pdhg.default_options;
+      warm;
+      jobs = 1;
+    }
+  in
+  let solve_total epochs =
+    List.fold_left
+      (fun acc (e : Online.Engine.epoch) -> acc +. e.Online.Engine.solve_s)
+      0. epochs
+  in
+  let assert_regret label epochs =
+    List.iter
+      (fun (e : Online.Engine.epoch) ->
+        List.iter
+          (fun (d : Online.Engine.decision) ->
+            match d.Online.Engine.regret with
+            | Some r when r < -1e-9 ->
+              failwith
+                (Printf.sprintf
+                   "online benchmark (%s): negative regret %.6f for %s at \
+                    epoch %d"
+                   label r d.Online.Engine.strategy e.Online.Engine.index)
+            | _ -> ())
+          e.Online.Engine.decisions)
+      epochs
+  in
+  let warm_total_s, (warm_t, warm_epochs) =
+    min_time reps (fun () -> Online.Engine.run (config true) ~trace:cs.CS.trace)
+  in
+  let _cold_total_s, (cold_t, cold_epochs) =
+    min_time reps (fun () ->
+        Online.Engine.run (config false) ~trace:cs.CS.trace)
+  in
+  assert_regret "warm" warm_epochs;
+  assert_regret "cold" cold_epochs;
+  if Online.Engine.warm_lifts cold_t <> 0 then
+    failwith "online benchmark: cold handle reported warm lifts";
+  if Online.Engine.warm_lifts warm_t = 0 then
+    failwith "online benchmark: warm handle never lifted a prior solution";
+  let warm_solve_s = solve_total warm_epochs in
+  let cold_solve_s = solve_total cold_epochs in
+  let n_epochs = List.length warm_epochs in
+  let epochs_per_s =
+    if warm_total_s > 0. then float_of_int n_epochs /. warm_total_s else 0.
+  in
+  let warm_speedup =
+    if warm_solve_s > 0. then cold_solve_s /. warm_solve_s else 1.
+  in
+  Printf.printf
+    "online: %d epochs in %.3fs (%.2f epochs/s), solve warm %.3fs vs cold \
+     %.3fs (speedup %.2fx, %d/%d lifted)\n\
+     %!"
+    n_epochs warm_total_s epochs_per_s warm_solve_s cold_solve_s warm_speedup
+    (Online.Engine.warm_lifts warm_t)
+    (Online.Engine.bound_solves warm_t);
+  let oc = open_out "BENCH_online.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "online placement service: epoch loop and warm-started bounds",
+  "detected_cores": %d,
+  "fixture": "web nodes=10 scale=0.02 intervals=12 epoch=2, PDHG forced, greedy-global + proportional",
+  "online_epochs": %d,
+  "online_total_s": %.4f,
+  "online_epochs_s": %.4f,
+  "warm_solve_s": %.4f,
+  "cold_solve_s": %.4f,
+  "online_warm_speedup": %.4f,
+  "warm_lifts": %d,
+  "bound_solves": %d,
+  "regret_nonnegative": true
+}
+|}
+    (Util.Parallel.available_cores ())
+    n_epochs warm_total_s epochs_per_s warm_solve_s cold_solve_s warm_speedup
+    (Online.Engine.warm_lifts warm_t)
+    (Online.Engine.bound_solves warm_t);
+  close_out oc;
+  Printf.printf "wrote BENCH_online.json\n%!"
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let benchmark test =
@@ -1251,6 +1359,8 @@ let () =
     avail_benchmark ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "dist" then
     dist_benchmark ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "online" then
+    online_benchmark ()
   else
     List.iter
       (fun test ->

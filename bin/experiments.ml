@@ -1397,6 +1397,314 @@ let baselines ~scale ~seed () =
       Printf.printf "(* = does not meet the 99%% QoS goal at this factor)\n")
     [ CS.Web; CS.Group ]
 
+(* --- validate --family strategy: ported heuristics vs the legacy route ---- *)
+
+(* The heuristics now reach the runner only through the Strategy
+   interface. This gate re-implements the pre-redesign deployment
+   sequence verbatim (direct Permission.compute + place + evaluate, and
+   direct Event_cache searches) and insists the strategy route produces
+   byte-identical results — parameter, cost, QoS, placement and full
+   outcome — on the seed case-study figures. *)
+
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.No_sharing ]))
+
+let validate_strategy ~seed ~scale () =
+  let module EC = Heuristics.Event_cache in
+  let worst arr = Array.fold_left Float.min 1. arr in
+  let check name legacy ported =
+    let dl = digest_of legacy and dp = digest_of ported in
+    if dl = dp then Printf.printf "  %-30s ok       %s\n" name (String.sub dl 0 12)
+    else begin
+      incr violations;
+      Printf.printf "  %-30s MISMATCH legacy=%s ported=%s\n" name
+        (String.sub dl 0 12) (String.sub dp 0 12)
+    end
+  in
+  (* Pre-redesign cache deployment: linear object-count ceiling, direct
+     Event_cache search. *)
+  let legacy_cache ?policy ~name ~mode ~prefetch ~spec ~trace () =
+    let tlat_ms = Mcperf.Spec.latency_threshold spec in
+    let outcome_at c =
+      EC.simulate ~system:spec.Mcperf.Spec.system ~trace
+        ~intervals:(Mcperf.Spec.interval_count spec)
+        ~costs:spec.Mcperf.Spec.costs ~tlat_ms ~capacity:c ~mode ~prefetch
+        ?policy ()
+    in
+    let meets (o : EC.outcome) =
+      match spec.Mcperf.Spec.goal with
+      | Mcperf.Spec.Qos { fraction; _ } -> EC.meets_qos o ~fraction
+      | Mcperf.Spec.Avg_latency { tavg_ms } ->
+        Array.for_all (fun l -> l <= tavg_ms +. 1e-9) o.EC.avg_latency
+    in
+    let objects = Workload.Trace.object_count trace in
+    match
+      Sim.Search.min_feasible_int ~lo:0 ~hi:objects (fun c ->
+          meets (outcome_at c))
+    with
+    | None -> None
+    | Some capacity ->
+      let o = outcome_at capacity in
+      Some
+        {
+          Sim.Runner.name;
+          parameter = capacity;
+          cost = o.EC.provisioned_cost;
+          worst_qos = worst o.EC.qos;
+          detail = Sim.Runner.Cache o;
+          placement = o.EC.placement;
+        }
+  in
+  let legacy_greedy_global ~spec () =
+    let total_weight =
+      Util.Vecops.sum spec.Mcperf.Spec.demand.Workload.Demand.weight
+    in
+    let hi = int_of_float (Float.ceil total_weight) in
+    let eval_at c =
+      Heuristics.Greedy_global.evaluate ~spec ~capacity:(float_of_int c) ()
+    in
+    match
+      Sim.Search.min_feasible_int ~lo:0 ~hi (fun c ->
+          (eval_at c).Mcperf.Costing.meets_goal)
+    with
+    | None -> None
+    | Some capacity ->
+      let e = eval_at capacity in
+      let perm =
+        Mcperf.Permission.compute spec Mcperf.Classes.storage_constrained
+      in
+      let p =
+        Heuristics.Greedy_global.place ~perm ~capacity:(float_of_int capacity)
+          ()
+      in
+      Some
+        {
+          Sim.Runner.name = "greedy-global";
+          parameter = capacity;
+          cost = e.Mcperf.Costing.total;
+          worst_qos = worst e.Mcperf.Costing.qos;
+          detail = Sim.Runner.Placement e;
+          placement = Some p;
+        }
+  in
+  let legacy_greedy_replica ~spec () =
+    let hi = Mcperf.Spec.node_count spec - 1 in
+    let eval_at r =
+      Heuristics.Greedy_replica.evaluate ~spec ~replicas:r ()
+    in
+    match
+      Sim.Search.min_feasible_int ~lo:0 ~hi (fun r ->
+          (eval_at r).Mcperf.Costing.meets_goal)
+    with
+    | None -> None
+    | Some replicas ->
+      let e = eval_at replicas in
+      let perm =
+        Mcperf.Permission.compute spec Mcperf.Classes.replica_constrained_uniform
+      in
+      let p = Heuristics.Greedy_replica.place ~perm ~replicas () in
+      Some
+        {
+          Sim.Runner.name = "greedy-replica";
+          parameter = replicas;
+          cost = e.Mcperf.Costing.total;
+          worst_qos = worst e.Mcperf.Costing.qos;
+          detail = Sim.Runner.Placement e;
+          placement = Some p;
+        }
+  in
+  let strip (d : Sim.Runner.deployed option) =
+    (* Compare everything except the display name (factories own their
+       names now). *)
+    Option.map
+      (fun (d : Sim.Runner.deployed) ->
+        (d.Sim.Runner.parameter, d.Sim.Runner.cost, d.Sim.Runner.worst_qos,
+         d.Sim.Runner.detail, d.Sim.Runner.placement))
+      d
+  in
+  List.iter
+    (fun w ->
+      let cs = CS.make ~seed ~scale w in
+      Printf.printf "strategy port equivalence (%s, scale %.2f):\n"
+        (CS.workload_name w) scale;
+      List.iter
+        (fun fraction ->
+          Printf.printf " fraction %.5f\n" fraction;
+          let spec = CS.qos_spec cs ~fraction ~for_bounds:false () in
+          let trace = cs.CS.trace in
+          check "greedy-global"
+            (strip (legacy_greedy_global ~spec ()))
+            (strip (Sim.Runner.greedy_global ~spec ()));
+          check "greedy-replica"
+            (strip (legacy_greedy_replica ~spec ()))
+            (strip (Sim.Runner.greedy_replica ~spec ()));
+          check "proportional"
+            (Heuristics.Proportional.search ~spec ())
+            (match
+               Sim.Runner.deploy_offline
+                 ~factory:Heuristics.Proportional.strategy ~spec ()
+             with
+            | Some
+                {
+                  Sim.Runner.parameter;
+                  detail = Sim.Runner.Placement e;
+                  _;
+                } ->
+              Some (parameter, e)
+            | _ -> None);
+          check "lru-caching"
+            (strip
+               (legacy_cache ~name:"lru-caching" ~mode:EC.Local
+                  ~prefetch:false ~spec ~trace ()))
+            (strip (Sim.Runner.lru_caching ~spec ~trace ()));
+          check "fifo-caching"
+            (strip
+               (legacy_cache ~policy:Heuristics.Policy_cache.Fifo
+                  ~name:"fifo-caching" ~mode:EC.Local ~prefetch:false ~spec
+                  ~trace ()))
+            (strip
+               (Sim.Runner.policy_caching ~policy:Heuristics.Policy_cache.Fifo
+                  ~spec ~trace ())))
+        [ 0.95; 0.999 ])
+    [ CS.Web; CS.Group ];
+  if !violations = 0 then Printf.printf "all strategy-port checks passed\n%!"
+
+(* --- serve: the epoch-driven online placement service --------------------- *)
+
+let serve ~source ~intervals ~epoch_intervals ~fraction ~tlat_ms ~warm ~jobs
+    ~strategies () =
+  let system, trace, label =
+    match source with
+    | `Synthetic (w, scale, seed) ->
+      let cs = CS.make ~seed ~scale w in
+      (cs.CS.system, cs.CS.trace, CS.workload_name w)
+    | `Replay (trace_file, topo_file) ->
+      let system =
+        match Topology.Topo_io.load_system_result ~path:topo_file with
+        | Ok s -> s
+        | Error e -> failwith (Util.Parse_error.to_string e)
+      in
+      let trace =
+        match Workload.Trace_io.load_result ~path:trace_file with
+        | Ok t -> t
+        | Error e -> failwith (Util.Parse_error.to_string e)
+      in
+      (system, trace, Filename.basename trace_file)
+  in
+  if Workload.Trace.node_count trace <> Topology.System.node_count system then
+    failwith "serve: trace and topology disagree on node count";
+  let interval_s = Workload.Trace.duration_s trace /. float_of_int intervals in
+  let factories =
+    match strategies with
+    | [] -> Online.Engine.default_strategies
+    | names ->
+      List.map
+        (fun n ->
+          match Heuristics.Registry.find n with
+          | Some f -> (n, f)
+          | None ->
+            failwith
+              (Printf.sprintf "serve: unknown strategy %S (known: %s)" n
+                 (String.concat ", " (Heuristics.Registry.names ()))))
+        names
+  in
+  let config =
+    {
+      Online.Engine.system;
+      interval_s;
+      epoch_intervals;
+      costs = Mcperf.Spec.default_costs;
+      goal = Mcperf.Spec.Qos { tlat_ms; fraction };
+      placeable = None;
+      strategies = factories;
+      solver = Bounds.Pipeline.Auto;
+      warm;
+      jobs;
+    }
+  in
+  Printf.printf
+    "online service: %s nodes=%d intervals=%d epoch=%d fraction=%.5f \
+     tlat=%.0fms strategies=%s\n"
+    label
+    (Topology.System.node_count system)
+    intervals epoch_intervals fraction tlat_ms
+    (String.concat "," (List.map fst factories));
+  let engine = Online.Engine.create config in
+  let chunks =
+    Online.Engine.chunks ~interval_s ~epoch_intervals trace
+  in
+  List.iter
+    (fun chunk ->
+      let e = Online.Engine.feed engine chunk in
+      Printf.printf
+        "epoch %d: intervals=%d events=%d (+%d) working_set=%d\n"
+        e.Online.Engine.index e.Online.Engine.intervals
+        e.Online.Engine.total_events e.Online.Engine.chunk_events
+        e.Online.Engine.working_set;
+      if e.Online.Engine.decisions = [] then
+        Printf.printf "  (warm-up: no reads yet)\n"
+      else begin
+        List.iter
+          (fun (cls, (r : Bounds.Pipeline.t)) ->
+            if r.Bounds.Pipeline.feasible then
+              Printf.printf "  bound %-28s %14.6f\n" cls
+                r.Bounds.Pipeline.lower_bound
+            else Printf.printf "  bound %-28s     infeasible\n" cls)
+          e.Online.Engine.bounds;
+        List.iter
+          (fun (d : Online.Engine.decision) ->
+            match d.Online.Engine.parameter with
+            | None ->
+              Printf.printf "  %-28s infeasible at every parameter\n"
+                d.Online.Engine.strategy
+            | Some p ->
+              Printf.printf "  %-28s param=%-5d cost=%14.6f qos=%.5f%s\n"
+                d.Online.Engine.strategy p
+                (Option.get d.Online.Engine.cost)
+                (Option.get d.Online.Engine.worst_qos)
+                (match d.Online.Engine.regret with
+                | Some r -> Printf.sprintf " regret=%14.6f" r
+                | None -> ""))
+          e.Online.Engine.decisions
+      end;
+      (* Wall-clock lives on stderr so service output stays byte-stable
+         across hosts and --jobs. *)
+      Printf.eprintf "epoch %d timing: search %.3fs solve %.3fs\n%!"
+        e.Online.Engine.index e.Online.Engine.search_s
+        e.Online.Engine.solve_s)
+    chunks;
+  let epochs = Online.Engine.epochs engine in
+  let decided =
+    List.fold_left
+      (fun acc (e : Online.Engine.epoch) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (d : Online.Engine.decision) ->
+                 d.Online.Engine.parameter <> None)
+               e.Online.Engine.decisions))
+      0 epochs
+  in
+  let negative_regret =
+    List.exists
+      (fun (e : Online.Engine.epoch) ->
+        List.exists
+          (fun (d : Online.Engine.decision) ->
+            match d.Online.Engine.regret with
+            | Some r -> r < -1e-9
+            | None -> false)
+          e.Online.Engine.decisions)
+      epochs
+  in
+  if negative_regret then begin
+    incr violations;
+    Printf.printf "NEGATIVE REGRET: a deployed cost undercut its class bound\n"
+  end;
+  Printf.printf
+    "served %d epochs: %d deployments, %d bound solves (%d warm-lifted)\n%!"
+    (List.length epochs) decided
+    (Online.Engine.bound_solves engine)
+    (Online.Engine.warm_lifts engine)
+
 (* --- command line ---------------------------------------------------------- *)
 
 open Cmdliner
@@ -1731,7 +2039,11 @@ let validate_cmd =
     Arg.(
       value
       & opt
-          (enum [ ("default", `Default); ("tree", `Tree); ("avail", `Avail) ])
+          (enum
+             [
+               ("default", `Default); ("tree", `Tree); ("avail", `Avail);
+               ("strategy", `Strategy);
+             ])
           `Default
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:
@@ -1741,8 +2053,11 @@ let validate_cmd =
              every other producer must sandwich it; $(b,avail) checks the \
              correlated-failure sampler, the survivability evaluator and \
              the expected-cost scenario LP against goal-meeting \
-             placements. Tree and avail output carries no wall clocks, so \
-             runs at different $(b,--jobs) compare byte-for-byte.")
+             placements; $(b,strategy) replays the pre-redesign heuristic \
+             deployment sequence and insists the Strategy-interface route \
+             reproduces it byte-for-byte on the seed figures. Tree, avail \
+             and strategy output carries no wall clocks, so runs at \
+             different $(b,--jobs) compare byte-for-byte.")
   in
   let count_t =
     Arg.(
@@ -1752,12 +2067,13 @@ let validate_cmd =
             "Tree-family instances, or avail-family sampled scenarios, to \
              validate.")
   in
-  let run verbose seed family count jobs =
+  let run verbose seed scale family count jobs =
     setup_logs verbose;
     (match family with
     | `Default -> validate ~seed ()
     | `Tree -> validate_tree ~seed ~count ~jobs:(resolve_jobs jobs) ()
-    | `Avail -> validate_avail ~seed ~count ~jobs:(resolve_jobs jobs) ());
+    | `Avail -> validate_avail ~seed ~count ~jobs:(resolve_jobs jobs) ()
+    | `Strategy -> validate_strategy ~seed ~scale ());
     if !violations > 0 then exit 1
   in
   Cmd.v
@@ -1766,7 +2082,97 @@ let validate_cmd =
          "Cross-check all bound producers (simplex, PDHG, Lagrangian, exact \
           IP, tree DP, rounding) on small instances; exits nonzero on any \
           violated bound ordering.")
-    Term.(const run $ verbose_t $ seed_t $ family_t $ count_t $ jobs_t)
+    Term.(const run $ verbose_t $ seed_t $ scale_t $ family_t $ count_t $ jobs_t)
+
+let serve_cmd =
+  let trace_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "Replay a trace file (requires $(b,--topo)). Without it the \
+             synthetic case-study workload of $(b,-w) is streamed.")
+  in
+  let topo_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topo" ] ~docv:"FILE" ~doc:"Topology file for $(b,--trace-file).")
+  in
+  let one_workload_t =
+    Arg.(
+      value
+      & opt (enum [ ("web", CS.Web); ("group", CS.Group) ]) CS.Web
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+          ~doc:"Synthetic workload to stream: web or group.")
+  in
+  let intervals_t =
+    Arg.(
+      value & opt int 24
+      & info [ "intervals" ] ~docv:"N"
+          ~doc:"Evaluation intervals covering the whole trace horizon.")
+  in
+  let epoch_t =
+    Arg.(
+      value & opt int 6
+      & info [ "epoch-intervals" ] ~docv:"K"
+          ~doc:"Intervals ingested per re-placement epoch.")
+  in
+  let fraction_t =
+    Arg.(
+      value & opt float 0.95
+      & info [ "fraction" ] ~docv:"Q" ~doc:"QoS fraction of the goal.")
+  in
+  let tlat_t =
+    Arg.(
+      value & opt float 150.
+      & info [ "tlat" ] ~docv:"MS" ~doc:"QoS latency threshold, ms.")
+  in
+  let no_warm_t =
+    Arg.(
+      value & flag
+      & info [ "no-warm" ]
+          ~doc:
+            "Solve every epoch's class bounds cold instead of warm-starting \
+             from the previous epoch (same bounds, more iterations).")
+  in
+  let strategies_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "strategies" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated strategy names from the registry (default: one \
+             representative per major class).")
+  in
+  let run verbose trace_file topo w scale seed intervals epoch_intervals
+      fraction tlat jobs no_warm strategies trace metrics profile =
+    setup_logs verbose;
+    setup_obs ~trace ~metrics ~profile;
+    let source =
+      match (trace_file, topo) with
+      | Some tf, Some topo -> `Replay (tf, topo)
+      | Some _, None | None, Some _ ->
+        failwith "serve: --trace-file and --topo go together"
+      | None, None -> `Synthetic (w, scale, seed)
+    in
+    serve ~source ~intervals ~epoch_intervals ~fraction ~tlat_ms:tlat
+      ~warm:(not no_warm) ~jobs:(resolve_jobs jobs) ~strategies ();
+    Obs.Sink.flush ();
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the epoch-driven online placement service: stream a trace in \
+          epoch-sized chunks, re-deploy every registered strategy per \
+          epoch, warm-start the class bounds, and report per-epoch regret \
+          (deployed cost minus class bound).")
+    Term.(
+      const run $ verbose_t $ trace_file_t $ topo_t $ one_workload_t $ scale_t
+      $ seed_t $ intervals_t $ epoch_t $ fraction_t $ tlat_t $ jobs_t
+      $ no_warm_t $ strategies_t $ trace_t $ metrics_t $ profile_t)
 
 let figtree_cmd =
   let run verbose seed csv_dir jobs =
@@ -1910,7 +2316,8 @@ let main =
     [
       fig1_cmd; fig2_cmd; fig3_cmd; figtree_cmd; figscale_cmd; figavail_cmd;
       select_cmd; scale_cmd;
-      validate_cmd; ablation_cmd; workload_cmd; baselines_cmd; worker_cmd;
+      validate_cmd; serve_cmd; ablation_cmd; workload_cmd; baselines_cmd;
+      worker_cmd;
       all_cmd;
     ]
 

@@ -200,8 +200,8 @@ let pdhg_healthy prep (out : Lp.Pdhg.outcome) =
   && Float.abs (recheck -. out.Lp.Pdhg.best_bound)
      <= 1e-9 *. (1. +. Float.abs out.Lp.Pdhg.best_bound)
 
-let solve_relaxation_raw ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
-    ?deadline_s problem =
+let solve_relaxation_raw ?(solver = Auto) ?reuse ?warm ?warm_full
+    ?(inject_nan = false) ?deadline_s problem =
   let vars = Lp.Problem.nvars problem and rows = Lp.Problem.nrows problem in
   let pre = Lp.Presolve.run problem in
   match pre.Lp.Presolve.status with
@@ -290,7 +290,21 @@ let solve_relaxation_raw ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
             when Array.length x0 = Lp.Problem.nvars red
                  && Array.length y0 = Lp.Problem.nrows red ->
             (Some x0, Some y0)
-          | Some _ | None -> (None, None)
+          | Some _ | None -> (
+            (* A full-space primal warm start (e.g. last epoch's solution
+               lifted onto this epoch's model) projects through the
+               presolve variable map; eliminated variables drop out, new
+               ones start at the box corner like a cold start. The dual
+               starts cold — any dual iterate certifies a valid bound, so
+               warm starts can only change speed, never validity. *)
+            match warm_full with
+            | Some xf when Array.length xf = Lp.Problem.nvars problem ->
+              let x0 = Array.make (Lp.Problem.nvars red) 0. in
+              Array.iteri
+                (fun j rj -> if rj >= 0 then x0.(rj) <- xf.(j))
+                pre.Lp.Presolve.var_map;
+              (Some x0, None)
+            | Some _ | None -> (None, None))
         in
         let attempt ~poisoned =
           let target =
@@ -380,7 +394,8 @@ let solve_relaxation_raw ?(solver = Auto) ?reuse ?warm ?(inject_nan = false)
    tagged with the leg that finally produced the bound. The span and
    path counters never touch the numbers — the raw chain above is the
    entire computation. *)
-let solve_relaxation ?solver ?reuse ?warm ?inject_nan ?deadline_s problem =
+let solve_relaxation ?solver ?reuse ?warm ?warm_full ?inject_nan ?deadline_s
+    problem =
   let sp =
     Obs.Trace.span_begin "pipeline.solve_relaxation"
       ~attrs:
@@ -390,7 +405,8 @@ let solve_relaxation ?solver ?reuse ?warm ?inject_nan ?deadline_s problem =
         ]
   in
   match
-    solve_relaxation_raw ?solver ?reuse ?warm ?inject_nan ?deadline_s problem
+    solve_relaxation_raw ?solver ?reuse ?warm ?warm_full ?inject_nan
+      ?deadline_s problem
   with
   | r ->
     count_path r.path;
@@ -524,7 +540,16 @@ let tree_cell ?placeable spec cls perm worst_qos =
         None
       end)
 
-let compute ?(solver = Auto) ?placeable spec cls =
+(* What a successful LP leg leaves behind for the next epoch of an
+   online solve: the model's variable identities, the solution point in
+   the model's own space, and the prepared PDHG image. *)
+type warm_state = {
+  w_kinds : Mcperf.Model.var_kind array;
+  w_point : float array;
+  w_prep : Lp.Pdhg.prepared option;
+}
+
+let compute_with ?(solver = Auto) ?placeable ?reuse ?lift spec cls =
   let perm = Mcperf.Permission.compute ?placeable spec cls in
   let worst_qos =
     match spec.Mcperf.Spec.goal with
@@ -537,9 +562,10 @@ let compute ?(solver = Auto) ?placeable spec cls =
        model builder emits the unsatisfiable QoS rows verbatim, so a
        single-row Farkas scan certifies the ceiling independently. *)
     let model = Mcperf.Model.build perm in
-    infeasible_result
-      ?ray:(farkas_of model.Mcperf.Model.problem)
-      cls worst_qos
+    ( infeasible_result
+        ?ray:(farkas_of model.Mcperf.Model.problem)
+        cls worst_qos,
+      None )
   end
   else begin
     let dp =
@@ -548,7 +574,7 @@ let compute ?(solver = Auto) ?placeable spec cls =
       | Exact_simplex | First_order _ -> None
     in
     match dp with
-    | Some cell -> cell
+    | Some cell -> (cell, None)
     | None -> (
       let model = Mcperf.Model.build perm in
       Log.info (fun f ->
@@ -558,13 +584,113 @@ let compute ?(solver = Auto) ?placeable spec cls =
         | Mcperf.Spec.Qos _ -> Rounding.Round.round
         | Mcperf.Spec.Avg_latency _ -> Rounding.Round_avg.round
       in
-      let r = solve_relaxation ~solver model.Mcperf.Model.problem in
+      let warm_full = match lift with None -> None | Some f -> f model in
+      let r =
+        solve_relaxation ~solver ?reuse ?warm_full model.Mcperf.Model.problem
+      in
       match r.outcome with
       | None ->
         (* The LP disagreed with the coverage oracle: conservative report. *)
-        infeasible_result ?ray:r.infeasible_ray cls worst_qos
-      | Some sol -> finish ~round ~path:r.path model cls worst_qos sol)
+        (infeasible_result ?ray:r.infeasible_ray cls worst_qos, None)
+      | Some sol ->
+        ( finish ~round ~path:r.path model cls worst_qos sol,
+          Some
+            {
+              w_kinds = model.Mcperf.Model.kinds;
+              w_point = sol.point;
+              w_prep = r.prep;
+            } ))
   end
+
+let compute ?solver ?placeable spec cls =
+  fst (compute_with ?solver ?placeable spec cls)
+
+module Online = struct
+  type entry = {
+    kinds : Mcperf.Model.var_kind array;
+    point : float array;
+    prep : Lp.Pdhg.prepared option;
+  }
+
+  type handle = {
+    solver : solver;
+    placeable : bool array option;
+    use_warm : bool;
+    entries : (string, entry) Hashtbl.t;
+    mutable solves : int;
+    mutable warm_lifts : int;
+    mutable lifted_vars : int;
+  }
+
+  let create ?(solver = Auto) ?placeable ?(warm = true) () =
+    {
+      solver;
+      placeable;
+      use_warm = warm;
+      entries = Hashtbl.create 7;
+      solves = 0;
+      warm_lifts = 0;
+      lifted_vars = 0;
+    }
+
+  (* Kind-keyed primal lift: epoch models differ in dimension (more
+     intervals, possibly more objects), so indices do not line up —
+     variable identities do. Every (node, interval, object) variable the
+     previous model also had starts at last epoch's value; variables new
+     to this epoch start cold. *)
+  let lift entry (model : Mcperf.Model.t) =
+    let tbl = Hashtbl.create (Array.length entry.kinds) in
+    Array.iteri
+      (fun j k -> Hashtbl.replace tbl k entry.point.(j))
+      entry.kinds;
+    let matched = ref 0 in
+    let x =
+      Array.map
+        (fun k ->
+          match Hashtbl.find_opt tbl k with
+          | Some v ->
+            incr matched;
+            v
+          | None -> 0.)
+        model.Mcperf.Model.kinds
+    in
+    if !matched = 0 then None else Some (x, !matched)
+
+  let solve h spec cls =
+    h.solves <- h.solves + 1;
+    let key = cls.Mcperf.Classes.name in
+    let prev = if h.use_warm then Hashtbl.find_opt h.entries key else None in
+    let reuse = match prev with Some e -> e.prep | None -> None in
+    let lifted = ref 0 in
+    let lift_fn =
+      Option.map
+        (fun e model ->
+          match lift e model with
+          | Some (x, m) ->
+            lifted := m;
+            Some x
+          | None -> None)
+        prev
+    in
+    let cell, warm =
+      compute_with ~solver:h.solver ?placeable:h.placeable ?reuse
+        ?lift:lift_fn spec cls
+    in
+    if !lifted > 0 then begin
+      h.warm_lifts <- h.warm_lifts + 1;
+      h.lifted_vars <- h.lifted_vars + !lifted
+    end;
+    (match warm with
+    | Some w ->
+      Hashtbl.replace h.entries key
+        { kinds = w.w_kinds; point = w.w_point; prep = w.w_prep }
+    | None -> ());
+    cell
+
+  let solves h = h.solves
+  let warm_lifts h = h.warm_lifts
+  let lifted_vars h = h.lifted_vars
+end
 
 let compare_classes ?solver ?placeable spec classes =
   List.map (fun cls -> compute ?solver ?placeable spec cls) classes
@@ -1082,11 +1208,8 @@ let () =
       in
       fun index -> Marshal.to_string (solve ctx.dc_cells.(index) : t) [])
 
-(* One value instead of ~10 optional arguments: [sweep_classes] had
-   accreted jobs/solver/placeable/timeout/deadline/cell-budget/journal/
-   progress (and now an observability handle); a config record with
-   [with_*] builders keeps call sites readable and lets new knobs ride
-   along without touching every caller. *)
+(* Sweep knobs as one record with [with_*] builders: call sites stay
+   readable and new knobs ride along without touching every caller. *)
 module Sweep_config = struct
   type t = {
     jobs : int;

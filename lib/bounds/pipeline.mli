@@ -140,6 +140,40 @@ val compare_classes :
   t list
 (** {!compute} for each class, in the given order. *)
 
+(** Warm-started class-bound re-solves for the online engine.
+
+    An epoch loop solves the same (class, goal) bound on a demand that
+    grows by a few intervals each epoch. The models differ in dimension,
+    so prepared images and iterates cannot be reused by index; a handle
+    instead keeps, per class, the last solve's variable identities
+    ({!Mcperf.Model.kinds}) and solution point, and lifts them onto the
+    next epoch's model by matching (node, interval, object) variable
+    kinds — carried-over variables start at their previous values, new
+    ones start cold, and the projection into the presolved space goes
+    through the presolve variable map. The dual always starts cold, and
+    a PDHG bound is certified at {e any} dual iterate, so warm starts
+    affect speed only, never validity. Exact (simplex / tree-DP) legs
+    ignore the warm start and stay bit-identical to {!compute}. *)
+module Online : sig
+  type handle
+
+  val create :
+    ?solver:solver -> ?placeable:bool array -> ?warm:bool -> unit -> handle
+  (** [warm:false] disables state carry-over (every solve is cold —
+      the baseline the bench compares against). *)
+
+  val solve : handle -> Mcperf.Spec.t -> Mcperf.Classes.t -> t
+  (** {!compute} with per-class warm continuation across calls. *)
+
+  val solves : handle -> int
+
+  val warm_lifts : handle -> int
+  (** Solves that started from a lifted previous point. *)
+
+  val lifted_vars : handle -> int
+  (** Total variables carried over across all lifts. *)
+end
+
 val best_class : t list -> t option
 (** The feasible class with the smallest lower bound (the methodology's
     recommendation when its bound is close to the general bound). *)
@@ -219,9 +253,8 @@ val quality_counts : sweep -> (quality * int) list
     (zero entries included). A budget-free sweep reports every cell
     [Exact] or [Converged]. *)
 
-(** Sweep configuration as one value. [sweep_classes] had accreted ~10
-    optional arguments; build a config from {!Sweep_config.default} with
-    the [with_*] builders instead:
+(** Sweep configuration as one value; build from {!Sweep_config.default}
+    with the [with_*] builders:
 
     {[
       Pipeline.(

@@ -126,3 +126,20 @@ let evaluate ?placeable ~spec ~capacity () =
   in
   let placement = place ~perm ~capacity () in
   Mcperf.Costing.evaluate perm placement
+
+let strategy =
+  Strategy.of_placement_rule
+    (module struct
+      let name = "greedy-global"
+      let heuristic_class = Mcperf.Classes.storage_constrained
+
+      let place perm ~parameter =
+        place ~perm ~capacity:(float_of_int parameter) ()
+
+      let parameter_ceiling (perm : Mcperf.Permission.t) =
+        let spec = perm.Mcperf.Permission.spec in
+        int_of_float
+          (Float.ceil
+             (Util.Vecops.sum
+                spec.Mcperf.Spec.demand.Workload.Demand.weight))
+    end)

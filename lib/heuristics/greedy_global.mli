@@ -32,3 +32,8 @@ val evaluate :
   Mcperf.Costing.evaluation
 (** Convenience: place under the storage-constrained class permissions and
     evaluate the result. *)
+
+val strategy : Strategy.factory
+(** The same heuristic behind the strategy-object API: context parameter
+    = per-node capacity (weighted object units, integer grid). Placements
+    and evaluations are identical to [evaluate] on the observed demand. *)

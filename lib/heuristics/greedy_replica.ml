@@ -61,3 +61,14 @@ let evaluate ?placeable ~spec ~replicas () =
   in
   let placement = place ~perm ~replicas () in
   Mcperf.Costing.evaluate perm placement
+
+let strategy =
+  Strategy.of_placement_rule
+    (module struct
+      let name = "greedy-replica"
+      let heuristic_class = Mcperf.Classes.replica_constrained_uniform
+      let place perm ~parameter = place ~perm ~replicas:parameter ()
+
+      let parameter_ceiling (perm : Mcperf.Permission.t) =
+        Mcperf.Spec.node_count perm.Mcperf.Permission.spec - 1
+    end)

@@ -24,3 +24,7 @@ val evaluate :
   unit ->
   Mcperf.Costing.evaluation
 (** Place under the uniform replica-constrained class and evaluate. *)
+
+val strategy : Strategy.factory
+(** Strategy-object port: context parameter = replicas per object.
+    Placements identical to [evaluate] on the observed demand. *)

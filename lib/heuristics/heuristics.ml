@@ -1,0 +1,24 @@
+(** Entry module of the heuristics library.
+
+    The strategy-object API is the front door: {!Strategy} defines the
+    module type, context and packed instances; {!Registry} lists the
+    built-in strategies; {!Cache_strategy} builds event-level (caching)
+    strategies from a config. The per-heuristic modules below keep their
+    original [place]/[evaluate]/[search] entry points as thin legacy
+    wrappers for one release — new callers should go through
+    {!Strategy.factory} instances instead of reaching into per-module
+    signatures. *)
+
+module Strategy = Strategy
+module Context = Strategy.Context
+module Registry = Registry
+module Cache_strategy = Cache_strategy
+
+(* Heuristic implementations (legacy entry points + [strategy] ports). *)
+module Greedy_global = Greedy_global
+module Greedy_replica = Greedy_replica
+module Proportional = Proportional
+module Event_cache = Event_cache
+module Lru_cache = Lru_cache
+module Policy_cache = Policy_cache
+module Placement_baselines = Placement_baselines

@@ -192,10 +192,8 @@ let evaluate ?placeable ~spec ~total_replicas () =
   let placement = place ~perm ~total_replicas () in
   Mcperf.Costing.evaluate perm placement
 
-let search ?placeable ?max_total ~spec () =
-  let perm =
-    Mcperf.Permission.compute ?placeable spec Mcperf.Classes.general
-  in
+let budget_ceiling (perm : Mcperf.Permission.t) =
+  let spec = perm.Mcperf.Permission.spec in
   let nodes = Mcperf.Spec.node_count spec in
   let objects = Mcperf.Spec.object_count spec in
   let _, totals = weighted_demand spec in
@@ -210,7 +208,15 @@ let search ?placeable ?max_total ~spec () =
   for k = 0 to objects - 1 do
     if totals.(k) > 0. then cap := !cap + sites k
   done;
-  let max_total = match max_total with Some m -> m | None -> !cap in
+  !cap
+
+let search ?placeable ?max_total ~spec () =
+  let perm =
+    Mcperf.Permission.compute ?placeable spec Mcperf.Classes.general
+  in
+  let max_total =
+    match max_total with Some m -> m | None -> budget_ceiling perm
+  in
   let rec scan total =
     if total > max_total then None
     else
@@ -222,3 +228,12 @@ let search ?placeable ?max_total ~spec () =
   (* start at zero: when the origin already covers everything the empty
      placement wins, and no permitted site may even exist *)
   scan 0
+
+let strategy =
+  Strategy.of_placement_rule
+    (module struct
+      let name = "proportional"
+      let heuristic_class = Mcperf.Classes.general
+      let place perm ~parameter = place ~perm ~total_replicas:parameter ()
+      let parameter_ceiling = budget_ceiling
+    end)

@@ -55,3 +55,11 @@ val search :
     every demanded object — beyond that the placement cannot change).
     The scan is monotone in spirit but the split is not strictly nested,
     so this is a heuristic search, not a proof of minimality. *)
+
+val budget_ceiling : Mcperf.Permission.t -> int
+(** Every permitted site of every demanded object — the largest budget
+    worth scanning (beyond it the placement cannot change). *)
+
+val strategy : Strategy.factory
+(** Strategy-object port: context parameter = total replica budget.
+    Placements identical to [evaluate] on the observed demand. *)

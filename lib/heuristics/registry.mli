@@ -1,0 +1,7 @@
+(** Catalogue of the built-in strategies, keyed by the names the runner
+    and figures have always used (e.g. ["greedy-global"],
+    ["lru-caching"]). *)
+
+val builtin : (string * Strategy.factory) list
+val find : string -> Strategy.factory option
+val names : unit -> string list

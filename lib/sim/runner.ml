@@ -11,8 +11,6 @@ type deployed = {
   placement : Mcperf.Costing.placement option;
 }
 
-let worst arr = Array.fold_left Float.min 1. arr
-
 (* Every heuristic run gets a span tagged with its name and, on success,
    the provisioning parameter and cost it settled on — enough to see
    from a trace which heuristic dominated a sweep's wall-clock. *)
@@ -41,136 +39,82 @@ let with_run_obs name f =
     Obs.Trace.span_end sp;
     raise e
 
-let goal_parts spec =
-  match spec.Mcperf.Spec.goal with
-  | Mcperf.Spec.Qos { tlat_ms; fraction } -> (tlat_ms, `Qos fraction)
-  | Mcperf.Spec.Avg_latency { tavg_ms } -> (tavg_ms, `Avg tavg_ms)
-
 let cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity ~mode
     ?(prefetch = false) () =
-  let tlat_ms, _ = goal_parts spec in
+  let tlat_ms = Mcperf.Spec.latency_threshold spec in
   Heuristics.Event_cache.simulate ~system:spec.Mcperf.Spec.system ~trace
     ~intervals:(Mcperf.Spec.interval_count spec)
     ~costs:spec.Mcperf.Spec.costs ~tlat_ms ~capacity ~mode ~prefetch
     ?placeable ?policy ()
 
-let cache_meets spec (o : Heuristics.Event_cache.outcome) =
-  match goal_parts spec with
-  | _, `Qos fraction -> Heuristics.Event_cache.meets_qos o ~fraction
-  | _, `Avg tavg ->
-    Array.for_all (fun l -> l <= tavg +. 1e-9) o.Heuristics.Event_cache.avg_latency
-
-let cache_heuristic ?jobs ?placeable ?policy ~name ~mode ~prefetch ~spec ~trace
-    () =
+(* The single deployment path: every heuristic is a strategy instance,
+   and a deployment is the minimal provisioning parameter whose verdict
+   meets the goal. Feasibility is monotone in the parameter, so the
+   parallel search settles on the same parameter at every [jobs]. *)
+let deploy ?jobs ~(factory : Heuristics.Strategy.factory) ~ctx ~delta () =
+  let module S = Heuristics.Strategy in
+  let at p = S.observe (factory (S.Context.with_parameter ctx p)) delta in
+  let name = S.name (factory ctx) in
   with_run_obs name @@ fun () ->
-  let objects = Workload.Trace.object_count trace in
-  let outcome_at c =
-    cache_outcome_at ?placeable ?policy ~spec ~trace ~capacity:c ~mode
-      ~prefetch ()
-  in
-  let feasible c = cache_meets spec (outcome_at c) in
-  match Search.min_feasible_int ?jobs ~lo:0 ~hi:objects feasible with
+  let hi = S.parameter_ceiling (at 0) in
+  let feasible p = (S.assess (at p)).S.meets_goal in
+  match Search.min_feasible_int ?jobs ~lo:0 ~hi feasible with
   | None -> None
-  | Some capacity ->
-    let o = outcome_at capacity in
+  | Some parameter ->
+    let v = S.assess (at parameter) in
     Some
       {
         name;
-        parameter = capacity;
-        cost = o.Heuristics.Event_cache.provisioned_cost;
-        worst_qos = worst o.Heuristics.Event_cache.qos;
-        detail = Cache o;
-        placement = o.Heuristics.Event_cache.placement;
+        parameter;
+        cost = v.S.cost;
+        worst_qos = v.S.worst_qos;
+        detail =
+          (match v.S.detail with
+          | S.Evaluation e -> Placement e
+          | S.Cache_outcome o -> Cache o);
+        placement = v.S.placement;
       }
 
+let deploy_offline ?jobs ?placeable ?trace ~factory ~spec () =
+  deploy ?jobs ~factory
+    ~ctx:(Heuristics.Strategy.Context.of_spec ?placeable spec)
+    ~delta:(Heuristics.Strategy.delta_of_spec ?trace spec)
+    ()
+
 let lru_caching ?jobs ?placeable ~spec ~trace () =
-  cache_heuristic ?jobs ?placeable ~name:"lru-caching"
-    ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:Heuristics.Cache_strategy.lru ~spec ()
 
 let cooperative_caching ?jobs ?placeable ~spec ~trace () =
-  cache_heuristic ?jobs ?placeable ~name:"cooperative-caching"
-    ~mode:Heuristics.Event_cache.Cooperative ~prefetch:false ~spec ~trace ()
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:Heuristics.Cache_strategy.cooperative ~spec ()
 
 let caching_with_prefetch ?jobs ?placeable ~spec ~trace () =
-  cache_heuristic ?jobs ?placeable ~name:"caching-prefetch"
-    ~mode:Heuristics.Event_cache.Local ~prefetch:true ~spec ~trace ()
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:Heuristics.Cache_strategy.prefetching ~spec ()
 
 let cooperative_caching_with_prefetch ?jobs ?placeable ~spec ~trace () =
-  cache_heuristic ?jobs ?placeable ~name:"cooperative-caching-prefetch"
-    ~mode:Heuristics.Event_cache.Cooperative ~prefetch:true ~spec ~trace ()
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:Heuristics.Cache_strategy.cooperative_prefetching ~spec ()
 
 let hierarchical_caching ?jobs ?placeable ?(cluster_radius_ms = 150.) ~spec
     ~trace () =
-  cache_heuristic ?jobs ?placeable ~name:"hierarchical-caching"
-    ~mode:(Heuristics.Event_cache.Hierarchical { cluster_radius_ms })
-    ~prefetch:false ~spec ~trace ()
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:(Heuristics.Cache_strategy.hierarchical ~cluster_radius_ms ())
+    ~spec ()
 
 let policy_caching ?jobs ?placeable ~policy ~spec ~trace () =
-  cache_heuristic ?jobs ?placeable ~policy
-    ~name:(Heuristics.Policy_cache.kind_name policy ^ "-caching")
-    ~mode:Heuristics.Event_cache.Local ~prefetch:false ~spec ~trace ()
-
-let placement_meets (e : Mcperf.Costing.evaluation) = e.Mcperf.Costing.meets_goal
+  deploy_offline ?jobs ?placeable ~trace
+    ~factory:(Heuristics.Cache_strategy.policy policy)
+    ~spec ()
 
 let greedy_global ?jobs ?placeable ~spec () =
-  with_run_obs "greedy-global" @@ fun () ->
-  let total_weight =
-    Util.Vecops.sum spec.Mcperf.Spec.demand.Workload.Demand.weight
-  in
-  let hi = int_of_float (Float.ceil total_weight) in
-  let eval_at c =
-    Heuristics.Greedy_global.evaluate ?placeable ~spec
-      ~capacity:(float_of_int c) ()
-  in
-  let feasible c = placement_meets (eval_at c) in
-  match Search.min_feasible_int ?jobs ~lo:0 ~hi feasible with
-  | None -> None
-  | Some capacity ->
-    let e = eval_at capacity in
-    let perm =
-      Mcperf.Permission.compute ?placeable spec
-        Mcperf.Classes.storage_constrained
-    in
-    let p =
-      Heuristics.Greedy_global.place ~perm
-        ~capacity:(float_of_int capacity)
-        ()
-    in
-    Some
-      {
-        name = "greedy-global";
-        parameter = capacity;
-        cost = e.Mcperf.Costing.total;
-        worst_qos = worst e.Mcperf.Costing.qos;
-        detail = Placement e;
-        placement = Some p;
-      }
+  deploy_offline ?jobs ?placeable ~factory:Heuristics.Greedy_global.strategy
+    ~spec ()
 
 let greedy_replica ?jobs ?placeable ~spec () =
-  with_run_obs "greedy-replica" @@ fun () ->
-  let hi = Mcperf.Spec.node_count spec - 1 in
-  let eval_at r =
-    Heuristics.Greedy_replica.evaluate ?placeable ~spec ~replicas:r ()
-  in
-  let feasible r = placement_meets (eval_at r) in
-  match Search.min_feasible_int ?jobs ~lo:0 ~hi feasible with
-  | None -> None
-  | Some replicas ->
-    let e = eval_at replicas in
-    let perm =
-      Mcperf.Permission.compute ?placeable spec
-        Mcperf.Classes.replica_constrained_uniform
-    in
-    let p = Heuristics.Greedy_replica.place ~perm ~replicas () in
-    Some
-      {
-        name = "greedy-replica";
-        parameter = replicas;
-        cost = e.Mcperf.Costing.total;
-        worst_qos = worst e.Mcperf.Costing.qos;
-        detail = Placement e;
-        placement = Some p;
-      }
+  deploy_offline ?jobs ?placeable ~factory:Heuristics.Greedy_replica.strategy
+    ~spec ()
 
 (* --- degradation replay ------------------------------------------------- *)
 

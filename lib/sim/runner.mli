@@ -32,6 +32,30 @@ type deployed = {
           ({!Avail.Survive}, {!degradation_replay}) *)
 }
 
+val deploy :
+  ?jobs:int ->
+  factory:Heuristics.Strategy.factory ->
+  ctx:Heuristics.Strategy.Context.t ->
+  delta:Heuristics.Strategy.delta ->
+  unit ->
+  deployed option
+(** The generic deployment path every entry point below routes through:
+    instantiate the strategy at candidate parameters (the context's
+    [parameter] field is the knob), fold in the workload delta, and find
+    the minimal parameter whose verdict meets the goal. [None] when even
+    the strategy's own parameter ceiling fails. *)
+
+val deploy_offline :
+  ?jobs:int ->
+  ?placeable:bool array ->
+  ?trace:Workload.Trace.t ->
+  factory:Heuristics.Strategy.factory ->
+  spec:Mcperf.Spec.t ->
+  unit ->
+  deployed option
+(** [deploy] on the offline single-epoch delta of a spec ([trace] is
+    required by event-level strategies). *)
+
 val lru_caching :
   ?jobs:int ->
   ?placeable:bool array ->

@@ -61,12 +61,23 @@ let create ~nodes ~intervals ~interval_s ?weight ?writes ~reads () =
   validate_cells t "Demand.create writes" writes;
   t
 
-let of_trace ~intervals trace =
+let of_trace ?interval_s ~intervals trace =
   if intervals <= 0 then invalid_arg "Demand.of_trace: intervals must be positive";
   let nodes = Trace.node_count trace in
   let objects = Trace.object_count trace in
   let duration = Trace.duration_s trace in
-  let interval_s = duration /. float_of_int intervals in
+  let interval_s =
+    match interval_s with
+    | None -> duration /. float_of_int intervals
+    | Some s ->
+      (* An explicit width lets chunked loads share the exact bucket
+         arithmetic of a whole-trace load (Float division of a sliced
+         horizon can differ by an ulp). *)
+      if s <= 0. then invalid_arg "Demand.of_trace: interval_s must be positive";
+      if Float.abs ((s *. float_of_int intervals) -. duration) > 1e-6 *. s then
+        invalid_arg "Demand.of_trace: interval_s inconsistent with duration";
+      s
+  in
   let read_tbl = Hashtbl.create 4096 and write_tbl = Hashtbl.create 64 in
   let bump tbl key =
     match Hashtbl.find_opt tbl key with
@@ -98,6 +109,70 @@ let of_trace ~intervals trace =
   in
   create ~nodes ~intervals ~interval_s ~writes:(collect write_tbl)
     ~reads:(collect read_tbl) ()
+
+let extend t delta =
+  if Trace.node_count delta <> t.nodes then
+    invalid_arg "Demand.extend: node counts differ";
+  let duration = Trace.duration_s delta in
+  let total_f = Float.round (duration /. t.interval_s) in
+  if Float.abs ((total_f *. t.interval_s) -. duration) > 1e-6 *. t.interval_s
+  then invalid_arg "Demand.extend: horizon not a whole number of intervals";
+  let total = int_of_float total_f in
+  if total <= t.intervals then
+    invalid_arg "Demand.extend: continuation must add at least one interval";
+  let objects = max t.objects (Trace.object_count delta) in
+  let read_tbl = Hashtbl.create 1024 and write_tbl = Hashtbl.create 64 in
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> Hashtbl.replace tbl key (c +. 1.)
+    | None -> Hashtbl.add tbl key 1.
+  in
+  Trace.iter
+    (fun ~time ~node ~object_id ~kind ->
+      (* Identical arithmetic to [of_trace] on the whole trace (times in
+         the chunk are absolute), with a floor at the already-bucketed
+         prefix so the appended cells stay in the new intervals. *)
+      let interval =
+        max t.intervals (min (total - 1) (int_of_float (time /. t.interval_s)))
+      in
+      let key = (object_id, interval, node) in
+      match kind with
+      | Trace.Read -> bump read_tbl key
+      | Trace.Write -> bump write_tbl key)
+    delta;
+  let fresh tbl =
+    let per_object = Array.make objects [] in
+    Hashtbl.iter
+      (fun (k, i, n) c ->
+        per_object.(k) <- { node = n; interval = i; count = c } :: per_object.(k))
+      tbl;
+    Array.map
+      (fun cells ->
+        let arr = Array.of_list cells in
+        Array.sort cell_order arr;
+        arr)
+      per_object
+  in
+  let grow old fresh_cells =
+    Array.init objects (fun k ->
+        let old_cells = if k < Array.length old then old.(k) else [||] in
+        if Array.length fresh_cells.(k) = 0 then old_cells
+        else Array.append old_cells fresh_cells.(k))
+  in
+  (* New cells all land in intervals >= t.intervals, past every existing
+     cell, so per-object ordering is preserved and the O(delta) append
+     needs no re-validation of the prefix. *)
+  {
+    nodes = t.nodes;
+    intervals = total;
+    objects;
+    interval_s = t.interval_s;
+    reads = grow t.reads (fresh read_tbl);
+    writes = grow t.writes (fresh write_tbl);
+    weight =
+      (if objects = t.objects then t.weight
+       else Array.append t.weight (Array.make (objects - t.objects) 1.));
+  }
 
 let read_at t ~node ~interval ~object_id =
   let cells = t.reads.(object_id) in

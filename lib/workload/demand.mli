@@ -33,8 +33,21 @@ val create :
 (** Validates ranges, positive counts, and cell ordering requirements
     (cells of an object are sorted by (interval, node) and unique). *)
 
-val of_trace : intervals:int -> Trace.t -> t
-(** Bucket a trace into [intervals] equal evaluation intervals. *)
+val of_trace : ?interval_s:float -> intervals:int -> Trace.t -> t
+(** Bucket a trace into [intervals] equal evaluation intervals. When
+    [interval_s] is given it is used as the bucket width instead of
+    [duration /. intervals] (it must agree with the horizon to within
+    1e-6 of a bucket) — chunked loads pass the globally computed width
+    so their bucket arithmetic matches a whole-trace load exactly. *)
+
+val extend : t -> Trace.t -> t
+(** [extend t delta] appends a continuation chunk (absolute times, new
+    longer horizon — see {!Trace.extend}) in O(delta) time: the chunk's
+    events are bucketed with the same arithmetic [of_trace] would use on
+    the concatenated trace and appended as new intervals past the
+    existing ones. The object universe may grow (new objects get weight
+    1). Raises if the chunk's horizon is not a whole number of new
+    intervals or node counts differ. *)
 
 val read_at : t -> node:int -> interval:int -> object_id:int -> float
 (** Count lookup (0. when absent). O(log cells) per call. *)

@@ -69,6 +69,55 @@ let create_unsafe ~nodes ~objects ~duration_s ~times ~event_nodes
   validate
     { nodes; objects; duration_s; times; event_nodes; event_objects; kinds }
 
+let sub t ~lo ~hi ~duration_s =
+  if lo < 0 || hi > length t || lo > hi then
+    invalid_arg "Trace.sub: index range out of bounds";
+  let n = hi - lo in
+  validate
+    {
+      nodes = t.nodes;
+      objects = t.objects;
+      duration_s;
+      times = Array.sub t.times lo n;
+      event_nodes = Array.sub t.event_nodes lo n;
+      event_objects = Array.sub t.event_objects lo n;
+      kinds = Array.sub t.kinds lo n;
+    }
+
+let extend t delta =
+  if delta.nodes <> t.nodes then
+    invalid_arg "Trace.extend: node counts differ";
+  if delta.duration_s <= t.duration_s then
+    invalid_arg "Trace.extend: continuation must extend the horizon";
+  let n1 = length t in
+  if n1 > 0 && length delta > 0 && delta.times.(0) < t.times.(n1 - 1) then
+    invalid_arg "Trace.extend: continuation events precede existing ones";
+  validate
+    {
+      nodes = t.nodes;
+      objects = max t.objects delta.objects;
+      duration_s = delta.duration_s;
+      times = Array.append t.times delta.times;
+      event_nodes = Array.append t.event_nodes delta.event_nodes;
+      event_objects = Array.append t.event_objects delta.event_objects;
+      kinds = Array.append t.kinds delta.kinds;
+    }
+
+let append t1 t2 =
+  if t2.nodes <> t1.nodes then
+    invalid_arg "Trace.append: node counts differ";
+  let shifted = Array.map (fun x -> x +. t1.duration_s) t2.times in
+  validate
+    {
+      nodes = t1.nodes;
+      objects = max t1.objects t2.objects;
+      duration_s = t1.duration_s +. t2.duration_s;
+      times = Array.append t1.times shifted;
+      event_nodes = Array.append t1.event_nodes t2.event_nodes;
+      event_objects = Array.append t1.event_objects t2.event_objects;
+      kinds = Array.append t1.kinds t2.kinds;
+    }
+
 let count_kind t k =
   Array.fold_left (fun acc kd -> if kd = k then acc + 1 else acc) 0 t.kinds
 

@@ -47,6 +47,22 @@ val create_unsafe :
 (** Zero-copy constructor for generators that produce already-sorted
     struct-of-arrays data. Validates sortedness and bounds. *)
 
+val sub : t -> lo:int -> hi:int -> duration_s:float -> t
+(** Event index range [lo, hi) as a trace with the given horizon. Times
+    are kept as-is (absolute), so a suffix slice is a continuation chunk
+    in the sense of {!extend}, not a standalone trace starting at 0. *)
+
+val extend : t -> t -> t
+(** [extend t delta] appends a continuation chunk whose times are
+    absolute (already past [t]'s events) and whose [duration_s] is the
+    new, longer horizon. Node counts must match; the object universe may
+    grow. Inverse of slicing a long trace into prefix + {!sub} suffix. *)
+
+val append : t -> t -> t
+(** [append t1 t2] concatenates two standalone traces, shifting [t2]'s
+    times by [t1]'s duration. Node counts must match; the object
+    universe is the larger of the two. *)
+
 val read_count : t -> int
 val write_count : t -> int
 

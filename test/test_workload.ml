@@ -485,6 +485,99 @@ let prop_zipf_fit_and_counts =
          total (up to the rounding knife-edge of the float sum). *)
       && Float.abs (count_total -. !raw_total) <= 0.5 +. 1e-9 *. !raw_total)
 
+(* --- incremental demand ----------------------------------------------------- *)
+
+(* Demand.extend is an O(delta) continuation of of_trace: splitting any
+   trace at an interval boundary and folding the suffix through extend
+   must reproduce the whole-trace demand byte for byte. Exact-float
+   arithmetic throughout: interval width 16s, event times multiples of
+   0.25, so bucketing never sits on a rounding knife-edge. *)
+let prop_demand_extend_equals_of_trace =
+  QCheck2.Test.make ~count:200
+    ~name:"Demand.extend = of_trace on the concatenated trace"
+    QCheck2.Gen.(
+      tup4 (int_range 2 8) (int_range 1 7) (int_range 0 120)
+        (int_range 0 1_000_000))
+    (fun (total_intervals, split_raw, nevents, seed) ->
+      let interval_s = 16. in
+      let duration_s = float_of_int total_intervals *. interval_s in
+      let split = 1 + (split_raw mod (total_intervals - 1)) in
+      let rng = ref seed in
+      let rand m =
+        rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+        !rng mod m
+      in
+      let nodes = 2 + rand 4 and objects = 1 + rand 8 in
+      let events =
+        List.init nevents (fun _ ->
+            let time = 0.25 *. float_of_int (rand (total_intervals * 64)) in
+            let kind =
+              if rand 10 = 0 then Workload.Trace.Write else Workload.Trace.Read
+            in
+            (time, rand nodes, rand objects, kind))
+      in
+      let trace =
+        Workload.Trace.of_events ~nodes ~objects ~duration_s events
+      in
+      let full = Workload.Demand.of_trace ~intervals:total_intervals trace in
+      let boundary = float_of_int split *. interval_s in
+      let n = Workload.Trace.length trace in
+      let cut = ref 0 in
+      while !cut < n && Workload.Trace.time trace !cut < boundary do
+        incr cut
+      done;
+      let prefix = Workload.Trace.sub trace ~lo:0 ~hi:!cut ~duration_s:boundary in
+      let suffix = Workload.Trace.sub trace ~lo:!cut ~hi:n ~duration_s in
+      let d0 =
+        Workload.Demand.of_trace ~interval_s ~intervals:split prefix
+      in
+      let d = Workload.Demand.extend d0 suffix in
+      Marshal.to_string d [ Marshal.No_sharing ]
+      = Marshal.to_string full [ Marshal.No_sharing ])
+
+let test_demand_extend_rejects_bad_horizon () =
+  let t =
+    Workload.Trace.of_events ~nodes:2 ~objects:1 ~duration_s:8.
+      [ (1., 0, 0, Workload.Trace.Read) ]
+  in
+  let d = Workload.Demand.of_trace ~intervals:4 t in
+  (* A "continuation" whose horizon does not grow is rejected. *)
+  let bad = Workload.Trace.sub t ~lo:0 ~hi:1 ~duration_s:8. in
+  Alcotest.(check bool) "same-horizon delta rejected" true
+    (match Workload.Demand.extend d bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_incremental_stats () =
+  let t =
+    Workload.Trace.of_events ~nodes:2 ~objects:3 ~duration_s:8.
+      [
+        (0.5, 0, 0, Workload.Trace.Read);
+        (2.5, 1, 1, Workload.Trace.Read);
+        (3.0, 0, 1, Workload.Trace.Write);
+        (6.5, 1, 2, Workload.Trace.Read);
+      ]
+  in
+  (* Two chunks of two intervals each (2s buckets). *)
+  let c1 = Workload.Trace.sub t ~lo:0 ~hi:2 ~duration_s:4. in
+  let c2 = Workload.Trace.sub t ~lo:2 ~hi:4 ~duration_s:8. in
+  let i0 = Workload.Incremental.create ~nodes:2 ~interval_s:2. in
+  let i1 = Workload.Incremental.extend i0 c1 in
+  let i2 = Workload.Incremental.extend i1 c2 in
+  Alcotest.(check int) "intervals" 4 (Workload.Incremental.intervals i2);
+  Alcotest.(check int) "chunks" 2 (Workload.Incremental.chunks i2);
+  Alcotest.(check int) "events" 4 (Workload.Incremental.events i2);
+  Alcotest.(check int) "reads" 3 (Workload.Incremental.reads i2);
+  Alcotest.(check int) "writes" 1 (Workload.Incremental.writes i2);
+  Alcotest.(check int) "objects" 3 (Workload.Incremental.object_count i2);
+  Alcotest.(check (option int)) "first read of 2" (Some 3)
+    (Workload.Incremental.first_read_interval i2 2);
+  (* Object 0's only read is in interval 0, outside a 2-interval window
+     ending at interval 3; objects 1 and 2 are inside it? Object 1's
+     last read is interval 1 — also outside. Only object 2 qualifies. *)
+  Alcotest.(check int) "working set (window 2)" 1
+    (Workload.Incremental.working_set i2 ~window:2)
+
 let () =
   Alcotest.run "workload"
     [
@@ -513,6 +606,13 @@ let () =
           Alcotest.test_case "node totals" `Quick test_demand_node_totals;
           Alcotest.test_case "remap merges" `Quick test_demand_remap_merges;
           Alcotest.test_case "scale" `Quick test_demand_scale;
+        ] );
+      ( "incremental",
+        [
+          QCheck_alcotest.to_alcotest prop_demand_extend_equals_of_trace;
+          Alcotest.test_case "rejects stale horizon" `Quick
+            test_demand_extend_rejects_bad_horizon;
+          Alcotest.test_case "running stats" `Quick test_incremental_stats;
         ] );
       ( "generators",
         [
